@@ -1,0 +1,25 @@
+"""Ch. 1/§3.4 table: blocking periods of interrupted views.
+
+Identical fault sequences per rate mean differences between algorithms
+isolate the blocking behaviour itself (quorum-impossible minority views
+are terminally blocked under every algorithm alike).
+"""
+
+
+def test_tab_blocking(regenerate):
+    table = regenerate("tab_blocking")
+    by_key = {(row.algorithm, row.rate): row for row in table.rows}
+    for rate in (1.0, 4.0):
+        ykd = by_key[("ykd", rate)]
+        one_pending = by_key[("one_pending", rate)]
+        # Shape: the blocking algorithm forms a smaller fraction of its
+        # installed views than the pipelining one.
+        assert (
+            one_pending.formation_rate_percent
+            <= ykd.formation_rate_percent + 2.0
+        )
+    # MR1p's resolution pipeline shows up as extra rounds to form.
+    assert (
+        by_key[("mr1p", 1.0)].mean_rounds_to_form
+        >= by_key[("ykd", 1.0)].mean_rounds_to_form
+    )

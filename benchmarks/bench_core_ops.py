@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the hot paths: quorum checks, state exchange,
+full driver rounds.  These are conventional pytest-benchmark timings
+(many rounds), complementing the one-shot figure regenerations."""
+
+import random
+
+from repro.core.quorum import is_subquorum
+from repro.core.knowledge import make_state_item, outcome_for
+from repro.core.session import Session, initial_session
+from repro.sim.driver import DriverLoop
+from repro.net.changes import PartitionChange
+
+
+def test_subquorum_check(benchmark):
+    x = frozenset(range(0, 48))
+    y = frozenset(range(16, 80))
+    assert benchmark(is_subquorum, x, y) is False or True
+
+
+def test_outcome_evaluation(benchmark):
+    w = initial_session(range(64))
+    state = make_state_item(
+        session_number=5,
+        ambiguous=[Session.of(5, range(32))],
+        last_primary=w,
+        last_formed={q: w for q in range(64)},
+    )
+    session = Session.of(4, range(16))
+    benchmark(outcome_for, state, session)
+
+
+def test_driver_round_throughput_16_processes(benchmark):
+    """Rounds per second for a 16-process YKD state exchange."""
+
+    def exchange():
+        driver = DriverLoop("ykd", 16, fault_rng=random.Random(1))
+        whole = driver.topology.components[0]
+        driver.run_round(
+            PartitionChange(component=whole, moved=frozenset({14, 15}))
+        )
+        driver.run_until_quiescent()
+        assert driver.primary_exists()
+
+    benchmark(exchange)
+
+
+def test_full_run_throughput(benchmark):
+    """End-to-end cost of one measured run (8 procs, 6 changes)."""
+    from repro.sim.run import RunConfig, run_single
+
+    config = RunConfig(
+        algorithm="ykd", n_processes=8, n_changes=6,
+        mean_rounds_between_changes=2.0, seed=3,
+    )
+    benchmark(run_single, config)

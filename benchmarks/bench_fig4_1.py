@@ -1,0 +1,12 @@
+"""Figure 4-1: availability, 2 connectivity changes, fresh start."""
+
+
+def test_fig4_1(regenerate):
+    figure = regenerate("fig4_1")
+    rates = figure.rates
+    # Shape: availability improves as the network calms down.
+    assert figure.at("ykd", max(rates)) >= figure.at("ykd", min(rates))
+    # Shape: with at most one session to resolve between two changes,
+    # MR1p sits close to YKD (thesis §4.1).
+    gap = figure.at("ykd", max(rates)) - figure.at("mr1p", max(rates))
+    assert gap < 20.0

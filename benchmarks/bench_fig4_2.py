@@ -1,0 +1,10 @@
+"""Figure 4-2: availability, 6 connectivity changes, fresh start."""
+
+
+def test_fig4_2(regenerate):
+    figure = regenerate("fig4_2")
+    best = max(figure.series, key=lambda a: figure.at(a, max(figure.rates)))
+    # Shape: YKD (or its availability-equal DFLS neighbourhood) leads.
+    assert figure.at("ykd", max(figure.rates)) >= figure.at(best, max(figure.rates)) - 5.0
+    # Shape: the blocking 1-pending trails the pipelining algorithms.
+    assert figure.at("one_pending", 0.0) <= figure.at("ykd", 0.0) + 5.0

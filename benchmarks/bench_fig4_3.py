@@ -1,0 +1,10 @@
+"""Figure 4-3: availability, 12 connectivity changes, fresh start."""
+
+
+def test_fig4_3(regenerate):
+    figure = regenerate("fig4_3")
+    rates = figure.rates
+    mid = rates[len(rates) // 2]
+    # Shape: with many changes, YKD dominates the blocking algorithms.
+    assert figure.at("ykd", mid) >= figure.at("one_pending", mid)
+    assert figure.at("ykd", mid) >= figure.at("mr1p", mid) - 5.0

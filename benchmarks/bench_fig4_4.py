@@ -1,0 +1,9 @@
+"""Figure 4-4: availability, 2 cascading connectivity changes."""
+
+
+def test_fig4_4(regenerate):
+    figure = regenerate("fig4_4")
+    # Shape: cascading state accumulation hurts the blocking algorithms
+    # even at only two changes per measured run.
+    top = max(figure.at("ykd", r) for r in figure.rates)
+    assert top > 50.0

@@ -1,0 +1,8 @@
+"""Figure 4-5: availability, 6 cascading connectivity changes."""
+
+
+def test_fig4_5(regenerate):
+    figure = regenerate("fig4_5")
+    mid = figure.rates[len(figure.rates) // 2]
+    # Shape: YKD stays ahead of 1-pending under cascading faults.
+    assert figure.at("ykd", mid) > figure.at("one_pending", mid)

@@ -1,0 +1,20 @@
+"""Figure 4-6: availability, 12 cascading connectivity changes.
+
+The most adversarial figure of the study: thousands of cumulative
+changes.  The thesis' headline — YKD degrades gracefully while the
+blocking algorithms collapse, sometimes below simple majority — is
+asserted as the regenerated shape.
+"""
+
+
+def test_fig4_6(regenerate):
+    figure = regenerate("fig4_6")
+    mid = figure.rates[len(figure.rates) // 2]
+    assert figure.at("ykd", mid) > figure.at("one_pending", mid)
+    assert figure.at("ykd", mid) > figure.at("mr1p", mid)
+    # The blocking algorithms approach (or undercut) the baseline.
+    floor = min(
+        figure.at("one_pending", r) for r in figure.rates
+    )
+    baseline = max(figure.at("simple_majority", r) for r in figure.rates)
+    assert floor < baseline + 10.0

@@ -1,0 +1,15 @@
+"""Figure 4-7: ambiguous sessions retained when stable (§4.2)."""
+
+from repro.experiments.ambiguous import CHANGE_COUNTS
+
+
+def test_fig4_7(regenerate):
+    figure = regenerate("fig4_7")
+    # Shape: retention is rare, and the worst case is single digits —
+    # nowhere near the theoretical exponential.
+    assert figure.max_observed["ykd"] <= 8
+    assert figure.max_observed["dfls"] <= 14
+    for n_changes in CHANGE_COUNTS:
+        for rate in figure.scale.rates:
+            cell = figure.cell(n_changes, rate, "ykd")
+            assert cell.stable_retained_percent <= 60.0

@@ -1,0 +1,20 @@
+"""Figure 4-8: ambiguous sessions sent over the network (§4.2)."""
+
+
+def test_fig4_8(regenerate):
+    figure = regenerate("fig4_8")
+    # Shape: counts sampled at connectivity changes are dominantly zero
+    # (the thesis' most striking observation).
+    zeros = 0
+    cells = 0
+    for (n_changes, rate, algorithm), cell in figure.cells.items():
+        if algorithm != "ykd":
+            continue
+        cells += 1
+        if cell.in_progress_retained_percent < 50.0:
+            zeros += 1
+    assert zeros >= cells * 0.7
+    # Shape: unoptimized YKD retains at least as much as YKD.
+    assert (
+        figure.max_observed["ykd_unopt"] >= figure.max_observed["ykd"]
+    )

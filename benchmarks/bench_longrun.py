@@ -1,0 +1,21 @@
+"""§4.1 text: long-run degradation, made explicit in windows.
+
+Window-level availability is an extreme-value-free statistic but still
+noisy at smoke scale, so the assertions compare *relative* trends: over
+the same long cascading execution, 1-pending must not out-trend YKD.
+"""
+
+
+def test_ext_longrun(regenerate):
+    series = regenerate("ext_longrun")
+    assert series.windows >= 4
+    for algorithm, values in series.series.items():
+        assert len(values) == series.windows
+        assert all(0.0 <= value <= 100.0 for value in values)
+    # YKD does not degrade over long executions (allow noise).
+    assert series.trend("ykd") > -35.0
+    # The blocking algorithm's mean availability over the whole long
+    # execution trails YKD's decisively.
+    ykd_mean = sum(series.series["ykd"]) / series.windows
+    one_pending_mean = sum(series.series["one_pending"]) / series.windows
+    assert one_pending_mean < ykd_mean

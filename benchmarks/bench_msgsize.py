@@ -1,0 +1,16 @@
+"""§3.4/Ch.5 table: state-broadcast sizes stay small.
+
+At the paper scale (64 processes) the thesis bounds the broadcast at
+about two kilobytes; at smaller scales the bound shrinks roughly
+linearly, so the assertion scales with the process count.
+"""
+
+
+def test_tab_msgsize(regenerate, bench_scale):
+    table = regenerate("tab_msgsize")
+    n = table.scale.n_processes
+    # ~2 KB at 64 processes scales to ~32 bytes per process; allow 2x.
+    budget = 2048.0 * (n / 64.0) * 2
+    for row in table.rows:
+        assert row.max_bytes <= budget, (row.algorithm, row.max_bytes)
+        assert row.mean_bytes <= row.max_bytes

@@ -1,0 +1,18 @@
+"""§3.4 table: message rounds required to form a primary."""
+
+
+def test_tab_rounds(regenerate):
+    table = regenerate("tab_rounds")
+    rows = {row.algorithm: row for row in table.rows}
+    assert rows["ykd"].declared_rounds == 2
+    assert rows["one_pending"].declared_rounds == 2
+    assert rows["dfls"].declared_rounds == 3
+    assert rows["mr1p"].declared_rounds_with_pending == 5
+    assert rows["simple_majority"].measured_mean_rounds == 0.0
+    # Measured calm-network formations match the declared counts.
+    assert abs(rows["ykd"].measured_mean_rounds - 2.0) < 0.5
+    # DFLS's extra (confirm) round shows up in the quiescence tail.
+    assert (
+        rows["dfls"].measured_quiescence_rounds
+        > rows["ykd"].measured_quiescence_rounds + 0.5
+    )

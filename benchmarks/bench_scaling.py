@@ -1,0 +1,12 @@
+"""§4.1 table: availability is insensitive to the process count."""
+
+
+def test_tab_scaling(regenerate, bench_scale):
+    table = regenerate("tab_scaling")
+    # Shape: "almost identical" across process counts (the thesis used
+    # 32/48/64; the scale preset picks the counts).  At smoke scale the
+    # counts are tiny (6/8/10), where quorum parity effects and 40-run
+    # sampling noise genuinely widen the spread, so the bound relaxes.
+    limit = 35.0 if bench_scale == "smoke" else 15.0
+    for algorithm in table.series:
+        assert table.spread(algorithm) < limit, algorithm

@@ -1,0 +1,56 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or table),
+measures how long the regeneration takes, writes the rendered
+rows/series to ``results/<experiment id>.txt``, and echoes them to
+stdout (visible with ``pytest -s``).
+
+The scale defaults to ``smoke`` so the whole harness runs in minutes;
+set ``REPRO_BENCH_SCALE=small`` or ``=paper`` to reproduce at higher
+fidelity (``paper`` is the thesis' 64-process, 1000-run configuration
+and takes hours of CPU).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import render, run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under the benchmark timer and report it."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": BENCH_SCALE, "master_seed": BENCH_SEED},
+            rounds=1,
+            iterations=1,
+        )
+        report = render(result)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(report)
+        print()
+        print(report)
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["scale"] = BENCH_SCALE
+        return result
+
+    return runner

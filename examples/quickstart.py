@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Quickstart: measure primary-component availability in a few lines.
+
+Runs a small campaign for each studied algorithm — 6 connectivity
+changes per run, a moderate change rate — and prints the availability
+percentage, reproducing in miniature the comparison of thesis Fig. 4-2.
+"""
+
+from repro import CaseConfig, display_name, run_case
+from repro.core.registry import AVAILABILITY_ALGORITHMS
+
+
+def main() -> None:
+    print("Availability with 12 connectivity changes per run")
+    print("(12 processes, 200 runs/case, mean 2 rounds between changes)\n")
+    for algorithm in AVAILABILITY_ALGORITHMS:
+        case = CaseConfig(
+            algorithm=algorithm,
+            n_processes=12,
+            n_changes=12,
+            mean_rounds_between_changes=2.0,
+            runs=200,
+            master_seed=2026,
+        )
+        result = run_case(case)
+        bar = "#" * int(result.availability_percent / 2)
+        print(f"{display_name(algorithm):>16s}  {result.availability_percent:5.1f}%  {bar}")
+    print(
+        "\nEvery run also passed the safety invariants: at most one live "
+        "primary,\nview agreement, and a subquorum chain of formed primaries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Statistical treatment of simulation results."""
+
+from repro.analysis.intervals import (
+    OutcomeSummary,
+    PairedComparison,
+    compare_paired,
+    mcnemar_midp,
+    paired_disagreements,
+    summarize_outcomes,
+    wilson_interval,
+)
+
+__all__ = [
+    "OutcomeSummary",
+    "PairedComparison",
+    "compare_paired",
+    "mcnemar_midp",
+    "paired_disagreements",
+    "summarize_outcomes",
+    "wilson_interval",
+]

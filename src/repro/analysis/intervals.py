@@ -1,0 +1,206 @@
+"""Confidence intervals and paired comparisons for availability data.
+
+The thesis reports raw percentages over 1000-run cases; when we
+reproduce at smaller scales, sampling error matters, so the analysis
+layer provides:
+
+* :func:`wilson_interval` — a Wilson score interval for a Bernoulli
+  proportion (well behaved near 0% and 100%, unlike the normal
+  approximation);
+* :func:`paired_disagreements` / :func:`mcnemar_midp` — the campaigns
+  run every algorithm against *identical fault sequences*, so per-run
+  outcomes are paired and a McNemar-style exact test on the discordant
+  pairs is the right comparison (far more sensitive than comparing two
+  independent percentages);
+* :func:`summarize_outcomes` — a compact record combining all of it.
+
+Everything is pure stdlib (math only); no scipy required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion, as fractions."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = p_hat + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        p_hat * (1.0 - p_hat) / trials + z * z / (4.0 * trials * trials)
+    )
+    low = (centre - margin) / denominator
+    high = (centre + margin) / denominator
+    # Guard the exact endpoints against float rounding: an interval for
+    # 0/n must include 0, and for n/n must include 1.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return max(0.0, low), min(1.0, high)
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+def paired_disagreements(
+    first: Sequence[bool], second: Sequence[bool]
+) -> Tuple[int, int]:
+    """Discordant pair counts: (first-only successes, second-only).
+
+    The inputs are per-run outcomes of two algorithms under identical
+    fault sequences; concordant runs carry no comparative information.
+    """
+    if len(first) != len(second):
+        raise ValueError("paired outcome lists must have equal length")
+    first_only = sum(a and not b for a, b in zip(first, second))
+    second_only = sum(b and not a for a, b in zip(first, second))
+    return first_only, second_only
+
+
+def mcnemar_midp(first_only: int, second_only: int) -> float:
+    """Mid-p McNemar test on discordant pairs (two-sided).
+
+    Under the null (no availability difference), each discordant pair
+    is first-only with probability ½; the mid-p variant corrects the
+    exact binomial test's conservatism.  Returns 1.0 when there are no
+    discordant pairs (no evidence either way).
+    """
+    n = first_only + second_only
+    if n == 0:
+        return 1.0
+    k = min(first_only, second_only)
+    # P[X < k] * 2 + P[X == k]  (two-sided mid-p), X ~ Binomial(n, 1/2)
+    less = sum(_binom_pmf(i, n) for i in range(k))
+    equal = _binom_pmf(k, n)
+    midp = 2.0 * less + equal
+    return min(1.0, midp)
+
+
+def _binom_pmf(k: int, n: int) -> float:
+    return math.comb(n, k) * 0.5**n
+
+
+@dataclass(frozen=True)
+class OutcomeSummary:
+    """Availability of one algorithm's outcome list, with its interval."""
+
+    runs: int
+    successes: int
+    percent: float
+    low_percent: float
+    high_percent: float
+
+    def describe(self) -> str:
+        """E.g. ``"86.0% [80.5, 90.1] (172/200)"``."""
+        return (
+            f"{self.percent:.1f}% "
+            f"[{self.low_percent:.1f}, {self.high_percent:.1f}] "
+            f"({self.successes}/{self.runs})"
+        )
+
+
+def summarize_outcomes(
+    outcomes: Sequence[bool], confidence: float = 0.95
+) -> OutcomeSummary:
+    """Availability percentage with its Wilson interval."""
+    runs = len(outcomes)
+    successes = sum(outcomes)
+    low, high = wilson_interval(successes, runs, confidence)
+    return OutcomeSummary(
+        runs=runs,
+        successes=successes,
+        percent=100.0 * successes / runs,
+        low_percent=100.0 * low,
+        high_percent=100.0 * high,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Head-to-head comparison of two algorithms over identical faults."""
+
+    first_name: str
+    second_name: str
+    first: OutcomeSummary
+    second: OutcomeSummary
+    first_only: int
+    second_only: int
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+    def describe(self) -> str:
+        """Two-line human-readable summary of the comparison."""
+        verdict = (
+            f"{self.first_name} wins {self.first_only} runs, "
+            f"{self.second_name} wins {self.second_only} "
+            f"(mid-p = {self.p_value:.4f}"
+            f"{', significant' if self.significant else ''})"
+        )
+        return (
+            f"{self.first_name}: {self.first.describe()}  vs  "
+            f"{self.second_name}: {self.second.describe()}\n{verdict}"
+        )
+
+
+def compare_paired(
+    first_name: str,
+    first: Sequence[bool],
+    second_name: str,
+    second: Sequence[bool],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Full paired analysis of two outcome lists."""
+    first_only, second_only = paired_disagreements(first, second)
+    return PairedComparison(
+        first_name=first_name,
+        second_name=second_name,
+        first=summarize_outcomes(first, confidence),
+        second=summarize_outcomes(second, confidence),
+        first_only=first_only,
+        second_only=second_only,
+        p_value=mcnemar_midp(first_only, second_only),
+    )

@@ -1,0 +1,10 @@
+"""Example applications built on the primary-component interface."""
+
+from repro.app.replicated_store import (
+    NotPrimaryError,
+    PutOp,
+    ReplicatedStore,
+    SyncOffer,
+)
+
+__all__ = ["NotPrimaryError", "PutOp", "ReplicatedStore", "SyncOffer"]

@@ -1,0 +1,173 @@
+"""A primary-partition replicated key-value store.
+
+The thesis motivates primary components with replicated databases
+(El Abbadi & Toueg) and group-based toolkits: "In many distributed
+systems, at most one component is permitted to make progress in order
+to avoid inconsistencies."  This module is that application, built on
+the public :class:`PrimaryComponentAlgorithm` interface exactly as
+Fig. 2-2 prescribes — every application message passes through the
+algorithm, which piggybacks its own protocol transparently.
+
+Semantics
+---------
+* A replica accepts a ``put`` only while its process is inside the
+  primary component; elsewhere the write is refused (callers may retry
+  after the next view change).
+* Accepted writes are stamped with the store's *epoch* — the order key
+  of the latest formed primary its algorithm knows — plus a per-epoch
+  operation counter, and broadcast to the component.
+* On every view change each replica announces its ``(epoch, op_count)``
+  stamp and full contents; replicas adopt the lexicographically
+  greatest announcement.  Because writes happen only inside primary
+  components and formed primaries form a subquorum chain, the greatest
+  stamp identifies the latest primary's state, so reconciliation after
+  a merge converges every replica on one history with no lost primary
+  writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.message import Message
+from repro.core.view import View
+from repro.errors import ReproError
+from repro.sim.driver import ProcessEndpoint
+from repro.types import ProcessId
+
+
+class NotPrimaryError(ReproError):
+    """A write was attempted outside the primary component."""
+
+
+#: (epoch, operations applied in that epoch); totally ordered.
+Stamp = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PutOp:
+    """A replicated write, broadcast within the primary component."""
+
+    key: str
+    value: Any
+    stamp: Stamp
+    origin: ProcessId
+
+
+@dataclass(frozen=True)
+class SyncOffer:
+    """A replica's announcement after a view change: stamp + contents."""
+
+    stamp: Stamp
+    contents: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.contents)
+
+
+class ReplicatedStore(ProcessEndpoint):
+    """One replica of the store, driven by the simulation driver loop."""
+
+    def __init__(self, algorithm: PrimaryComponentAlgorithm) -> None:
+        super().__init__(algorithm)
+        self.data: Dict[str, Any] = {}
+        #: (epoch of latest primary the data was written under, op count).
+        self.stamp: Stamp = (self._current_epoch(), 0)
+        self._outbox: List[Message] = []
+        self.writes_accepted = 0
+        self.writes_refused = 0
+        self.syncs_adopted = 0
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def in_primary(self) -> bool:
+        """Whether this replica currently accepts writes."""
+        return self.algorithm.in_primary()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a key locally.
+
+        Reads are always served (possibly stale outside the primary);
+        the primary-partition guarantee protects writes, not reads.
+        """
+        return self.data.get(key, default)
+
+    def put(self, key: str, value: Any) -> PutOp:
+        """Write a key; only legal inside the primary component.
+
+        The write applies locally at once and is broadcast to the rest
+        of the component on the next driver round.
+        """
+        if not self.in_primary():
+            self.writes_refused += 1
+            raise NotPrimaryError(
+                f"replica {self.pid} is not in the primary component; "
+                "writes would risk divergent histories"
+            )
+        epoch = self._current_epoch()
+        if epoch != self.stamp[0]:
+            self.stamp = (epoch, 0)
+        self.stamp = (self.stamp[0], self.stamp[1] + 1)
+        op = PutOp(key=key, value=value, stamp=self.stamp, origin=self.pid)
+        self._apply_put(op)
+        self._outbox.append(Message(payload=op))
+        self.writes_accepted += 1
+        return op
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A copy of the replica's current contents."""
+        return dict(self.data)
+
+    # ------------------------------------------------------------------
+    # Endpoint hooks (the Fig. 2-2 integration).
+    # ------------------------------------------------------------------
+
+    def next_application_message(self) -> Message:
+        if self._outbox:
+            return self._outbox.pop(0)
+        return Message.empty()
+
+    def on_payload(self, payload: object, sender: ProcessId) -> None:
+        if isinstance(payload, PutOp):
+            if sender != self.pid:
+                self._apply_put(payload)
+        elif isinstance(payload, SyncOffer):
+            self._consider_sync(payload)
+        else:
+            raise ReproError(f"unknown payload {type(payload).__name__}")
+
+    def on_view(self, view: View) -> None:
+        # Announce our state so the new component converges on the
+        # latest primary's history.
+        self._outbox.append(Message(payload=self._sync_offer()))
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _current_epoch(self) -> int:
+        primaries = self.algorithm.formed_primaries()
+        if not primaries:
+            return 0
+        return max(order_key for order_key, _ in primaries)
+
+    def _sync_offer(self) -> SyncOffer:
+        return SyncOffer(
+            stamp=self.stamp, contents=tuple(sorted(self.data.items()))
+        )
+
+    def _apply_put(self, op: PutOp) -> None:
+        self.data[op.key] = op.value
+        if op.origin != self.pid and op.stamp > self.stamp:
+            self.stamp = op.stamp
+
+    def _consider_sync(self, offer: SyncOffer) -> None:
+        if offer.stamp > self.stamp:
+            self.data = offer.as_dict
+            self.stamp = offer.stamp
+            self.syncs_adopted += 1

@@ -1,0 +1,47 @@
+"""Core abstractions: the interface of thesis Ch. 2 and the algorithms of Ch. 3."""
+
+from repro.core.dfls import DFLS
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.majority import SimpleMajority
+from repro.core.message import Message, Piggyback
+from repro.core.mr1p import MR1p
+from repro.core.one_pending import OnePending
+from repro.core.quorum import is_majority, is_subquorum, simple_majority_primary
+from repro.core.registry import (
+    AMBIGUITY_ALGORITHMS,
+    AVAILABILITY_ALGORITHMS,
+    algorithm_class,
+    algorithm_names,
+    create_algorithm,
+    display_name,
+    register,
+)
+from repro.core.session import Session, initial_session
+from repro.core.view import View, initial_view
+from repro.core.ykd import UnoptimizedYKD, YKD
+
+__all__ = [
+    "AMBIGUITY_ALGORITHMS",
+    "AVAILABILITY_ALGORITHMS",
+    "DFLS",
+    "MR1p",
+    "Message",
+    "OnePending",
+    "Piggyback",
+    "PrimaryComponentAlgorithm",
+    "Session",
+    "SimpleMajority",
+    "UnoptimizedYKD",
+    "View",
+    "YKD",
+    "algorithm_class",
+    "algorithm_names",
+    "create_algorithm",
+    "display_name",
+    "initial_session",
+    "initial_view",
+    "is_majority",
+    "is_subquorum",
+    "register",
+    "simple_majority_primary",
+]

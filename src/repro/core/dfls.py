@@ -1,0 +1,109 @@
+"""The DFLS variant: unoptimized YKD with an extra round (thesis §3.2.2).
+
+The algorithm of De Prisco, Fekete, Lynch and Shvartsman (PODC'98)
+differs from YKD in two ways:
+
+* it does not implement the LEARN/RESOLVE pruning optimization, and
+* it does not delete ambiguous sessions immediately when a new primary
+  is formed — it waits for one more message exchange round inside the
+  newly formed primary before deleting them.
+
+Until that third round completes, the retained ambiguous sessions keep
+acting as constraints on which views may become primaries.  That is the
+source of DFLS's availability gap: the thesis observed YKD succeeding
+where DFLS does not in roughly 3% of runs.  Accordingly, DFLS's
+decision rule honours *every* retained ambiguous session in the
+exchange (deletion is its only resolution mechanism), where YKD's
+decision rule discards sessions its number bookkeeping proves
+superseded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Sequence, Set
+
+from repro.core.knowledge import StateItem
+from repro.core.session import Session
+from repro.core.ykd import AttemptItem, YKD
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class ConfirmItem:
+    """Round-3 message inside a freshly formed primary.
+
+    When every member of the new primary has confirmed, the pending
+    ambiguous sessions may finally be deleted.
+    """
+
+    session: Session
+
+
+class DFLS(YKD):
+    """Unoptimized YKD plus the delayed ambiguous-session deletion."""
+
+    name: ClassVar[str] = "dfls"
+    rounds_to_form: ClassVar[int] = 3
+    optimized: ClassVar[bool] = False
+
+    def __init__(self, pid: ProcessId, initial_view) -> None:
+        super().__init__(pid, initial_view)
+        self._confirm_senders: Set[ProcessId] = set()
+        self._confirming: Session = None  # type: ignore[assignment]
+        self._early_confirms: list = []
+
+    def _on_view(self, view) -> None:
+        self._confirm_senders = set()
+        self._confirming = None  # type: ignore[assignment]
+        self._early_confirms = []
+        super()._on_view(view)
+
+    # ------------------------------------------------------------------
+    # Decision rule: every retained ambiguous session constrains.
+    # ------------------------------------------------------------------
+
+    def _decision_constraints(
+        self, states: Dict[ProcessId, StateItem], max_primary: Session
+    ) -> List[Session]:
+        combined = {
+            session for state in states.values() for session in state.ambiguous
+        }
+        return sorted(combined)
+
+    # ------------------------------------------------------------------
+    # Formation: keep ambiguous sessions, start the confirm round.
+    # ------------------------------------------------------------------
+
+    def _clear_ambiguous_after_formation(self, session: Session) -> None:
+        """Do not delete yet — broadcast a confirm and wait for everyone."""
+        self._confirming = session
+        self._queue(ConfirmItem(session=session))
+        early, self._early_confirms = self._early_confirms, []
+        for sender, item in early:
+            self._handle_confirm(sender, item)
+
+    def _on_items(self, sender: ProcessId, items: Sequence[Any]) -> None:
+        confirms = [item for item in items if isinstance(item, ConfirmItem)]
+        rest = [item for item in items if not isinstance(item, ConfirmItem)]
+        if rest:
+            super()._on_items(sender, rest)
+        for item in confirms:
+            self._handle_confirm(sender, item)
+
+    def _handle_confirm(self, sender: ProcessId, item: ConfirmItem) -> None:
+        if self._confirming is None:
+            # A peer formed before we did (asynchronous delivery); hold
+            # its confirm until our own formation completes.
+            self._early_confirms.append((sender, item))
+            return
+        if item.session != self._confirming:
+            raise ProtocolError(
+                f"confirm for {item.session.describe()} from {sender} does not "
+                "match the locally formed primary"
+            )
+        self._confirm_senders.add(sender)
+        if self._confirm_senders == self.current_view.members:
+            # The extra round completed: ambiguous sessions may go.
+            self.ambiguous = []

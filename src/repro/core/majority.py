@@ -1,0 +1,35 @@
+"""The simple majority baseline (thesis §3.3).
+
+A stateless control: a component is the primary exactly when it holds a
+majority of the *original* processes (with the usual lexical tie-break
+for an exact half).  It exchanges no messages at all, so it can never
+be interrupted — which is why the dynamic voting algorithms converge to
+its availability when connectivity changes come too fast for any
+message exchange to complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Sequence
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.quorum import simple_majority_primary
+from repro.core.view import View
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+class SimpleMajority(PrimaryComponentAlgorithm):
+    """Static majority voting over the initial process set."""
+
+    name: ClassVar[str] = "simple_majority"
+    rounds_to_form: ClassVar[int] = 0
+
+    def _on_view(self, view: View) -> None:
+        self._in_primary = simple_majority_primary(view.members, self.universe)
+
+    def _on_items(self, sender: ProcessId, items: Sequence[Any]) -> None:
+        raise ProtocolError(
+            "simple majority never sends messages, yet received items "
+            f"from {sender}"
+        )

@@ -1,0 +1,124 @@
+"""Application messages and the piggyback envelope (thesis §2.1).
+
+The interface of Fig. 2-1 "piggybacks" algorithm information onto
+messages sent by the application: every outgoing application message is
+offered to the algorithm, which may attach its own payload; every
+incoming message is passed through the algorithm, which strips that
+payload before the application sees it.  The application never sees the
+extra information exchanged by the algorithm.
+
+``Message`` is the unit the application deals in.  The algorithm's
+attachment is a :class:`Piggyback`: the sender's id, the sender's
+current view sequence number (used to discard messages that straddle a
+view change), and a list of protocol items.  Protocol items are small
+frozen dataclasses defined by each algorithm module; the envelope
+treats them as opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.types import ProcessId, ViewSeq
+
+
+@dataclass(frozen=True)
+class Piggyback:
+    """The algorithm-owned attachment riding on an application message."""
+
+    sender: ProcessId
+    view_seq: ViewSeq
+    items: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class Message:
+    """A broadcast message as the application sees it.
+
+    Attributes:
+        payload: the application's own content; opaque to the library.
+        piggyback: algorithm attachment, or None.  Applications must
+            treat this field as private to the algorithm.
+    """
+
+    payload: Any = None
+    piggyback: Optional[Piggyback] = None
+
+    @classmethod
+    def empty(cls) -> "Message":
+        """The empty message the application offers after each receipt.
+
+        Fig. 2-2: on every receive, the application immediately polls
+        the algorithm with an empty message so the algorithm can
+        communicate even when the application itself is idle.
+        """
+        return cls(payload=None, piggyback=None)
+
+    def is_empty(self) -> bool:
+        """True when neither application nor algorithm content is present."""
+        return self.payload is None and self.piggyback is None
+
+    def with_piggyback(self, piggyback: Piggyback) -> "Message":
+        """A copy of this message carrying the given attachment."""
+        return Message(payload=self.payload, piggyback=piggyback)
+
+    def stripped(self) -> "Message":
+        """A copy of this message with the algorithm attachment removed."""
+        return Message(payload=self.payload, piggyback=None)
+
+
+def estimate_item_size_bits(item: Any, universe_size: int) -> int:
+    """Rough wire size of one protocol item, in bits.
+
+    Follows the thesis' accounting style (§3.4): a session costs about
+    ``2n`` bits (an ``n``-bit member bitmap plus number/framing), a
+    process id costs ``ceil(log2 n)`` rounded up to 8, an integer or
+    flag costs 8, and each nested field is summed recursively.  The
+    estimate exists so experiments can reproduce the "message sizes can
+    typically be constrained to two kilobytes or less" claim; it is not
+    a serializer.
+    """
+    # Imported here to avoid a cycle: session.py does not know messages.
+    from repro.core.session import Session
+
+    if item is None:
+        return 0
+    if isinstance(item, Session):
+        return item.encoded_size_bits(universe_size)
+    if isinstance(item, frozenset):
+        return universe_size  # member bitmap
+    if isinstance(item, bool):
+        return 1
+    if isinstance(item, int):
+        return 8
+    if isinstance(item, str):
+        return 8  # status flags are one-byte enums on the wire
+    if isinstance(item, (list, tuple)):
+        return sum(estimate_item_size_bits(sub, universe_size) for sub in item)
+    if isinstance(item, dict):
+        return sum(
+            estimate_item_size_bits(key, universe_size)
+            + estimate_item_size_bits(value, universe_size)
+            for key, value in item.items()
+        )
+    if is_dataclass(item):
+        return 8 + sum(  # 8 bits of type tag
+            estimate_item_size_bits(getattr(item, f.name), universe_size)
+            for f in fields(item)
+        )
+    raise TypeError(f"cannot size protocol item of type {type(item).__name__}")
+
+
+def estimate_piggyback_size_bits(piggyback: Piggyback, universe_size: int) -> int:
+    """Wire size estimate of a full piggyback attachment, in bits."""
+    header = 16  # sender id + view seq framing
+    return header + sum(
+        estimate_item_size_bits(item, universe_size) for item in piggyback.items
+    )

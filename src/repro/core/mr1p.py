@@ -1,0 +1,344 @@
+"""MR1p: majority-resilient 1-pending (thesis §3.2.4).
+
+Like 1-pending, MR1p retains at most one ambiguous session; unlike it,
+MR1p can resolve that session after hearing from only a *majority* of
+its members, using a small ballot protocol in the style of the
+part-time parliament [Lamport] and Phoenix [Malloth & Schiper].  The
+price is message rounds: five when a pending session must be resolved,
+two otherwise — and the thesis shows the long pipeline makes MR1p the
+most interruption-prone algorithm of the study.
+
+The rounds, per installed view V:
+
+1. a process with a pending session S broadcasts ``<S, num, status>``;
+2. every member of S answers what it knows: its own (num, status) when
+   S is also its pending session, *formed* when S is among its formed
+   views, *aborted* when it is a member of S with no record of it;
+3. having heard from a majority of S, each participant casts a call —
+   ``attempt`` if the highest-ballot status it saw was ``attempt``,
+   otherwise ``try-fail``; a majority of try-fail calls abandons S, and
+   attempt calls double as formation votes for S;
+4. once unencumbered, a process whose current view is a subquorum of
+   its last formed primary broadcasts ``<V, 1>``;
+5. on ``<V, 1>`` from *all* members it broadcasts ``<attempt, V>``, and
+   V becomes the primary at any process that receives attempt votes
+   from a *majority* of V.
+
+Deviation from the thesis pseudocode, documented in DESIGN.md: the
+pseudocode sets ``is-primary = true`` whenever a process learns some
+old session formed; we count a process as in the primary only when the
+formed session is its *current* view, and we only let a learned-formed
+session replace ``cur-primary`` when it was installed later than the
+one we hold (views carry an installation sequence number), so a stale
+resolution cannot regress the quorum chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.quorum import is_subquorum
+from repro.core.view import View
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+# Status flags of the resolution ballot (thesis §3.2.4).
+STATUS_NONE = "none"
+STATUS_SENT = "sent"
+STATUS_ATTEMPT = "attempt"
+STATUS_TRY_FAIL = "try_fail"
+
+
+@dataclass(frozen=True)
+class TryItem:
+    """Step-4 message ``<V, 1>``: request to declare V the primary."""
+
+    view: View
+
+
+@dataclass(frozen=True)
+class AttemptVoteItem:
+    """Step-5 / resolution message ``<attempt, V>``: a formation vote."""
+
+    view: View
+
+
+@dataclass(frozen=True)
+class ShareItem:
+    """Step-1 message ``<ambiguousSession, num, status>``."""
+
+    view: View
+    num: int
+    status: str
+
+
+@dataclass(frozen=True)
+class InfoItem:
+    """Step-2 answer about a session: ``status``, ``formed`` or ``aborted``."""
+
+    view: View
+    kind: str  # "status" | "formed" | "aborted"
+    num: int
+    status: str
+
+
+@dataclass(frozen=True)
+class FailCallItem:
+    """Step-3 call ``<try-fail, V>`` (attempt calls reuse AttemptVoteItem)."""
+
+    view: View
+    num: int
+
+
+class MR1p(PrimaryComponentAlgorithm):
+    """Majority-resilient 1-pending."""
+
+    name: ClassVar[str] = "mr1p"
+    rounds_to_form: ClassVar[int] = 2
+    rounds_to_form_pending: ClassVar[int] = 5
+
+    def __init__(self, pid: ProcessId, initial_view: View) -> None:
+        super().__init__(pid, initial_view)
+        #: The primary component this process most recently formed/adopted.
+        self.cur_primary: View = initial_view
+        #: Every formed primary still remembered (with the W optimization).
+        self.formed_views: Set[View] = {initial_view}
+        #: The single pending ambiguous session, if any.
+        self.pending: Optional[View] = None
+        self.num: int = 0
+        self.status: str = STATUS_NONE
+        self._reset_collections()
+
+    def _reset_collections(self) -> None:
+        self._try_senders: Set[ProcessId] = set()
+        self._attempt_votes: Dict[View, Set[ProcessId]] = {}
+        self._infos: Dict[ProcessId, Tuple[int, str]] = {}
+        self._fail_calls: Set[ProcessId] = set()
+        self._call_done: bool = False
+        self._formed_handled: Set[View] = set()
+        self._responded: Set[View] = set()
+
+    # ------------------------------------------------------------------
+    # View handling.
+    # ------------------------------------------------------------------
+
+    def _on_view(self, view: View) -> None:
+        self._in_primary = False
+        self._reset_collections()
+        if self.pending is not None:
+            self._queue(ShareItem(view=self.pending, num=self.num, status=self.status))
+        else:
+            self._try_new()
+
+    def _try_new(self) -> None:
+        """Subroutine try-new: attempt the current view if quorum allows."""
+        view = self.current_view
+        if is_subquorum(view.members, self.cur_primary.members):
+            self.pending = view
+            self.num = 1
+            self.status = STATUS_SENT
+            self._queue(TryItem(view=view))
+        else:
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def _on_items(self, sender: ProcessId, items: Sequence[Any]) -> None:
+        for item in items:
+            if isinstance(item, TryItem):
+                self._handle_try(sender, item)
+            elif isinstance(item, AttemptVoteItem):
+                self._handle_attempt_vote(sender, item)
+            elif isinstance(item, ShareItem):
+                self._handle_share(sender, item)
+            elif isinstance(item, InfoItem):
+                self._handle_info(sender, item)
+            elif isinstance(item, FailCallItem):
+                self._handle_fail_call(sender, item)
+            else:
+                raise ProtocolError(
+                    f"{self.name} cannot handle item {type(item).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    # Steps 4 and 5: forming the current view.
+    # ------------------------------------------------------------------
+
+    def _handle_try(self, sender: ProcessId, item: TryItem) -> None:
+        if item.view != self.current_view:
+            raise ProtocolError(
+                f"<V,1> for {item.view.describe()} inside "
+                f"{self.current_view.describe()}"
+            )
+        self._try_senders.add(sender)
+        self._maybe_vote_attempt()
+
+    def _maybe_vote_attempt(self) -> None:
+        view = self.current_view
+        if (
+            self.pending == view
+            and self.status == STATUS_SENT
+            and self._try_senders == view.members
+        ):
+            self.status = STATUS_ATTEMPT
+            self.num = 2
+            self._queue(AttemptVoteItem(view=view))
+
+    def _handle_attempt_vote(self, sender: ProcessId, item: AttemptVoteItem) -> None:
+        view = item.view
+        votes = self._attempt_votes.setdefault(view, set())
+        votes.add(sender)
+        if 2 * len(votes & view.members) > len(view.members):
+            self._session_formed(view)
+
+    def _session_formed(self, view: View) -> None:
+        """A majority voted attempt: ``view`` is (or was) formed."""
+        if view in self._formed_handled:
+            return
+        self._formed_handled.add(view)
+        self._adopt_formed(view)
+        if view == self.current_view:
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+            self._in_primary = True
+        elif self.pending == view:
+            # Retroactive completion of our interrupted old session.
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+            self._try_new()
+
+    def _adopt_formed(self, view: View) -> None:
+        """Record a formed primary, advancing cur_primary monotonically."""
+        self.formed_views.add(view)
+        if view.members == self.universe:
+            # The thesis' optimization: a primary equal to the original
+            # view supersedes every remembered formed view.
+            self.formed_views = {view}
+        if view.seq > self.cur_primary.seq:
+            self.cur_primary = view
+
+    # ------------------------------------------------------------------
+    # Steps 1-3: resolving a pending ambiguous session.
+    # ------------------------------------------------------------------
+
+    def _handle_share(self, sender: ProcessId, item: ShareItem) -> None:
+        """Step 2: answer what we know about the queried session.
+
+        The answer goes out in the *next* round — shares are not taken
+        as information directly, which keeps the resolution pipeline at
+        the thesis' full five rounds (share, report, call, try,
+        attempt) and thereby preserves MR1p's defining fragility.
+        """
+        session = item.view
+        if session in self._responded:
+            return  # one broadcast answer per queried session per view
+        self._responded.add(session)
+        if self.pending is not None and session == self.pending:
+            self._queue(
+                InfoItem(view=session, kind="status", num=self.num, status=self.status)
+            )
+        elif session in self.formed_views and self.pid in session:
+            self._queue(InfoItem(view=session, kind="formed", num=0, status=STATUS_NONE))
+        elif self.pid in session:
+            # We are a member with no record of the session forming: it
+            # cannot have formed (our attempt message was necessary).
+            self._queue(InfoItem(view=session, kind="aborted", num=0, status=STATUS_NONE))
+
+    def _handle_info(self, sender: ProcessId, item: InfoItem) -> None:
+        if self.pending is None or item.view != self.pending:
+            return  # a stale answer about a session we already settled
+        if item.kind == "formed":
+            self._adopt_formed(item.view)
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+            self._try_new()
+        elif item.kind == "aborted":
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+            self._try_new()
+        elif item.kind == "status":
+            self._infos[sender] = (item.num, item.status)
+            self._maybe_call()
+        else:
+            raise ProtocolError(f"unknown info kind {item.kind!r}")
+
+    def _maybe_call(self) -> None:
+        """Cast the resolution call once a majority of S has reported."""
+        if self._call_done or self.pending is None:
+            return
+        session = self.pending
+        known = set(self._infos) & session.members
+        if 2 * len(known) <= len(session.members):
+            return
+        max_num = max(self._infos[member][0] for member in known)
+        statuses_at_max = {
+            self._infos[member][1]
+            for member in known
+            if self._infos[member][0] == max_num
+        }
+        self._call_done = True
+        self.num = max_num + 1
+        if STATUS_ATTEMPT in statuses_at_max:
+            # Someone reached the attempt stage: complete the formation.
+            self.status = STATUS_ATTEMPT
+            self._queue(AttemptVoteItem(view=session))
+        else:
+            # Highest ballot was sent/try-fail: call the session off.
+            self.status = STATUS_TRY_FAIL
+            self._queue(FailCallItem(view=session, num=self.num))
+
+    def _handle_fail_call(self, sender: ProcessId, item: FailCallItem) -> None:
+        if self.pending is None or item.view != self.pending:
+            return
+        self._fail_calls.add(sender)
+        if 2 * len(self._fail_calls & item.view.members) > len(item.view.members):
+            self.pending = None
+            self.num = 0
+            self.status = STATUS_NONE
+            self._try_new()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def formed_primaries(self) -> Tuple[Tuple[int, frozenset], ...]:
+        """Recently formed views, keyed by installation sequence.
+
+        Reports only the most recent few: the invariant checker
+        accumulates history itself, and iterating an ever-growing
+        ``formed_views`` every round would make million-change
+        endurance runs quadratic.
+        """
+        views = set(self.formed_views)
+        views.add(self.cur_primary)
+        recent = sorted((view.seq, view.members) for view in views)[-8:]
+        return tuple(recent)
+
+    def ambiguous_session_count(self) -> int:
+        # Only a session carried over from an interrupted view is
+        # "pending ambiguous" in the thesis' sense; the in-progress
+        # attempt at the current view is normal operation.
+        if self.pending is not None and self.pending != self.current_view:
+            return 1
+        return 0
+
+    def debug_stats(self) -> Dict[str, Any]:
+        stats = super().debug_stats()
+        stats.update(
+            cur_primary=self.cur_primary.describe(),
+            formed_views=len(self.formed_views),
+            pending=self.pending.describe() if self.pending else None,
+            num=self.num,
+            status=self.status,
+        )
+        return stats

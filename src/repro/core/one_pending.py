@@ -1,0 +1,103 @@
+"""The 1-pending variant: YKD restricted to one ambiguous session (§3.2.3).
+
+1-pending does not attempt to form a new primary component while there
+is a pending attempt anywhere in the view: it blocks until every
+pending ambiguous session is resolved.  A pending session S resolves
+when
+
+* some exchanged state proves a member formed S (resolved *formed*),
+* every member of S is present and provably never formed it (resolved
+  *dead* — this is the worst case, which may require hearing from
+  **all** members of S; a permanently absent member blocks forever), or
+* the exchange proves a later primary containing S's owner formed,
+  superseding S.
+
+Resolution uses only the current exchange (no cross-view private
+learning), so every member of the view reaches the same verdict from
+the same snapshot and the protocol keeps YKD's two-round structure:
+state exchange, then — only if nothing is pending — the attempt round.
+This mirrors the dynamic voting algorithms of Jajodia & Mutchler and of
+Amir's thesis, which recover interrupted updates before accepting new
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict
+
+from repro.core.knowledge import (
+    StateItem,
+    formed_anywhere,
+    provably_never_formed,
+)
+from repro.core.quorum import is_subquorum
+from repro.core.session import Session
+from repro.core.ykd import YKD
+from repro.types import ProcessId
+
+
+class OnePending(YKD):
+    """YKD without pipelining: at most one ambiguous session, blocking."""
+
+    name: ClassVar[str] = "one_pending"
+    rounds_to_form: ClassVar[int] = 2
+    optimized: ClassVar[bool] = False
+
+    def _all_states_received(self) -> None:
+        self._decided = True
+        states = dict(self._states)
+        members = self.current_view.members
+
+        # ACCEPT: adopt the latest formed session that includes us.
+        best = self.last_primary
+        for state in states.values():
+            for formed in state.formed_evidence():
+                if self.pid in formed and formed > best:
+                    best = formed
+        if best != self.last_primary:
+            self.last_primary = best
+            for member in best.members:
+                self.last_formed[member] = best
+
+        # Resolve our own pending session against the snapshot.
+        if self.ambiguous:
+            pending = self.ambiguous[0]
+            if self._session_resolvable(states, self.pid, pending):
+                self.ambiguous = []
+
+        # The view may only proceed when *every* member's pending
+        # session resolves; one unresolved session blocks everyone
+        # (a blocked member would never send its attempt message).
+        for owner, state in states.items():
+            for pending in state.ambiguous:
+                if not self._session_resolvable(states, owner, pending):
+                    return
+
+        max_session = max(state.session_number for state in states.values())
+        max_primary = max(state.last_primary for state in states.values())
+        if is_subquorum(members, max_primary.members):
+            assert not self.ambiguous, "attempting with a pending session"
+            self._begin_attempt(max_session + 1)
+
+    @staticmethod
+    def _session_resolvable(
+        states: Dict[ProcessId, StateItem], owner: ProcessId, pending: Session
+    ) -> bool:
+        """Can this pending session be settled from the snapshot alone?
+
+        Deterministic in the exchanged states, so all members agree.
+        """
+        if formed_anywhere(states, pending):
+            return True
+        # Superseded: a later formed primary containing the owner exists.
+        # (Defensive: a live pending session normally precludes the owner
+        # joining any later formation, but the rule mirrors DELETE.)
+        for state in states.values():
+            for formed in state.formed_evidence():
+                if owner in formed and formed.number > pending.number:
+                    return True
+        return provably_never_formed(states, pending)
+
+    def ambiguous_session_count(self) -> int:
+        """At most one, by construction (§3.2.3)."""
+        return min(len(self.ambiguous), 1)

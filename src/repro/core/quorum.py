@@ -1,0 +1,89 @@
+"""Quorum primitives: majority, dynamic-linear SUBQUORUM, tie-breaks.
+
+These implement the predicates of thesis Fig. 3-4 and §3.3:
+
+* ``is_majority(x, y)`` — strictly more than half of ``y`` is in ``x``.
+* ``is_subquorum(x, y)`` — the dynamic *linear* voting rule: a majority
+  of ``y`` lies in ``x``, **or** exactly half does and the lexically
+  smallest member of ``y`` is in ``x``.
+* ``simple_majority_primary`` — the stateless baseline of §3.3, which
+  applies the same exact-half tie-break against the full universe.
+
+All functions take plain sets of process ids so every algorithm (and
+test) shares one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.types import ProcessId, lexically_smallest
+
+
+def intersection_size(x: AbstractSet[ProcessId], y: AbstractSet[ProcessId]) -> int:
+    """|x ∩ y|, taking the cheaper side of the intersection."""
+    small, large = (x, y) if len(x) <= len(y) else (y, x)
+    return sum(1 for pid in small if pid in large)
+
+
+def is_majority(x: AbstractSet[ProcessId], y: AbstractSet[ProcessId]) -> bool:
+    """True when strictly more than half of ``y``'s members are in ``x``."""
+    if not y:
+        raise ValueError("majority of an empty set is undefined")
+    return 2 * intersection_size(x, y) > len(y)
+
+
+def is_exact_half(x: AbstractSet[ProcessId], y: AbstractSet[ProcessId]) -> bool:
+    """True when exactly half of ``y``'s members are in ``x``."""
+    if not y:
+        raise ValueError("half of an empty set is undefined")
+    return 2 * intersection_size(x, y) == len(y)
+
+
+def is_subquorum(x: AbstractSet[ProcessId], y: AbstractSet[ProcessId]) -> bool:
+    """Thesis Fig. 3-4 SUBQUORUM(X, Y).
+
+    ``x`` is a subquorum of ``y`` when more than half the processes of
+    ``y`` are in ``x``, or exactly half are and ``y``'s lexically
+    smallest process is one of them.  The tie-break makes the two
+    halves of an even split distinguishable, so at most one half can
+    proceed (dynamic *linear* voting, after Jajodia & Mutchler).
+    """
+    if not y:
+        raise ValueError("subquorum of an empty set is undefined")
+    doubled = 2 * intersection_size(x, y)
+    if doubled > len(y):
+        return True
+    if doubled == len(y):
+        return lexically_smallest(frozenset(y)) in x
+    return False
+
+
+def simple_majority_primary(
+    component: AbstractSet[ProcessId], universe: AbstractSet[ProcessId]
+) -> bool:
+    """The §3.3 baseline: is ``component`` the primary under static voting?
+
+    Declares a primary whenever a majority of the *original* processes
+    is present; an exact half wins only if it holds the universe's
+    lexically smallest process.  Because the rule is deterministic and
+    the tie-break unambiguous, at most one component can satisfy it.
+    """
+    if not component:
+        return False
+    return is_subquorum(component, universe)
+
+
+def quorum_deficit(x: AbstractSet[ProcessId], y: AbstractSet[ProcessId]) -> int:
+    """How many more members of ``y`` must join ``x`` to reach a subquorum.
+
+    Zero when ``is_subquorum(x, y)`` already holds.  Useful for
+    diagnostics and for statistics about how far a blocked component is
+    from being able to proceed.
+    """
+    if is_subquorum(x, y):
+        return 0
+    have = intersection_size(x, y)
+    # Strict majority always suffices, regardless of the tie-break.
+    need_strict = len(y) // 2 + 1
+    return need_strict - have

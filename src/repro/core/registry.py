@@ -1,0 +1,90 @@
+"""Registry of the studied primary-component algorithms.
+
+The thesis compares the availability of five algorithms — YKD, DFLS,
+1-pending, MR1p and simple majority — plus the unoptimized YKD used in
+the ambiguous-session measurements.  The registry maps stable names to
+classes so experiments, benchmarks and applications can select
+algorithms by configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.core.dfls import DFLS
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.majority import SimpleMajority
+from repro.core.mr1p import MR1p
+from repro.core.one_pending import OnePending
+from repro.core.view import View
+from repro.core.ykd import UnoptimizedYKD, YKD, YKDAggressiveDelete
+from repro.errors import ExperimentError
+from repro.types import ProcessId
+
+_REGISTRY: Dict[str, Type[PrimaryComponentAlgorithm]] = {}
+
+
+def register(cls: Type[PrimaryComponentAlgorithm]) -> Type[PrimaryComponentAlgorithm]:
+    """Add an algorithm class to the registry (extension point)."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a concrete name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"algorithm name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+for _cls in (YKD, UnoptimizedYKD, YKDAggressiveDelete, DFLS, OnePending, MR1p, SimpleMajority):
+    register(_cls)
+
+#: The five algorithms whose availability the thesis plots (Figs. 4-1..4-6).
+AVAILABILITY_ALGORITHMS: List[str] = [
+    YKD.name,
+    DFLS.name,
+    OnePending.name,
+    MR1p.name,
+    SimpleMajority.name,
+]
+
+#: The three algorithms whose ambiguous sessions §4.2 measures.
+AMBIGUITY_ALGORITHMS: List[str] = [YKD.name, UnoptimizedYKD.name, DFLS.name]
+
+#: Human-readable labels matching the thesis figures' legends.
+DISPLAY_NAMES: Dict[str, str] = {
+    YKD.name: "YKD",
+    UnoptimizedYKD.name: "Unoptimized YKD",
+    DFLS.name: "DFLS",
+    OnePending.name: "1-pending",
+    MR1p.name: "MR1p",
+    SimpleMajority.name: "Simple Majority",
+    YKDAggressiveDelete.name: "YKD (aggressive delete)",
+}
+
+
+def algorithm_names() -> List[str]:
+    """All registered algorithm names, sorted for stable iteration."""
+    return sorted(_REGISTRY)
+
+
+def algorithm_class(name: str) -> Type[PrimaryComponentAlgorithm]:
+    """Look up a registered algorithm class by its stable name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        ) from None
+
+
+def create_algorithm(
+    name: str, pid: ProcessId, initial_view: View
+) -> PrimaryComponentAlgorithm:
+    """Instantiate one process's algorithm endpoint by name."""
+    return algorithm_class(name)(pid, initial_view)
+
+
+def display_name(name: str) -> str:
+    """Human-readable label matching the thesis figures' legends."""
+    return DISPLAY_NAMES.get(name, name)

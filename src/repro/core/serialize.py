@@ -1,0 +1,162 @@
+"""Snapshot and restore of algorithm state.
+
+The thesis builds its framework "for real-world use" (Ch. 2); deployed
+dynamic voting algorithms must keep their state on stable storage so a
+process that restarts does not forget formed primaries or pending
+ambiguous sessions — forgetting either re-opens the Fig. 3-1 split
+brain.  This module converts every studied algorithm's state to and
+from plain JSON-compatible dictionaries.
+
+Snapshots capture *durable* state only: the identity, the quorum chain
+(lastPrimary/lastFormed or cur_primary/formedViews), pending ambiguous
+sessions with their ballot numbers, and LEARN knowledge.  Per-view
+volatile state (collected messages of the round in flight) is excluded
+deliberately — a restored process behaves like one whose view just
+changed, which is exactly what view-synchronous recovery provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.knowledge import KnowledgeBook
+from repro.core.majority import SimpleMajority
+from repro.core.mr1p import MR1p
+from repro.core.registry import algorithm_class
+from repro.core.session import Session
+from repro.core.view import View
+from repro.core.ykd import YKD
+from repro.errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be produced or restored."""
+
+
+# ----------------------------------------------------------------------
+# Value-object codecs.
+# ----------------------------------------------------------------------
+
+
+def session_to_dict(session: Session) -> Dict[str, Any]:
+    """JSON-compatible form of a session."""
+    return {"number": session.number, "members": sorted(session.members)}
+
+
+def session_from_dict(data: Mapping[str, Any]) -> Session:
+    """Inverse of :func:`session_to_dict`."""
+    return Session.of(int(data["number"]), data["members"])
+
+
+def view_to_dict(view: View) -> Dict[str, Any]:
+    """JSON-compatible form of a view."""
+    return {"seq": view.seq, "members": sorted(view.members)}
+
+
+def view_from_dict(data: Mapping[str, Any]) -> View:
+    """Inverse of :func:`view_to_dict`."""
+    return View.of(data["members"], seq=int(data["seq"]))
+
+
+# ----------------------------------------------------------------------
+# Per-algorithm snapshots.
+# ----------------------------------------------------------------------
+
+
+def snapshot(algorithm: PrimaryComponentAlgorithm) -> Dict[str, Any]:
+    """Durable-state snapshot of any registered algorithm instance."""
+    base: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "algorithm": algorithm.name,
+        "pid": algorithm.pid,
+        "initial_view": view_to_dict(algorithm.initial_view),
+    }
+    if isinstance(algorithm, YKD):
+        base["state"] = {
+            "session_number": algorithm.session_number,
+            "last_primary": session_to_dict(algorithm.last_primary),
+            "last_formed": {
+                str(member): session_to_dict(session)
+                for member, session in sorted(algorithm.last_formed.items())
+            },
+            "ambiguous": [session_to_dict(s) for s in algorithm.ambiguous],
+            "knowledge": (
+                algorithm.knowledge.export_facts()
+                if algorithm.knowledge is not None
+                else None
+            ),
+        }
+    elif isinstance(algorithm, MR1p):
+        base["state"] = {
+            "cur_primary": view_to_dict(algorithm.cur_primary),
+            "formed_views": [
+                view_to_dict(view)
+                for view in sorted(
+                    algorithm.formed_views, key=lambda v: (v.seq, sorted(v.members))
+                )
+            ],
+            "pending": (
+                view_to_dict(algorithm.pending)
+                if algorithm.pending is not None
+                else None
+            ),
+            "num": algorithm.num,
+            "status": algorithm.status,
+        }
+    elif isinstance(algorithm, SimpleMajority):
+        base["state"] = {}  # stateless beyond the universe
+    else:
+        raise SnapshotError(
+            f"no snapshot codec for algorithm {type(algorithm).__name__}"
+        )
+    return base
+
+
+def restore(data: Mapping[str, Any]) -> PrimaryComponentAlgorithm:
+    """Rebuild an algorithm instance from a snapshot.
+
+    The restored instance is *not* in any view: like a process fresh
+    out of recovery, it waits for the group layer to deliver a view
+    before participating again (and reports not-in-primary meanwhile).
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format {data.get('format')!r}"
+        )
+    cls = algorithm_class(str(data["algorithm"]))
+    initial_view = view_from_dict(data["initial_view"])
+    algorithm = cls(int(data["pid"]), initial_view)
+    algorithm._in_primary = False
+    state = data["state"]
+    if isinstance(algorithm, YKD):
+        algorithm.session_number = int(state["session_number"])
+        algorithm.last_primary = session_from_dict(state["last_primary"])
+        algorithm.last_formed = {
+            int(member): session_from_dict(raw)
+            for member, raw in state["last_formed"].items()
+        }
+        algorithm.ambiguous = [
+            session_from_dict(raw) for raw in state["ambiguous"]
+        ]
+        if algorithm.knowledge is not None and state["knowledge"] is not None:
+            algorithm.knowledge.import_facts(state["knowledge"])
+    elif isinstance(algorithm, MR1p):
+        algorithm.cur_primary = view_from_dict(state["cur_primary"])
+        algorithm.formed_views = {
+            view_from_dict(raw) for raw in state["formed_views"]
+        }
+        pending = state["pending"]
+        algorithm.pending = view_from_dict(pending) if pending else None
+        algorithm.num = int(state["num"])
+        algorithm.status = str(state["status"])
+    return algorithm
+
+
+def snapshots_equal(
+    first: PrimaryComponentAlgorithm, second: PrimaryComponentAlgorithm
+) -> bool:
+    """Durable-state equality of two instances, via their snapshots."""
+    return snapshot(first) == snapshot(second)

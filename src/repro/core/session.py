@@ -1,0 +1,98 @@
+"""Sessions: numbered attempts to form a primary component (thesis §3.1).
+
+"A session is nothing more than a view with a number attached to it,
+corresponding to a session to form a primary component.  These numbers
+are used by YKD to determine the order in which views occurred."
+
+Two disjoint components can in principle mint the same session number
+for different member sets, so equality compares the full
+``(number, members)`` pair.  Ordering is primarily by number; the
+member tuple breaks ties deterministically so sorted containers behave.
+The thesis orders by number alone — on the chain of *formed* primaries
+numbers are strictly increasing, which the safety checker verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.types import Members, ProcessId, as_members, lexically_smallest, sorted_members
+
+
+@dataclass(frozen=True, order=False)
+class Session:
+    """A numbered view: one attempt (or success) at forming a primary."""
+
+    number: int
+    members: Members
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", as_members(self.members))
+        if self.number < 0:
+            raise ValueError("session numbers start at zero")
+
+    @classmethod
+    def of(cls, number: int, processes: Iterable[ProcessId]) -> "Session":
+        return cls(number=number, members=frozenset(processes))
+
+    # Ordering: by number, then by member tuple for determinism.
+    def _key(self) -> Tuple[int, Tuple[ProcessId, ...]]:
+        return (self.number, sorted_members(self.members))
+
+    def __lt__(self, other: "Session") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Session") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Session") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Session") -> bool:
+        return self._key() >= other._key()
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def designated(self) -> ProcessId:
+        """The lexically smallest member, used for exact-half quorum ties."""
+        return lexically_smallest(self.members)
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``S3{0,1,4}``."""
+        inner = ",".join(str(p) for p in sorted_members(self.members))
+        return f"S{self.number}{{{inner}}}"
+
+    def encoded_size_bits(self, universe_size: int) -> int:
+        """Wire size of one session, following the thesis' accounting.
+
+        §3.4: "An ambiguous session is roughly 2n bits in length, where
+        n is the number of processes in the system" — an n-bit member
+        bitmap plus roughly n bits of session number/framing.
+        """
+        if universe_size < 1:
+            raise ValueError("universe_size must be positive")
+        return 2 * universe_size
+
+
+def initial_session(members: Iterable[ProcessId]) -> Session:
+    """Session number 0 over the initial view W.
+
+    Every process starts with ``lastPrimary`` and all ``lastFormed``
+    entries equal to this session.
+    """
+    return Session.of(0, members)
+
+
+def max_session(sessions: Iterable[Session]) -> Optional[Session]:
+    """The highest-numbered session of an iterable, or None when empty."""
+    best: Optional[Session] = None
+    for session in sessions:
+        if best is None or session > best:
+            best = session
+    return best

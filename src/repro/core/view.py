@@ -1,0 +1,76 @@
+"""The Transis-like view structure (thesis §2.1).
+
+A *view* is "nothing more than a list of all of the processes which are
+currently connected".  The thesis keeps the Transis view structure as
+the one artifact of its original integration; here the equivalent is a
+small immutable value object.  The driver stamps each installed view
+with a sequence number so traces are readable, but algorithms never
+rely on that number — they number their own sessions, exactly as in the
+thesis pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.types import Members, ProcessId, ViewSeq, as_members, lexically_smallest, sorted_members
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed membership view.
+
+    Attributes:
+        members: the processes currently mutually connected.
+        seq: driver-assigned installation sequence number (bookkeeping
+            only; unique per run, monotone per process).
+    """
+
+    members: Members
+    seq: ViewSeq = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", as_members(self.members))
+        if self.seq < 0:
+            raise ValueError("view seq must be non-negative")
+
+    @classmethod
+    def of(cls, processes: Iterable[ProcessId], seq: ViewSeq = 0) -> "View":
+        """Convenience constructor from any iterable of process ids."""
+        return cls(members=frozenset(processes), seq=seq)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(sorted_members(self.members))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def designated(self) -> ProcessId:
+        """The lexically smallest member (dynamic linear voting tie-break)."""
+        return lexically_smallest(self.members)
+
+    def same_members(self, other: "View") -> bool:
+        """True when both views contain exactly the same processes."""
+        return self.members == other.members
+
+    def describe(self) -> str:
+        """Compact human-readable rendering, e.g. ``view#3{0,1,4}``."""
+        inner = ",".join(str(p) for p in sorted_members(self.members))
+        return f"view#{self.seq}{{{inner}}}"
+
+
+def initial_view(n_processes: int) -> View:
+    """The initial view W: all ``n_processes`` processes together.
+
+    The thesis starts every simulation with all processes mutually
+    connected and requires every later view to contain only processes
+    present in this first view.
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    return View.of(range(n_processes), seq=0)

@@ -1,0 +1,330 @@
+"""The YKD dynamic voting algorithm (thesis §3.1, Figs. 3-2 — 3-4).
+
+YKD (Yeger Lotem, Keidar, Dolev, PODC'97) selects primary components
+under the dynamic linear voting rule while tolerating interruptions:
+attempts that a connectivity change cut short are remembered as
+*ambiguous sessions* and carried as constraints into later attempts, so
+the algorithm never blocks waiting for an interrupted attempt to be
+resolved — it pipelines.
+
+Protocol, per installed view V (two message rounds):
+
+1. every member broadcasts its state — ``(sessionNumber,
+   ambiguousSessions, lastPrimary, lastFormed)``;
+2. once a member holds everyone's state it LEARNs what it can about its
+   own pending sessions, RESOLVEs its local state (ACCEPT/DELETE), then
+   COMPUTEs the shared maxima and DECIDEs — deterministically, from the
+   exchanged snapshot alone, so every member reaches the same verdict —
+   whether V may become a primary.  If yes, it broadcasts an attempt
+   message; receiving attempts from *everyone* in V forms the primary.
+
+The LEARN/RESOLVE optimization prunes a process's stored ambiguous
+sessions (worst case drops from exponential to linear in the number of
+processes); :class:`UnoptimizedYKD` disables the pruning, which per the
+thesis affects storage and message size but not availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.knowledge import (
+    KnowledgeBook,
+    StateItem,
+    make_state_item,
+)
+from repro.core.quorum import is_subquorum
+from repro.core.session import Session, initial_session
+from repro.core.view import View
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class AttemptItem:
+    """Round-2 message: "let us form this session as the primary"."""
+
+    session: Session
+
+
+class YKD(PrimaryComponentAlgorithm):
+    """The optimized YKD algorithm of thesis §3.1."""
+
+    name: ClassVar[str] = "ykd"
+    rounds_to_form: ClassVar[int] = 2
+    chain_checkable: ClassVar[bool] = True
+
+    #: Whether the LEARN/RESOLVE session-pruning optimization runs.
+    optimized: ClassVar[bool] = True
+
+    #: Whether the DELETE rule's "no member of S formed S" clause also
+    #: deletes (thesis Fig. 3-3).  Off by default: deleting a session
+    #: that provably never formed removes a (vacuous) constraint that
+    #: other processes still carry, making the optimized variant
+    #: slightly *more* available than the unoptimized one — but the
+    #: thesis measured their availability as identical ("as expected"),
+    #: so its availability-relevant YKD cannot include this pruning.
+    #: The literal reading is available as :class:`YKDAggressiveDelete`
+    #: and quantified by the ``abl_never_formed`` ablation experiment.
+    delete_never_formed: ClassVar[bool] = False
+
+    def __init__(self, pid: ProcessId, initial_view: View) -> None:
+        super().__init__(pid, initial_view)
+        w_session = initial_session(initial_view.members)
+        #: Number the process will stamp on its next attempted session.
+        self.session_number: int = 0
+        #: The last primary component this process successfully formed
+        #: (or accepted evidence of).
+        self.last_primary: Session = w_session
+        #: lastFormed(q): the last primary this process formed that
+        #: included q.  Initially all entries equal the initial view W.
+        self.last_formed: Dict[ProcessId, Session] = {
+            q: w_session for q in self.universe
+        }
+        #: Pending ambiguous sessions, oldest first.
+        self.ambiguous: List[Session] = []
+        #: Persistent LEARN bookkeeping (optimized variant only).
+        self.knowledge: Optional[KnowledgeBook] = (
+            KnowledgeBook(pid) if self.optimized else None
+        )
+        # Per-view exchange bookkeeping.
+        self._states: Dict[ProcessId, StateItem] = {}
+        self._attempt_senders: Set[ProcessId] = set()
+        self._attempt_session: Optional[Session] = None
+        self._decided: bool = False
+        self._early_attempts: List[Tuple[ProcessId, AttemptItem]] = []
+
+    # ------------------------------------------------------------------
+    # View handling and message dispatch.
+    # ------------------------------------------------------------------
+
+    def _on_view(self, view: View) -> None:
+        self._in_primary = False
+        self._states = {}
+        self._attempt_senders = set()
+        self._attempt_session = None
+        self._decided = False
+        self._early_attempts = []
+        self._queue(self._state_item())
+
+    def _state_item(self) -> StateItem:
+        return make_state_item(
+            session_number=self.session_number,
+            ambiguous=self.ambiguous,
+            last_primary=self.last_primary,
+            last_formed=self.last_formed,
+        )
+
+    def _on_items(self, sender: ProcessId, items: Sequence[Any]) -> None:
+        for item in items:
+            if isinstance(item, StateItem):
+                self._handle_state(sender, item)
+            elif isinstance(item, AttemptItem):
+                self._handle_attempt(sender, item)
+            else:
+                raise ProtocolError(
+                    f"{self.name} cannot handle item {type(item).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    # Round 1: the state exchange.
+    # ------------------------------------------------------------------
+
+    def _handle_state(self, sender: ProcessId, item: StateItem) -> None:
+        if self._decided:
+            raise ProtocolError(
+                f"state from {sender} arrived after the decision was taken"
+            )
+        self._states[sender] = item
+        if set(self._states) == self.current_view.members:
+            self._all_states_received()
+            # Over an asynchronous substrate, peers that completed
+            # their exchange earlier may already have sent attempts;
+            # judge them now that we have decided too.
+            early, self._early_attempts = self._early_attempts, []
+            for early_sender, early_item in early:
+                self._handle_attempt(early_sender, early_item)
+
+    def _all_states_received(self) -> None:
+        """LEARN, RESOLVE, COMPUTE and DECIDE (thesis Fig. 3-2)."""
+        self._decided = True
+        states = self._states
+        if self.optimized:
+            self._learn(states)
+        self._resolve(states)
+        max_session = max(state.session_number for state in states.values())
+        max_primary = max(state.last_primary for state in states.values())
+        constraints = self._decision_constraints(states, max_primary)
+        members = self.current_view.members
+        allowed = is_subquorum(members, max_primary.members) and all(
+            is_subquorum(members, constraint.members) for constraint in constraints
+        )
+        if allowed:
+            self._begin_attempt(max_session + 1)
+
+    def _begin_attempt(self, number: int) -> None:
+        session = Session(number=number, members=self.current_view.members)
+        self.session_number = number
+        self.ambiguous.append(session)
+        if self.knowledge is not None:
+            self.knowledge.open_session(session)
+        self._attempt_session = session
+        self._queue(AttemptItem(session=session))
+
+    def _decision_constraints(
+        self, states: Dict[ProcessId, StateItem], max_primary: Session
+    ) -> List[Session]:
+        """COMPUTE maxAmbiguousSessions (thesis Fig. 3-4).
+
+        The combined ambiguous sessions of all members whose number
+        exceeds maxPrimary's; sessions at or below it are superseded by
+        the maxPrimary constraint itself.
+        """
+        combined = {
+            session
+            for state in states.values()
+            for session in state.ambiguous
+            if session.number > max_primary.number
+        }
+        return sorted(combined)
+
+    # ------------------------------------------------------------------
+    # LEARN and RESOLVE (thesis Fig. 3-3).
+    # ------------------------------------------------------------------
+
+    def _learn(self, states: Dict[ProcessId, StateItem]) -> None:
+        assert self.knowledge is not None
+        for session in self.ambiguous:
+            self.knowledge.learn_from_states(session, states)
+
+    def _resolve(self, states: Dict[ProcessId, StateItem]) -> None:
+        """ACCEPT the best formed session, then DELETE settled ones."""
+        best = self.last_primary
+        for state in states.values():
+            for formed in state.formed_evidence():
+                if self.pid in formed and formed > best:
+                    best = formed
+        if self.knowledge is not None:
+            for session in self.ambiguous:
+                if self.knowledge.anyone_formed(session) and session > best:
+                    best = session
+        if best != self.last_primary:
+            self.last_primary = best
+            for member in best.members:
+                self.last_formed[member] = best
+        if self.optimized:
+            self._delete_settled()
+
+    def _delete_settled(self) -> None:
+        """The DELETE rule: drop resolved or superseded ambiguous sessions."""
+        assert self.knowledge is not None
+        kept: List[Session] = []
+        for session in self.ambiguous:
+            superseded = (
+                session == self.last_primary
+                or session.number < self.last_primary.number
+            )
+            never_formed = self.delete_never_formed and self.knowledge.nobody_formed(
+                session
+            )
+            if superseded or never_formed:
+                self.knowledge.close_session(session)
+            else:
+                kept.append(session)
+        self.ambiguous = kept
+
+    # ------------------------------------------------------------------
+    # Round 2: the attempt, and formation.
+    # ------------------------------------------------------------------
+
+    def _handle_attempt(self, sender: ProcessId, item: AttemptItem) -> None:
+        if not self._decided:
+            # A peer finished its state exchange before we finished
+            # ours (possible when the substrate delivers with real
+            # latency); hold its attempt until our own decision.  If
+            # our exchange never completes — an input was lost to a
+            # partition — the view is doomed and a new one follows.
+            self._early_attempts.append((sender, item))
+            return
+        if self._attempt_session is None or item.session != self._attempt_session:
+            raise ProtocolError(
+                f"attempt for {item.session.describe()} from {sender} does not "
+                "match the locally computed decision — the deterministic "
+                "decision rule diverged"
+            )
+        self._attempt_senders.add(sender)
+        if self._attempt_senders == self.current_view.members:
+            self._form_primary(self._attempt_session)
+
+    def _form_primary(self, session: Session) -> None:
+        """Everyone attempted: the session is the new primary component."""
+        self.last_primary = session
+        for member in session.members:
+            self.last_formed[member] = session
+        self._clear_ambiguous_after_formation(session)
+        self._in_primary = True
+
+    def _clear_ambiguous_after_formation(self, session: Session) -> None:
+        """YKD deletes all ambiguous sessions the moment a primary forms.
+
+        DFLS overrides this with its extra delete round (§3.2.2).
+        """
+        self.ambiguous = []
+        if self.knowledge is not None:
+            self.knowledge.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def ambiguous_session_count(self) -> int:
+        """Pending ambiguous sessions currently retained (§4.2 metric)."""
+        return len(self.ambiguous)
+
+    def formed_primaries(self) -> Tuple[Tuple[int, frozenset], ...]:
+        """The latest formed primary we know of, keyed by session number."""
+        return ((self.last_primary.number, self.last_primary.members),)
+
+    def debug_stats(self) -> Dict[str, Any]:
+        """Free-form internal statistics for traces and experiments."""
+        stats = super().debug_stats()
+        stats.update(
+            session_number=self.session_number,
+            last_primary=self.last_primary.describe(),
+            states_received=len(self._states),
+            attempting=self._attempt_session.describe()
+            if self._attempt_session
+            else None,
+        )
+        return stats
+
+
+class YKDAggressiveDelete(YKD):
+    """YKD with the literal Fig. 3-3 DELETE rule, including the
+    "no member of S formed S" clause backed by persistent LEARN facts.
+
+    Deleting a session that provably never formed drops a vacuous
+    constraint, so this variant is (slightly) *more* available than
+    plain YKD — at odds with the thesis' claim that the optimization
+    never affects availability.  It is kept as a registered ablation
+    subject (``abl_never_formed``) quantifying exactly that effect.
+    """
+
+    name: ClassVar[str] = "ykd_aggressive"
+    delete_never_formed: ClassVar[bool] = True
+
+
+class UnoptimizedYKD(YKD):
+    """YKD without the LEARN/RESOLVE pruning (thesis §3.2.1).
+
+    Runs the identical two-round protocol and the identical decision
+    rule; the only difference is that pending ambiguous sessions are
+    deleted exclusively when the process itself forms a new primary.
+    The thesis observed identical availability and a higher (but still
+    tiny) number of retained sessions.
+    """
+
+    name: ClassVar[str] = "ykd_unopt"
+    optimized: ClassVar[bool] = False

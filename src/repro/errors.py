@@ -1,0 +1,57 @@
+"""Exception hierarchy for the library.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so applications can catch the whole family while
+letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProtocolError(ReproError):
+    """An algorithm received input that violates its interface contract.
+
+    Examples: a view containing processes outside the initial view, a
+    message from a process not in the current view, or a malformed
+    piggybacked payload.
+    """
+
+
+class TopologyError(ReproError):
+    """An invalid operation on the network component topology.
+
+    Examples: partitioning a singleton component, merging a component
+    with itself, or referencing a process the topology does not know.
+    """
+
+
+class ScheduleError(ReproError):
+    """A fault schedule was configured with impossible parameters."""
+
+
+class InvariantViolation(ReproError):
+    """A safety invariant of the primary-component abstraction broke.
+
+    The thesis reports over 1.3 million injected connectivity changes
+    per algorithm with no inconsistency; the simulator checks the same
+    obligations continuously and raises this error the moment one
+    fails, carrying a human-readable description of the evidence.
+    """
+
+
+class SimulationError(ReproError):
+    """The driver loop reached a state it cannot make progress from.
+
+    The most important case is quiescence failure: the network is
+    stable, yet the algorithm instances keep exchanging messages beyond
+    the configured round bound, which would indicate a livelock in an
+    algorithm implementation.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment spec was requested that does not exist or cannot run."""

@@ -1,0 +1,69 @@
+"""Experiment harness reproducing every table and figure of the thesis."""
+
+from repro.experiments.ablation import AblationResult, run_ablation
+from repro.experiments.ambiguous import (
+    CHANGE_COUNTS,
+    AmbiguousCell,
+    AmbiguousFigure,
+    run_ambiguous_figure,
+)
+from repro.experiments.availability import (
+    AvailabilityFigure,
+    run_availability_figure,
+)
+from repro.experiments.extras import (
+    BlockingTable,
+    MessageSizeTable,
+    RoundsTable,
+    ScalingTable,
+    run_blocking_table,
+    run_msgsize_table,
+    run_rounds_table,
+    run_scaling_table,
+)
+from repro.experiments.report import (
+    render,
+    write_ambiguous_csv,
+    write_availability_csv,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.spec import (
+    SCALES,
+    SPECS,
+    ExperimentSpec,
+    Scale,
+    all_spec_ids,
+    get_scale,
+    get_spec,
+)
+
+__all__ = [
+    "AblationResult",
+    "AmbiguousCell",
+    "AmbiguousFigure",
+    "AvailabilityFigure",
+    "BlockingTable",
+    "CHANGE_COUNTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MessageSizeTable",
+    "RoundsTable",
+    "SCALES",
+    "SPECS",
+    "Scale",
+    "ScalingTable",
+    "all_spec_ids",
+    "get_scale",
+    "get_spec",
+    "render",
+    "run_ablation",
+    "run_ambiguous_figure",
+    "run_blocking_table",
+    "run_availability_figure",
+    "run_experiment",
+    "run_msgsize_table",
+    "run_rounds_table",
+    "run_scaling_table",
+    "write_ambiguous_csv",
+    "write_availability_csv",
+]

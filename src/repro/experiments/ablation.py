@@ -1,0 +1,259 @@
+"""Ablation and extension experiments.
+
+These quantify the design choices DESIGN.md calls out and the §5.1
+future-work items the library implements:
+
+* ``abl_never_formed`` — the literal Fig. 3-3 DELETE clause versus the
+  availability-neutral YKD (see DESIGN.md's interpretation notes);
+* ``abl_rounds`` — how often YKD forms a primary where DFLS does not
+  (the thesis' ≈3% gap, §4.1);
+* ``abl_schedules`` — geometric vs deterministic vs bursty fault
+  schedules at the same mean (§5.1);
+* ``abl_crashes`` — the crash/recovery fault model (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.net.changes import CrashRecoveryChangeGenerator, SkewedPartitionGenerator
+from repro.net.schedule import BurstSchedule, DeterministicSchedule, GeometricSchedule
+from repro.sim.campaign import CaseConfig, run_case
+from repro.errors import ExperimentError
+from repro.experiments.spec import ExperimentSpec, Scale
+
+
+@dataclass
+class AblationResult:
+    spec: ExperimentSpec
+    scale: Scale
+    #: condition label -> algorithm -> availability %.
+    availability: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+def _base_case(spec: ExperimentSpec, scale: Scale, master_seed: int) -> CaseConfig:
+    return CaseConfig(
+        algorithm=spec.algorithms[0],
+        n_processes=scale.n_processes,
+        n_changes=spec.n_changes,
+        mean_rounds_between_changes=2.0,
+        runs=scale.runs,
+        mode="fresh",
+        master_seed=master_seed,
+    )
+
+
+def run_ablation(
+    spec: ExperimentSpec, scale: Scale, master_seed: int = 0
+) -> AblationResult:
+    """Dispatch an ablation/extension spec to its runner."""
+    runner = _RUNNERS.get(spec.experiment_id)
+    if runner is None:
+        raise ExperimentError(f"no ablation runner for {spec.experiment_id}")
+    return runner(spec, scale, master_seed)
+
+
+def _run_never_formed(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    outcomes: Dict[Tuple[str, float], List[bool]] = {}
+    for rate in (0.0, 2.0):
+        condition = f"rate={rate}"
+        result.availability[condition] = {}
+        for algorithm in spec.algorithms:
+            case = replace(
+                base, algorithm=algorithm, mean_rounds_between_changes=rate
+            )
+            case_result = run_case(case)
+            result.availability[condition][algorithm] = (
+                case_result.availability_percent
+            )
+            outcomes[(algorithm, rate)] = case_result.outcomes
+    for rate in (0.0, 2.0):
+        same = outcomes[("ykd", rate)] == outcomes[("ykd_unopt", rate)]
+        result.notes.append(
+            f"rate={rate}: ykd per-run identical to ykd_unopt: {same}"
+        )
+        aggressive_gain = sum(
+            a and not b
+            for a, b in zip(
+                outcomes[("ykd_aggressive", rate)],
+                outcomes[("ykd", rate)],
+            )
+        )
+        result.notes.append(
+            f"rate={rate}: runs where aggressive delete succeeds and YKD "
+            f"does not: {aggressive_gain}/{scale.runs}"
+        )
+    return result
+
+
+def _run_rounds_gap(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    for rate in (2.0, 6.0):
+        condition = f"rate={rate}"
+        result.availability[condition] = {}
+        case_outcomes = {}
+        for algorithm in spec.algorithms:
+            case_result = run_case(
+                replace(base, algorithm=algorithm, mean_rounds_between_changes=rate)
+            )
+            result.availability[condition][algorithm] = (
+                case_result.availability_percent
+            )
+            case_outcomes[algorithm] = case_result.outcomes
+        ykd_only = sum(
+            a and not b
+            for a, b in zip(case_outcomes["ykd"], case_outcomes["dfls"])
+        )
+        dfls_only = sum(
+            b and not a
+            for a, b in zip(case_outcomes["ykd"], case_outcomes["dfls"])
+        )
+        result.notes.append(
+            f"rate={rate}: YKD succeeds where DFLS fails in "
+            f"{100.0 * ykd_only / scale.runs:.1f}% of runs "
+            f"(reverse: {100.0 * dfls_only / scale.runs:.1f}%)"
+        )
+    return result
+
+
+def _run_schedules(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    mean = 4.0
+    schedules = {
+        "geometric": GeometricSchedule(mean),
+        "deterministic": DeterministicSchedule(int(mean)),
+        "burst(3)": BurstSchedule(burst_size=3, lull=int(3 * mean)),
+    }
+    for label, schedule in schedules.items():
+        result.availability[label] = {}
+        for algorithm in spec.algorithms:
+            case = replace(base, algorithm=algorithm, schedule=schedule)
+            result.availability[label][algorithm] = run_case(
+                case
+            ).availability_percent
+    result.notes.append(
+        f"all schedules share mean gap ≈ {mean} rounds between changes"
+    )
+    return result
+
+
+def _run_crashes(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    generators = {
+        "partitions/merges only": None,
+        "with crash/recovery (25%)": CrashRecoveryChangeGenerator(crash_weight=0.25),
+    }
+    for label, generator in generators.items():
+        result.availability[label] = {}
+        for algorithm in spec.algorithms:
+            case = replace(base, algorithm=algorithm, change_generator=generator)
+            result.availability[label][algorithm] = run_case(
+                case
+            ).availability_percent
+    return result
+
+
+def _run_gcs_substrate(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    from repro.gcs.campaign import compare_on_gcs
+
+    result = AblationResult(spec=spec, scale=scale)
+    n_processes = min(scale.n_processes, 8)  # packet-level sim is costly
+    for ticks in (2.0, 6.0):
+        condition = f"mean {ticks:g} ticks between changes"
+        results = compare_on_gcs(
+            list(spec.algorithms),
+            n_processes=n_processes,
+            n_changes=spec.n_changes,
+            mean_ticks_between_changes=ticks,
+            runs=scale.runs,
+            master_seed=master_seed,
+        )
+        result.availability[condition] = {
+            algorithm: case.availability_percent
+            for algorithm, case in results.items()
+        }
+    for condition, row in result.availability.items():
+        ordering = row["ykd"] >= row["dfls"] >= row["one_pending"] - 3.0
+        result.notes.append(
+            f"{condition}: YKD >= DFLS >= 1-pending ordering holds: {ordering}"
+        )
+    return result
+
+
+def _run_cut_model(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    orderings_hold = True
+    for cut in (0.25, 0.5, 0.75):
+        condition = f"cut p={cut}"
+        result.availability[condition] = {}
+        for algorithm in spec.algorithms:
+            case = replace(base, algorithm=algorithm, cut_probability=cut)
+            result.availability[condition][algorithm] = run_case(
+                case
+            ).availability_percent
+        row = result.availability[condition]
+        orderings_hold = orderings_hold and (
+            row["ykd"] >= row["one_pending"] - 2.0
+        )
+    result.notes.append(
+        "YKD >= 1-pending at every cut probability: "
+        f"{orderings_hold}"
+    )
+    return result
+
+
+def _run_partition_shape(
+    spec: ExperimentSpec, scale: Scale, master_seed: int
+) -> AblationResult:
+    result = AblationResult(spec=spec, scale=scale)
+    base = _base_case(spec, scale, master_seed)
+    for style in SkewedPartitionGenerator.STYLES:
+        condition = f"splits: {style}"
+        result.availability[condition] = {}
+        for algorithm in spec.algorithms:
+            case = replace(
+                base,
+                algorithm=algorithm,
+                change_generator=SkewedPartitionGenerator(style=style),
+            )
+            result.availability[condition][algorithm] = run_case(
+                case
+            ).availability_percent
+    singleton = result.availability["splits: singleton"]
+    even = result.availability["splits: even"]
+    result.notes.append(
+        "singleton splits are gentler than even splits for YKD: "
+        f"{singleton['ykd'] >= even['ykd']}"
+    )
+    return result
+
+
+_RUNNERS = {
+    "abl_never_formed": _run_never_formed,
+    "abl_rounds": _run_rounds_gap,
+    "abl_schedules": _run_schedules,
+    "abl_crashes": _run_crashes,
+    "abl_cut_model": _run_cut_model,
+    "ext_gcs_substrate": _run_gcs_substrate,
+    "abl_partition_shape": _run_partition_shape,
+}

@@ -1,0 +1,93 @@
+"""Availability figures: Figs. 4-1 through 4-6.
+
+Each figure fixes a number of connectivity changes and a run protocol
+(fresh start or cascading) and sweeps the mean number of message rounds
+between changes, plotting the percentage of runs that end with a live
+primary component, for the five studied algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.parallel import run_cases_parallel
+from repro.experiments.spec import ExperimentSpec, Scale
+
+
+@dataclass
+class AvailabilityFigure:
+    """The data behind one availability figure."""
+
+    spec: ExperimentSpec
+    scale: Scale
+    #: algorithm -> [(mean rounds between changes, availability %)].
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def at(self, algorithm: str, rate: float) -> float:
+        """Availability % of one algorithm at one swept rate."""
+        for point_rate, percent in self.series[algorithm]:
+            if point_rate == rate:
+                return percent
+        raise KeyError(f"no point at rate {rate} for {algorithm}")
+
+    def interval_at(
+        self, algorithm: str, rate: float, confidence: float = 0.95
+    ) -> Tuple[float, float]:
+        """Wilson confidence interval (as percentages) for one point.
+
+        Reconstructed from the percentage and the per-case run count —
+        exact, because percentages are successes/runs by construction.
+        """
+        from repro.analysis import wilson_interval
+
+        percent = self.at(algorithm, rate)
+        successes = round(percent * self.scale.runs / 100.0)
+        low, high = wilson_interval(successes, self.scale.runs, confidence)
+        return 100.0 * low, 100.0 * high
+
+    @property
+    def rates(self) -> List[float]:
+        return list(self.scale.rates)
+
+
+def run_availability_figure(
+    spec: ExperimentSpec,
+    scale: Scale,
+    master_seed: int = 0,
+    check_invariants: bool = True,
+    workers: int = 1,
+) -> AvailabilityFigure:
+    """Regenerate one of Figs. 4-1..4-6 at the given scale.
+
+    Every algorithm runs against the identical fault sequences (the
+    fault RNG label excludes the algorithm name), exactly as the thesis
+    did.  ``workers > 1`` spreads the algorithm × rate case grid over a
+    process pool (results are identical to a serial run).
+    """
+    figure = AvailabilityFigure(spec=spec, scale=scale)
+    grid = [
+        (algorithm, rate)
+        for algorithm in spec.algorithms
+        for rate in scale.rates
+    ]
+    configs = [
+        CaseConfig(
+            algorithm=algorithm,
+            n_processes=scale.n_processes,
+            n_changes=spec.n_changes,
+            mean_rounds_between_changes=rate,
+            runs=scale.runs,
+            mode=spec.mode,
+            master_seed=master_seed,
+            check_invariants=check_invariants,
+        )
+        for algorithm, rate in grid
+    ]
+    results = run_cases_parallel(configs, workers=workers)
+    for (algorithm, rate), result in zip(grid, results):
+        figure.series.setdefault(algorithm, []).append(
+            (rate, result.availability_percent)
+        )
+    return figure

@@ -1,0 +1,300 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig4_2 --scale smoke --plot
+    repro-experiments run fig4_5 --scale small --seed 7 --csv results/
+    repro-experiments all --scale smoke
+    repro-experiments compare ykd dfls --changes 6 --rate 2 --runs 300
+    repro-experiments trace ykd --processes 5 --changes 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import compare_paired
+from repro.core.registry import algorithm_names
+from repro.experiments.ambiguous import AmbiguousFigure
+from repro.experiments.availability import AvailabilityFigure
+from repro.experiments.plot import plot_ambiguous, plot_availability
+from repro.experiments.report import (
+    render,
+    write_ambiguous_csv,
+    write_availability_csv,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import SCALES, SPECS, all_spec_ids, get_scale
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.driver import DriverLoop
+from repro.sim.explore import explore
+from repro.sim.trace import TraceRecorder, render_timeline
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the dynamic "
+        "voting availability study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments and scales")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", choices=sorted(SPECS))
+    _add_run_options(run_parser)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_run_options(all_parser)
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="paired head-to-head comparison of two algorithms over "
+        "identical fault sequences",
+    )
+    compare_parser.add_argument("first", choices=algorithm_names())
+    compare_parser.add_argument("second", choices=algorithm_names())
+    compare_parser.add_argument("--processes", type=int, default=16)
+    compare_parser.add_argument("--changes", type=int, default=6)
+    compare_parser.add_argument("--rate", type=float, default=2.0)
+    compare_parser.add_argument("--runs", type=int, default=300)
+    compare_parser.add_argument(
+        "--mode", choices=["fresh", "cascading"], default="fresh"
+    )
+    compare_parser.add_argument("--seed", type=int, default=0)
+
+    soak_parser = sub.add_parser(
+        "soak",
+        help="endurance trial: inject a huge number of connectivity "
+        "changes under continuous invariant checking (the thesis ran "
+        "1,310,000 per algorithm)",
+    )
+    soak_parser.add_argument("algorithm", choices=algorithm_names())
+    soak_parser.add_argument("--changes", type=int, default=10_000)
+    soak_parser.add_argument("--processes", type=int, default=8)
+    soak_parser.add_argument("--rate", type=float, default=1.0)
+    soak_parser.add_argument("--seed", type=int, default=0)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="exhaustively model-check an algorithm over all bounded "
+        "fault schedules",
+    )
+    verify_parser.add_argument("algorithm", choices=algorithm_names())
+    verify_parser.add_argument("--processes", type=int, default=3)
+    verify_parser.add_argument("--depth", type=int, default=2)
+    verify_parser.add_argument(
+        "--gaps", type=int, nargs="+", default=[0, 1, 2, 3]
+    )
+    verify_parser.add_argument("--max-scenarios", type=int, default=None)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one randomized scenario and print its event timeline",
+    )
+    trace_parser.add_argument("algorithm", choices=algorithm_names())
+    trace_parser.add_argument("--processes", type=int, default=5)
+    trace_parser.add_argument("--changes", type=int, default=3)
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=sorted(SCALES),
+        help="resource preset (default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        help="directory for CSV export (availability figures only)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also draw the figure as an ASCII chart",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the heavy figures (default: 1)",
+    )
+
+
+def _run_one(
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    csv_dir: Optional[Path],
+    plot: bool = False,
+    workers: int = 1,
+) -> None:
+    started = time.time()
+    result = run_experiment(
+        experiment_id, scale=scale, master_seed=seed, workers=workers
+    )
+    print(render(result))
+    if plot and isinstance(result, AvailabilityFigure):
+        print(plot_availability(result))
+    if plot and isinstance(result, AmbiguousFigure):
+        print(plot_ambiguous(result))
+    if csv_dir is not None and isinstance(result, AvailabilityFigure):
+        path = write_availability_csv(result, csv_dir)
+        print(f"csv written: {path}")
+    if csv_dir is not None and isinstance(result, AmbiguousFigure):
+        path = write_ambiguous_csv(result, csv_dir)
+        print(f"csv written: {path}")
+    print(f"[{experiment_id} done in {time.time() - started:.1f}s]\n")
+
+
+def _compare(args: argparse.Namespace) -> None:
+    outcomes = {}
+    for algorithm in (args.first, args.second):
+        case = CaseConfig(
+            algorithm=algorithm,
+            n_processes=args.processes,
+            n_changes=args.changes,
+            mean_rounds_between_changes=args.rate,
+            runs=args.runs,
+            mode=args.mode,
+            master_seed=args.seed,
+        )
+        outcomes[algorithm] = run_case(case).outcomes
+    comparison = compare_paired(
+        args.first, outcomes[args.first], args.second, outcomes[args.second]
+    )
+    print(
+        f"{args.runs} paired runs, {args.changes} changes/run, "
+        f"mean {args.rate:g} rounds between changes, {args.mode} mode:\n"
+    )
+    print(comparison.describe())
+
+
+def _soak(args: argparse.Namespace) -> int:
+    from repro.net.schedule import GeometricSchedule
+
+    started = time.time()
+    schedule = GeometricSchedule(args.rate)
+    driver = DriverLoop(
+        algorithm=args.algorithm,
+        n_processes=args.processes,
+        fault_rng=random.Random(args.seed),
+    )
+    milestone = max(args.changes // 10, 1)
+    runs = 0
+    while driver.changes_injected < args.changes:
+        gaps = schedule.draw_gaps(driver.fault_rng, 10)
+        driver.execute_run(gaps)
+        runs += 1
+        if driver.changes_injected // milestone != (
+            driver.changes_injected - 10
+        ) // milestone:
+            elapsed = time.time() - started
+            print(
+                f"  {driver.changes_injected:>9} changes, "
+                f"{driver.round_index} rounds, {runs} runs, "
+                f"{elapsed:.0f}s, no inconsistency"
+            )
+    print(
+        f"soak complete: {args.algorithm} survived "
+        f"{driver.changes_injected} connectivity changes "
+        f"({driver.round_index} rounds) with every invariant intact"
+    )
+    return 0
+
+
+def _verify(args: argparse.Namespace) -> int:
+    started = time.time()
+    result = explore(
+        args.algorithm,
+        n_processes=args.processes,
+        depth=args.depth,
+        gap_options=tuple(args.gaps),
+        max_scenarios=args.max_scenarios,
+    )
+    print(
+        f"{args.algorithm}: {result.scenarios} scenarios "
+        f"({args.processes} processes, depth {args.depth}, "
+        f"gaps {list(result.gap_options)}"
+        f"{', truncated' if result.truncated else ''}) "
+        f"in {time.time() - started:.1f}s"
+    )
+    print(f"availability over all scenarios: {result.availability_percent:.1f}%")
+    if result.violations:
+        print("INVARIANT VIOLATIONS FOUND:")
+        for violation in result.violations[:5]:
+            print(f"  {violation}")
+        return 1
+    print("all invariants held in every scenario")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> None:
+    recorder = TraceRecorder()
+    driver = DriverLoop(
+        algorithm=args.algorithm,
+        n_processes=args.processes,
+        fault_rng=random.Random(args.seed),
+        observers=[recorder],
+    )
+    driver.execute_run(gaps=[1] * args.changes)
+    print(render_timeline(recorder))
+    print(
+        f"\noutcome: primary={driver.primary_members()} "
+        f"topology={driver.topology.describe()}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("Experiments:")
+        for spec_id in all_spec_ids():
+            spec = SPECS[spec_id]
+            print(f"  {spec_id:18s} {spec.paper_artifact}: {spec.title}")
+        print("\nScales:")
+        for scale in SCALES.values():
+            print(f"  {scale.describe()}")
+        return 0
+    if args.command == "run":
+        _run_one(
+            args.experiment_id, args.scale, args.seed, args.csv,
+            args.plot, args.workers,
+        )
+        return 0
+    if args.command == "all":
+        for spec_id in all_spec_ids():
+            _run_one(
+                spec_id, args.scale, args.seed, args.csv,
+                args.plot, args.workers,
+            )
+        return 0
+    if args.command == "compare":
+        _compare(args)
+        return 0
+    if args.command == "trace":
+        _trace(args)
+        return 0
+    if args.command == "verify":
+        return _verify(args)
+    if args.command == "soak":
+        return _soak(args)
+    return 2  # pragma: no cover - argparse guards commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

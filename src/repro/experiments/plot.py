@@ -1,0 +1,123 @@
+"""ASCII rendering of the thesis' figures.
+
+The thesis plotted its results with Matlab; this module draws the same
+series as terminal line charts (availability figures) and bar panels
+(ambiguous-session figures), so a full reproduction can be eyeballed
+without leaving the shell.
+
+Charts are deliberately plain: a fixed-size grid of characters, one
+marker per algorithm (the legend maps markers to names), y axis in
+percent.  Collisions between series at the same cell show the marker of
+the later-listed algorithm; exact numbers live in the table renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.registry import display_name
+from repro.experiments.ambiguous import CHANGE_COUNTS, AmbiguousFigure
+from repro.experiments.availability import AvailabilityFigure
+
+#: Markers follow the thesis legend order: YKD, DFLS, 1-pending, MR1p,
+#: simple majority (thesis uses triangle/plus/diamond/circle/nabla).
+MARKERS = "A+doV*x#"
+
+
+def _scale_to_rows(percent: float, height: int, y_min: float, y_max: float) -> int:
+    """Map a percentage to a grid row (0 = bottom)."""
+    if y_max <= y_min:
+        return 0
+    fraction = (percent - y_min) / (y_max - y_min)
+    fraction = min(1.0, max(0.0, fraction))
+    return round(fraction * (height - 1))
+
+
+def plot_availability(
+    figure: AvailabilityFigure,
+    width: int = 64,
+    height: int = 18,
+    y_min: float = 40.0,
+    y_max: float = 100.0,
+) -> str:
+    """Draw one availability figure as an ASCII chart.
+
+    The y range defaults to the thesis' own axes (40-100%).
+    """
+    algorithms = list(figure.series)
+    rates = figure.rates
+    if len(rates) < 2:
+        raise ValueError("need at least two rates to draw a line chart")
+    grid = [[" "] * width for _ in range(height)]
+
+    def column(rate: float) -> int:
+        span = max(rates) - min(rates)
+        fraction = (rate - min(rates)) / span if span else 0.0
+        return round(fraction * (width - 1))
+
+    for index, algorithm in enumerate(algorithms):
+        marker = MARKERS[index % len(MARKERS)]
+        points = sorted(figure.series[algorithm])
+        # Mark data points, then connect neighbours with interpolation.
+        for (rate_a, pct_a), (rate_b, pct_b) in zip(points, points[1:]):
+            col_a, col_b = column(rate_a), column(rate_b)
+            for col in range(col_a, col_b + 1):
+                if col_b == col_a:
+                    pct = pct_a
+                else:
+                    t = (col - col_a) / (col_b - col_a)
+                    pct = pct_a + t * (pct_b - pct_a)
+                row = _scale_to_rows(pct, height, y_min, y_max)
+                char = marker if col in (col_a, col_b) else "."
+                if grid[height - 1 - row][col] == " " or char != ".":
+                    grid[height - 1 - row][col] = char
+
+    lines: List[str] = []
+    title = f"{figure.spec.paper_artifact}: {figure.spec.title}"
+    lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_max - (y_max - y_min) * row_index / (height - 1)
+        label = f"{y_value:5.0f}% |" if row_index % 3 == 0 else "       |"
+        lines.append(label + "".join(row))
+    lines.append("       +" + "-" * width)
+    x_labels = "        "
+    for rate in rates:
+        position = column(rate) + 8
+        text = f"{rate:g}"
+        if position + len(text) > len(x_labels):
+            x_labels = x_labels.ljust(position) + text
+    lines.append(x_labels)
+    lines.append("        mean message rounds between connectivity changes")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={display_name(a)}"
+        for i, a in enumerate(algorithms)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_ambiguous(figure: AmbiguousFigure, bar_width: int = 40) -> str:
+    """Draw an ambiguous-session figure as horizontal bar panels."""
+    stable = figure.spec.experiment_id == "fig4_7"
+    lines: List[str] = [
+        f"{figure.spec.paper_artifact}: {figure.spec.title}",
+        f"(bar = % of {'runs' if stable else 'changes'} retaining any "
+        "ambiguous session)",
+    ]
+    for n_changes in CHANGE_COUNTS:
+        lines.append(f"\n-- {n_changes} connectivity changes --")
+        for rate in figure.scale.rates:
+            lines.append(f" mean rounds {rate:g}:")
+            for algorithm in figure.spec.algorithms:
+                cell = figure.cell(n_changes, rate, algorithm)
+                percent = (
+                    cell.stable_retained_percent
+                    if stable
+                    else cell.in_progress_retained_percent
+                )
+                filled = round(percent / 100.0 * bar_width)
+                bar = "#" * filled + "." * (bar_width - filled)
+                lines.append(
+                    f"   {display_name(algorithm):>16s} |{bar}| {percent:5.1f}%"
+                )
+    return "\n".join(lines)

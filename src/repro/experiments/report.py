@@ -1,0 +1,336 @@
+"""Rendering of experiment results as ASCII tables and CSV files.
+
+The thesis post-processed raw results with Perl and plotted with
+Matlab; here the equivalent output is a text table per figure — the
+same rows/series the paper plots — plus optional CSV files for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.registry import display_name
+from repro.experiments.ablation import AblationResult
+from repro.experiments.ambiguous import CHANGE_COUNTS, AmbiguousFigure
+from repro.experiments.availability import AvailabilityFigure
+from repro.experiments.longrun import LongRunSeries
+from repro.experiments.extras import (
+    BlockingTable,
+    MessageSizeTable,
+    RoundsTable,
+    ScalingTable,
+)
+
+Renderable = Union[
+    AvailabilityFigure, AmbiguousFigure, RoundsTable, ScalingTable,
+    MessageSizeTable, BlockingTable, LongRunSeries, AblationResult,
+]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return "-" if math.isnan(value) else f"{value:.1f}"
+    return str(value)
+
+
+def render_grid(
+    title: str,
+    column_headers: Sequence[str],
+    rows: Sequence[Tuple[str, Sequence[object]]],
+    row_header: str = "",
+) -> str:
+    """A plain fixed-width table."""
+    headers = [row_header] + [str(header) for header in column_headers]
+    body = [[label] + [_format_cell(v) for v in values] for label, values in rows]
+    widths = [
+        max(len(line[i]) for line in [headers] + body) for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write(title + "\n")
+    out.write("-" * len(title) + "\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    for line in body:
+        out.write("  ".join(c.rjust(w) for c, w in zip(line, widths)) + "\n")
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Per-result renderers.
+# ----------------------------------------------------------------------
+
+
+def render_availability(
+    figure: AvailabilityFigure, with_intervals: bool = True
+) -> str:
+    """Rows = mean rounds between changes, columns = algorithms.
+
+    With ``with_intervals`` each cell carries its 95% Wilson half-width
+    (``94.7 ±3.6``), so readers can judge which gaps are signal.
+    """
+    spec, scale = figure.spec, figure.scale
+    algorithms = list(figure.series)
+
+    def cell(algorithm: str, rate: float) -> object:
+        percent = figure.at(algorithm, rate)
+        if not with_intervals:
+            return percent
+        low, high = figure.interval_at(algorithm, rate)
+        return f"{percent:.1f} ±{(high - low) / 2:.1f}"
+
+    rows = [
+        (
+            f"{rate:g}",
+            [cell(algorithm, rate) for algorithm in algorithms],
+        )
+        for rate in scale.rates
+    ]
+    unit = (
+        "availability % ±95% Wilson half-width"
+        if with_intervals
+        else "availability %"
+    )
+    title = (
+        f"{spec.paper_artifact}: {spec.title} "
+        f"[{scale.n_processes} procs, {scale.runs} runs/case, {unit}]"
+    )
+    return render_grid(
+        title,
+        [display_name(a) for a in algorithms],
+        rows,
+        row_header="mean rounds",
+    )
+
+
+def render_ambiguous(figure: AmbiguousFigure) -> str:
+    """One panel per change count, bars as percentage-by-count columns."""
+    spec, scale = figure.spec, figure.scale
+    stable = spec.experiment_id == "fig4_7"
+    out = io.StringIO()
+    for n_changes in CHANGE_COUNTS:
+        rows = []
+        for rate in scale.rates:
+            values = []
+            for algorithm in spec.algorithms:
+                cell = figure.cell(n_changes, rate, algorithm)
+                total = (
+                    cell.stable_retained_percent
+                    if stable
+                    else cell.in_progress_retained_percent
+                )
+                values.append(total)
+            rows.append((f"{rate:g}", values))
+        title = (
+            f"{spec.paper_artifact} panel: {n_changes} changes — % of "
+            f"{'runs (stable)' if stable else 'changes (in progress)'} "
+            "retaining ambiguous sessions"
+        )
+        out.write(
+            render_grid(
+                title,
+                [display_name(a) for a in spec.algorithms],
+                rows,
+                row_header="mean rounds",
+            )
+        )
+        out.write("\n")
+    out.write("Maximum sessions ever observed: ")
+    out.write(
+        ", ".join(
+            f"{display_name(a)}={figure.max_observed[a]}" for a in spec.algorithms
+        )
+    )
+    out.write("\n")
+    return out.getvalue()
+
+
+def render_rounds(table: RoundsTable) -> str:
+    """The §3.4 message-rounds comparison as a table."""
+    rows = [
+        (
+            display_name(row.algorithm),
+            [
+                row.declared_rounds,
+                row.measured_mean_rounds,
+                row.measured_quiescence_rounds,
+                row.declared_rounds_with_pending or "-",
+            ],
+        )
+        for row in table.rows
+    ]
+    return render_grid(
+        f"{table.spec.paper_artifact}: {table.spec.title}",
+        ["declared", "measured (to primary)", "measured (to quiet)", "with pending"],
+        rows,
+        row_header="algorithm",
+    )
+
+
+def render_scaling(table: ScalingTable) -> str:
+    """Availability by process count, one row per algorithm."""
+    counts = [n for n, _ in next(iter(table.series.values()))]
+    rows = [
+        (
+            display_name(algorithm),
+            [percent for _, percent in points] + [table.spread(algorithm)],
+        )
+        for algorithm, points in table.series.items()
+    ]
+    return render_grid(
+        f"{table.spec.paper_artifact}: availability % by process count "
+        f"(rate={table.rate:g}, {table.spec.n_changes} changes)",
+        [f"n={n}" for n in counts] + ["spread"],
+        rows,
+        row_header="algorithm",
+    )
+
+
+def render_msgsize(table: MessageSizeTable) -> str:
+    """Estimated piggyback sizes, one row per algorithm."""
+    rows = [
+        (display_name(row.algorithm), [row.max_bytes, row.mean_bytes])
+        for row in table.rows
+    ]
+    return render_grid(
+        f"{table.spec.paper_artifact}: piggyback sizes at "
+        f"{table.scale.n_processes} processes (bytes, estimated)",
+        ["max", "mean"],
+        rows,
+        row_header="algorithm",
+    )
+
+
+def render_blocking(table: BlockingTable) -> str:
+    """Blocking-period statistics, one row per algorithm × rate."""
+    rows = [
+        (
+            f"{display_name(row.algorithm)} @ rate {row.rate:g}",
+            [
+                row.views_observed,
+                row.formation_rate_percent,
+                row.mean_rounds_to_form,
+                row.mean_blocked_lifetime,
+                row.terminally_blocked,
+            ],
+        )
+        for row in table.rows
+    ]
+    return render_grid(
+        f"{table.spec.paper_artifact}: {table.spec.title}",
+        ["views", "formed %", "rounds to form", "blocked lifetime", "terminal"],
+        rows,
+        row_header="algorithm",
+    )
+
+
+def render_longrun(series: LongRunSeries) -> str:
+    """Windowed long-run availability plus the per-algorithm trend."""
+    algorithms = list(series.series)
+    rows = [
+        (
+            f"window {w} (runs {w * series.runs_per_window}"
+            f"-{(w + 1) * series.runs_per_window - 1})",
+            [series.series[a][w] for a in algorithms],
+        )
+        for w in range(series.windows)
+    ]
+    rows.append(
+        ("trend (late - early)", [series.trend(a) for a in algorithms])
+    )
+    return render_grid(
+        f"{series.spec.paper_artifact}: {series.spec.title} "
+        f"[cascading, rate={series.rate:g}, availability %]",
+        [display_name(a) for a in algorithms],
+        rows,
+        row_header="window",
+    )
+
+
+def render_ablation(result: AblationResult) -> str:
+    """Condition × algorithm availability grid plus runner notes."""
+    conditions = list(result.availability)
+    algorithms = list(next(iter(result.availability.values())))
+    rows = [
+        (
+            condition,
+            [result.availability[condition][a] for a in algorithms],
+        )
+        for condition in conditions
+    ]
+    out = render_grid(
+        f"{result.spec.paper_artifact}: {result.spec.title} [availability %]",
+        [display_name(a) for a in algorithms],
+        rows,
+        row_header="condition",
+    )
+    if result.notes:
+        out += "".join(f"note: {note}\n" for note in result.notes)
+    return out
+
+
+def render(result: Renderable) -> str:
+    """Render any experiment result to its text table."""
+    if isinstance(result, AvailabilityFigure):
+        return render_availability(result)
+    if isinstance(result, AmbiguousFigure):
+        return render_ambiguous(result)
+    if isinstance(result, RoundsTable):
+        return render_rounds(result)
+    if isinstance(result, ScalingTable):
+        return render_scaling(result)
+    if isinstance(result, MessageSizeTable):
+        return render_msgsize(result)
+    if isinstance(result, BlockingTable):
+        return render_blocking(result)
+    if isinstance(result, LongRunSeries):
+        return render_longrun(result)
+    if isinstance(result, AblationResult):
+        return render_ablation(result)
+    raise TypeError(f"cannot render {type(result).__name__}")
+
+
+# ----------------------------------------------------------------------
+# CSV export.
+# ----------------------------------------------------------------------
+
+
+def write_ambiguous_csv(figure: AmbiguousFigure, directory: Path) -> Path:
+    """Write an ambiguous-session figure's cells as CSV; returns the path."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{figure.spec.experiment_id}.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["n_changes", "mean_rounds", "algorithm",
+             "stable_retained_percent", "in_progress_retained_percent",
+             "max_observed"]
+        )
+        for (n_changes, rate, algorithm), cell in sorted(
+            figure.cells.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            writer.writerow(
+                [n_changes, rate, algorithm,
+                 f"{cell.stable_retained_percent:.2f}",
+                 f"{cell.in_progress_retained_percent:.2f}",
+                 cell.max_observed]
+            )
+    return path
+
+
+def write_availability_csv(figure: AvailabilityFigure, directory: Path) -> Path:
+    """Write one availability figure's series as CSV; returns the path."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{figure.spec.experiment_id}.csv"
+    algorithms = list(figure.series)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["mean_rounds_between_changes"] + algorithms)
+        for rate in figure.scale.rates:
+            writer.writerow(
+                [rate] + [figure.at(algorithm, rate) for algorithm in algorithms]
+            )
+    return path

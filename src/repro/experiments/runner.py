@@ -1,0 +1,63 @@
+"""Dispatch: run any experiment spec and get its result object."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.experiments.ablation import AblationResult, run_ablation
+from repro.experiments.ambiguous import AmbiguousFigure, run_ambiguous_figure
+from repro.experiments.availability import AvailabilityFigure, run_availability_figure
+from repro.experiments.longrun import LongRunSeries, run_longrun
+from repro.experiments.extras import (
+    BlockingTable,
+    MessageSizeTable,
+    RoundsTable,
+    ScalingTable,
+    run_blocking_table,
+    run_msgsize_table,
+    run_rounds_table,
+    run_scaling_table,
+)
+from repro.experiments.spec import ExperimentSpec, Scale, get_scale, get_spec
+
+ExperimentResult = Union[
+    AvailabilityFigure, AmbiguousFigure, RoundsTable, ScalingTable,
+    MessageSizeTable, BlockingTable, LongRunSeries, AblationResult,
+]
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: Union[str, Scale] = "smoke",
+    master_seed: int = 0,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run one paper artifact's experiment at the given scale."""
+    spec = get_spec(experiment_id)
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return run_experiment_spec(spec, scale, master_seed, workers)
+
+
+def run_experiment_spec(
+    spec: ExperimentSpec, scale: Scale, master_seed: int = 0, workers: int = 1
+) -> ExperimentResult:
+    """Dispatch a resolved spec to the runner for its kind."""
+    if spec.kind == "availability":
+        return run_availability_figure(spec, scale, master_seed, workers=workers)
+    if spec.kind == "ambiguous":
+        return run_ambiguous_figure(spec, scale, master_seed, workers=workers)
+    if spec.kind == "rounds":
+        return run_rounds_table(spec, scale, master_seed)
+    if spec.kind == "scaling":
+        return run_scaling_table(spec, scale, master_seed)
+    if spec.kind == "msgsize":
+        return run_msgsize_table(spec, scale, master_seed)
+    if spec.kind == "blocking":
+        return run_blocking_table(spec, scale, master_seed)
+    if spec.kind == "longrun":
+        return run_longrun(spec, scale, master_seed)
+    if spec.kind == "ablation":
+        return run_ablation(spec, scale, master_seed)
+    raise ExperimentError(f"unknown experiment kind {spec.kind!r}")

@@ -1,0 +1,32 @@
+"""A Transis-like group communication substrate (thesis §2.1).
+
+The simulation driver in `repro.sim` plays the group-communication role
+directly, exactly as the thesis' testing system did.  This package
+builds the real thing the thesis originally deployed YKD on: a packet
+network, failure detection, coordinator-based membership agreement,
+view-synchronous multicast, and an adapter that runs any registered
+primary-component algorithm over the negotiated views.
+"""
+
+from repro.gcs.adapter import AlgorithmOnGCS, PrimaryComponentService
+from repro.gcs.membership import AgreedView, MembershipAgent, ViewId
+from repro.gcs.packets import Datagram, PacketNetwork
+from repro.gcs.stack import Delivered, GCSCluster, GCSEvent, GCStack, ViewInstalled
+from repro.gcs.vsync import ViewMessage, VSyncLayer
+
+__all__ = [
+    "AgreedView",
+    "AlgorithmOnGCS",
+    "Datagram",
+    "Delivered",
+    "GCSCluster",
+    "GCSEvent",
+    "GCStack",
+    "MembershipAgent",
+    "PacketNetwork",
+    "PrimaryComponentService",
+    "ViewId",
+    "ViewInstalled",
+    "ViewMessage",
+    "VSyncLayer",
+]

@@ -1,0 +1,89 @@
+"""Datagram-level network simulation for the group communication stack.
+
+The driver loop of `repro.sim` routes *broadcasts* directly, as the
+thesis' testing system did.  The GCS package instead builds the stack
+the thesis originally deployed YKD on (a Transis-like service), and
+that needs a lower-level substrate: point-to-point FIFO channels whose
+connectivity follows the component topology.
+
+Semantics:
+
+* unicast only — multicast is built above, in the view-synchrony layer;
+* per-(src, dst) FIFO ordering;
+* one simulation tick of latency (sent this tick, deliverable next);
+* a datagram is delivered only if its endpoints are connected *at
+  delivery time*; partitions drop in-flight traffic across the new
+  boundary, which is how mid-protocol interruption arises naturally
+  here (no explicit "cut" modelling is needed at this level).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Tuple
+
+from repro.net.topology import Topology
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One unicast packet."""
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+
+
+class PacketNetwork:
+    """FIFO unicast channels gated by the component topology."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._in_flight: Deque[Datagram] = deque()
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def connected(self, a: ProcessId, b: ProcessId) -> bool:
+        """Whether a datagram from ``a`` can currently reach ``b``."""
+        if a == b:
+            return True
+        if self.topology.is_crashed(a) or self.topology.is_crashed(b):
+            return False
+        return b in self.topology.component_of(a)
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """Queue a datagram; it becomes deliverable on the next tick."""
+        self.sent_count += 1
+        self._in_flight.append(Datagram(src=src, dst=dst, payload=payload))
+
+    def send_many(
+        self, src: ProcessId, dsts: Iterator[ProcessId], payload: Any
+    ) -> None:
+        """Queue one payload to several destinations, in order."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def set_topology(self, topology: Topology) -> None:
+        """Install a new topology; in-flight cross-boundary traffic will
+        be dropped when its delivery tick arrives."""
+        self.topology = topology
+
+    def deliver_tick(self) -> List[Datagram]:
+        """Deliver everything queued before this tick, in send order."""
+        deliverable: List[Datagram] = []
+        pending = self._in_flight
+        self._in_flight = deque()
+        for datagram in pending:
+            if self.connected(datagram.src, datagram.dst):
+                deliverable.append(datagram)
+                self.delivered_count += 1
+            else:
+                self.dropped_count += 1
+        return deliverable
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)

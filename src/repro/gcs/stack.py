@@ -1,0 +1,214 @@
+"""The per-process group communication stack and its cluster runtime.
+
+``GCStack`` composes the membership agent with the view-synchrony
+layer, exposing the two-primitive API the thesis' interface needs:
+``multicast(payload)`` and an event stream of view installations and
+delivered messages.
+
+``GCSCluster`` is the simulation harness: it owns the packet network
+and one stack per process, advances everything in lock-step ticks, and
+lets tests reshape the topology between ticks.  Unlike the `repro.sim`
+driver — which plays the group communication role itself, as the
+thesis' testing system did — every view here is *negotiated* by the
+membership protocol over point-to-point packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.gcs.membership import (
+    Ack,
+    AgreedView,
+    Install,
+    MembershipAgent,
+    Nudge,
+    Propose,
+    ViewId,
+)
+from repro.gcs.packets import PacketNetwork
+from repro.gcs.vsync import ViewMessage, VSyncLayer
+from repro.net.topology import Topology
+from repro.types import Members, ProcessId
+
+
+@dataclass(frozen=True)
+class ViewInstalled:
+    """Event: the stack installed a new agreed view."""
+
+    view_id: ViewId
+    members: Members
+    seq: int
+
+
+@dataclass(frozen=True)
+class Delivered:
+    """Event: a view-synchronous multicast arrived."""
+
+    sender: ProcessId
+    payload: Any
+
+
+GCSEvent = Union[ViewInstalled, Delivered]
+
+
+class GCStack:
+    """One process's group communication endpoint."""
+
+    def __init__(self, pid: ProcessId, universe: Members) -> None:
+        self.pid = pid
+        self.membership = MembershipAgent(pid, universe)
+        self.vsync = VSyncLayer(pid)
+        initial = self.membership.current_view
+        self.vsync.enter_view(initial.view_id, initial.members)
+        self._events: List[GCSEvent] = []
+        self._outgoing: List[Tuple[ProcessId, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Application API.
+    # ------------------------------------------------------------------
+
+    def multicast(self, payload: Any) -> None:
+        """Send a payload to every member of the current view."""
+        self._outgoing.extend(self.vsync.multicast(payload))
+
+    def poll_events(self) -> List[GCSEvent]:
+        """Drain the pending view/delivery events, oldest first."""
+        events, self._events = self._events, []
+        return events
+
+    @property
+    def view_members(self) -> Members:
+        return self.membership.view_members
+
+    # ------------------------------------------------------------------
+    # Runtime hooks.
+    # ------------------------------------------------------------------
+
+    def tick(self, reachable: Members) -> None:
+        """Advance the failure detector / membership machinery."""
+        before = self.membership.current_view
+        self._outgoing.extend(self.membership.observe_reachable(reachable))
+        self._note_view_change(before)
+
+    def on_datagram(self, src: ProcessId, payload: Any) -> None:
+        """Route one incoming datagram to membership or view synchrony."""
+        if isinstance(payload, (Propose, Ack, Install, Nudge)):
+            before = self.membership.current_view
+            self._outgoing.extend(self.membership.handle(src, payload))
+            self._note_view_change(before)
+        elif isinstance(payload, ViewMessage):
+            for sender, delivered in self.vsync.receive(payload):
+                self._events.append(Delivered(sender=sender, payload=delivered))
+        else:
+            raise SimulationError(
+                f"stack received unknown payload {type(payload).__name__}"
+            )
+
+    def drain_outgoing(self) -> List[Tuple[ProcessId, Any]]:
+        """Hand the queued (dst, payload) unicasts to the network layer."""
+        outgoing, self._outgoing = self._outgoing, []
+        return outgoing
+
+    def _note_view_change(self, before: AgreedView) -> None:
+        current = self.membership.current_view
+        if current.view_id == before.view_id:
+            return
+        buffered = self.vsync.enter_view(current.view_id, current.members)
+        self._events.append(
+            ViewInstalled(
+                view_id=current.view_id,
+                members=current.members,
+                seq=self.membership.view_seq(),
+            )
+        )
+        for sender, payload in buffered:
+            self._events.append(Delivered(sender=sender, payload=payload))
+
+
+class GCSCluster:
+    """Lock-step simulation of a whole group communication system."""
+
+    def __init__(self, n_processes: int) -> None:
+        if n_processes < 2:
+            raise SimulationError("a group needs at least two processes")
+        universe = frozenset(range(n_processes))
+        self.topology = Topology.fully_connected(n_processes)
+        self.network = PacketNetwork(self.topology)
+        self.stacks: Dict[ProcessId, GCStack] = {
+            pid: GCStack(pid, universe) for pid in sorted(universe)
+        }
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Topology control.
+    # ------------------------------------------------------------------
+
+    def set_topology(self, topology: Topology) -> None:
+        """Reshape the network; failure detectors notice next tick."""
+        self.topology = topology
+        self.network.set_topology(topology)
+
+    def reachable(self, pid: ProcessId) -> Members:
+        """The oracle reachable set fed to one process's detector."""
+        if self.topology.is_crashed(pid):
+            return frozenset({pid})
+        return self.topology.component_of(pid)
+
+    # ------------------------------------------------------------------
+    # The tick loop.
+    # ------------------------------------------------------------------
+
+    def tick(self) -> bool:
+        """One lock-step tick; returns True when any traffic moved."""
+        self.ticks += 1
+        # 1. Deliver last tick's datagrams.
+        deliveries = self.network.deliver_tick()
+        for datagram in deliveries:
+            if self.topology.is_crashed(datagram.dst):
+                continue
+            self.stacks[datagram.dst].on_datagram(
+                datagram.src, datagram.payload
+            )
+        # 2. Advance failure detectors / membership.
+        for pid in sorted(self.stacks):
+            if not self.topology.is_crashed(pid):
+                self.stacks[pid].tick(self.reachable(pid))
+        # 3. Flush everything the stacks produced onto the network.
+        moved = bool(deliveries)
+        for pid in sorted(self.stacks):
+            for dst, payload in self.stacks[pid].drain_outgoing():
+                self.network.send(pid, dst, payload)
+                moved = True
+        return moved
+
+    def run_until_stable(self, max_ticks: int = 200) -> int:
+        """Tick until a tick moves no traffic; returns ticks used."""
+        for elapsed in range(max_ticks):
+            if not self.tick():
+                return elapsed + 1
+        raise SimulationError(
+            f"group communication did not stabilize in {max_ticks} ticks"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def views_agree_with_topology(self) -> bool:
+        """Does every live process's view equal its component?"""
+        return all(
+            self.stacks[pid].view_members == self.reachable(pid)
+            for pid in self.stacks
+            if not self.topology.is_crashed(pid)
+        )
+
+    def common_views(self) -> Dict[ViewId, Members]:
+        """The distinct views currently installed across the cluster."""
+        views: Dict[ViewId, Members] = {}
+        for stack in self.stacks.values():
+            view = stack.membership.current_view
+            views[view.view_id] = view.members
+        return views

@@ -1,0 +1,38 @@
+"""Network substrate: component topology, connectivity changes, schedules."""
+
+from repro.net.changes import (
+    ConnectivityChange,
+    CrashChange,
+    CrashRecoveryChangeGenerator,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+    UniformChangeGenerator,
+    affected_processes,
+    apply_change,
+)
+from repro.net.schedule import (
+    BurstSchedule,
+    ChangeSchedule,
+    DeterministicSchedule,
+    GeometricSchedule,
+)
+from repro.net.topology import Component, Topology
+
+__all__ = [
+    "BurstSchedule",
+    "ChangeSchedule",
+    "Component",
+    "ConnectivityChange",
+    "CrashChange",
+    "CrashRecoveryChangeGenerator",
+    "DeterministicSchedule",
+    "GeometricSchedule",
+    "MergeChange",
+    "PartitionChange",
+    "RecoverChange",
+    "Topology",
+    "UniformChangeGenerator",
+    "affected_processes",
+    "apply_change",
+]

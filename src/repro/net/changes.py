@@ -1,0 +1,210 @@
+"""Connectivity changes and their random generation (thesis §2.2).
+
+"A connectivity change is either a network partition, where processes
+in one network component are divided into two smaller components, or a
+merge, where two components are unified to produce one.  The driver
+loop has an equal likelihood of generating either of these changes
+[when feasible].  Partitions do not necessarily happen evenly — the
+percentage of processes which are moved to the new component is
+determined at random each time."
+
+Changes are plain data; :func:`apply_change` executes them against a
+topology, and :class:`UniformChangeGenerator` draws them with the
+thesis' distribution.  :class:`CrashRecoveryChangeGenerator` adds the
+§5.1 extension fault model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import TopologyError
+from repro.net.topology import Component, Topology
+from repro.types import Members, ProcessId, sorted_members
+
+
+@dataclass(frozen=True)
+class PartitionChange:
+    """Split ``component``, moving ``moved`` into a new component."""
+
+    component: Component
+    moved: Members
+
+    def describe(self) -> str:
+        """Short label for traces, e.g. ``partition(moved={2,3})``."""
+        moved = ",".join(str(p) for p in sorted_members(self.moved))
+        return f"partition(moved={{{moved}}})"
+
+
+@dataclass(frozen=True)
+class MergeChange:
+    """Unify ``first`` and ``second``."""
+
+    first: Component
+    second: Component
+
+    def describe(self) -> str:
+        """Short label for traces."""
+        return "merge"
+
+
+@dataclass(frozen=True)
+class CrashChange:
+    """Extension (§5.1): process ``pid`` crashes."""
+
+    pid: ProcessId
+
+    def describe(self) -> str:
+        """Short label for traces."""
+        return f"crash({self.pid})"
+
+
+@dataclass(frozen=True)
+class RecoverChange:
+    """Extension (§5.1): crashed process ``pid`` comes back, isolated."""
+
+    pid: ProcessId
+
+    def describe(self) -> str:
+        """Short label for traces."""
+        return f"recover({self.pid})"
+
+
+ConnectivityChange = Union[PartitionChange, MergeChange, CrashChange, RecoverChange]
+
+
+def apply_change(topology: Topology, change: ConnectivityChange) -> Topology:
+    """Execute a change, returning the new topology."""
+    if isinstance(change, PartitionChange):
+        return topology.partition(change.component, change.moved)
+    if isinstance(change, MergeChange):
+        return topology.merge(change.first, change.second)
+    if isinstance(change, CrashChange):
+        return topology.crash(change.pid)
+    if isinstance(change, RecoverChange):
+        return topology.recover(change.pid)
+    raise TypeError(f"unknown change type {type(change).__name__}")
+
+
+def affected_processes(change: ConnectivityChange, topology: Topology) -> Members:
+    """The processes whose connectivity the change disturbs.
+
+    These are the processes that will receive a new view (and that may
+    lose the current round's in-flight messages); everyone else
+    proceeds undisturbed.
+    """
+    if isinstance(change, PartitionChange):
+        return frozenset(change.component)
+    if isinstance(change, MergeChange):
+        return frozenset(change.first | change.second)
+    if isinstance(change, CrashChange):
+        return frozenset(topology.component_of(change.pid))
+    if isinstance(change, RecoverChange):
+        return frozenset({change.pid})
+    raise TypeError(f"unknown change type {type(change).__name__}")
+
+
+class UniformChangeGenerator:
+    """The thesis' change distribution: partition/merge with equal odds."""
+
+    def propose(self, topology: Topology, rng: random.Random) -> Optional[ConnectivityChange]:
+        """Draw a feasible change, or None when the topology allows none.
+
+        (A single live process allows neither a partition nor a merge.)
+        """
+        kinds: List[str] = []
+        if topology.splittable_components():
+            kinds.append("partition")
+        if topology.mergeable_pairs_exist():
+            kinds.append("merge")
+        if not kinds:
+            return None
+        kind = rng.choice(kinds)
+        if kind == "partition":
+            return self._propose_partition(topology, rng)
+        return self._propose_merge(topology, rng)
+
+    @staticmethod
+    def _propose_partition(topology: Topology, rng: random.Random) -> PartitionChange:
+        component = rng.choice(topology.splittable_components())
+        ordered = sorted(component)
+        # "The percentage of processes which are moved to the new
+        # component is determined at random each time."
+        moved_count = rng.randint(1, len(ordered) - 1)
+        moved = frozenset(rng.sample(ordered, moved_count))
+        return PartitionChange(component=component, moved=moved)
+
+    @staticmethod
+    def _propose_merge(topology: Topology, rng: random.Random) -> MergeChange:
+        live = topology.live_components()
+        first, second = rng.sample(live, 2)
+        return MergeChange(first=first, second=second)
+
+
+class SkewedPartitionGenerator(UniformChangeGenerator):
+    """§2.2 variation: control the *shape* of partitions.
+
+    The thesis moves a uniformly random fraction; real networks often
+    fail differently — a router drop severs one host ("singleton"), a
+    backbone cut splits sites evenly ("even").  The availability study's
+    sensitivity to this modelling choice is quantified by the
+    ``abl_partition_shape`` experiment.
+    """
+
+    STYLES = ("uniform", "even", "singleton")
+
+    def __init__(self, style: str = "uniform") -> None:
+        if style not in self.STYLES:
+            raise ValueError(
+                f"unknown partition style {style!r}; known: {self.STYLES}"
+            )
+        self.style = style
+
+    def _propose_partition(self, topology: Topology, rng: random.Random) -> PartitionChange:
+        if self.style == "uniform":
+            return UniformChangeGenerator._propose_partition(topology, rng)
+        component = rng.choice(topology.splittable_components())
+        ordered = sorted(component)
+        if self.style == "singleton":
+            moved_count = 1
+        else:  # even
+            moved_count = len(ordered) // 2
+        moved = frozenset(rng.sample(ordered, moved_count))
+        return PartitionChange(component=component, moved=moved)
+
+
+class CrashRecoveryChangeGenerator(UniformChangeGenerator):
+    """Extension fault model: partitions, merges, crashes and recoveries.
+
+    With probability ``crash_weight`` a change is drawn from the
+    crash/recovery family (crash and recovery equally likely when both
+    are feasible); otherwise the thesis' partition/merge family is
+    used.  ``max_crashed`` bounds how many processes may be down at
+    once, so the system is never wiped out entirely.
+    """
+
+    def __init__(self, crash_weight: float = 0.25, max_crashed: Optional[int] = None):
+        if not 0.0 <= crash_weight <= 1.0:
+            raise ValueError("crash_weight must be in [0, 1]")
+        self.crash_weight = crash_weight
+        self.max_crashed = max_crashed
+
+    def propose(self, topology: Topology, rng: random.Random) -> Optional[ConnectivityChange]:
+        limit = (
+            self.max_crashed
+            if self.max_crashed is not None
+            else max(len(topology.universe) // 2 - 1, 0)
+        )
+        kinds: List[str] = []
+        if topology.crashable_processes() and len(topology.crashed) < limit:
+            kinds.append("crash")
+        if topology.recoverable_processes():
+            kinds.append("recover")
+        if kinds and rng.random() < self.crash_weight:
+            kind = rng.choice(kinds)
+            if kind == "crash":
+                return CrashChange(pid=rng.choice(topology.crashable_processes()))
+            return RecoverChange(pid=rng.choice(topology.recoverable_processes()))
+        return super().propose(topology, rng)

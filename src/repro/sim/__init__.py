@@ -1,0 +1,63 @@
+"""Simulation engine: driver loop, campaigns, invariants, statistics."""
+
+from repro.sim.campaign import (
+    MODE_CASCADING,
+    MODE_FRESH,
+    CaseConfig,
+    CaseResult,
+    compare_algorithms,
+    run_case,
+)
+from repro.sim.driver import DriverLoop, ProcessEndpoint
+from repro.sim.explore import (
+    ExplorationResult,
+    enumerate_changes,
+    enumerate_cuts,
+    explore,
+    explore_all,
+)
+from repro.sim.invariants import InvariantChecker
+from repro.sim.parallel import run_cases_parallel
+from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.run import RunConfig, RunResult, build_driver, run_single
+from repro.sim.stats import (
+    AmbiguousSessionCollector,
+    AvailabilityCollector,
+    BlockingCollector,
+    FormationTimeCollector,
+    MessageSizeCollector,
+    RunObserver,
+)
+from repro.sim.trace import TraceRecorder, render_timeline
+
+__all__ = [
+    "AmbiguousSessionCollector",
+    "AvailabilityCollector",
+    "BlockingCollector",
+    "CaseConfig",
+    "CaseResult",
+    "DriverLoop",
+    "ExplorationResult",
+    "FormationTimeCollector",
+    "InvariantChecker",
+    "MODE_CASCADING",
+    "MODE_FRESH",
+    "MessageSizeCollector",
+    "ProcessEndpoint",
+    "RunConfig",
+    "RunResult",
+    "RunObserver",
+    "TraceRecorder",
+    "build_driver",
+    "compare_algorithms",
+    "derive_rng",
+    "derive_seed",
+    "enumerate_changes",
+    "enumerate_cuts",
+    "explore",
+    "explore_all",
+    "render_timeline",
+    "run_case",
+    "run_cases_parallel",
+    "run_single",
+]

@@ -1,0 +1,184 @@
+"""Campaigns: the 1000-run cases of the thesis (§4.1).
+
+"Each case (specified by the algorithm, the number of connectivity
+changes and the rate) was simulated in 1000 runs. ... The same random
+sequence was used to test each of the algorithms."
+
+Two run protocols exist:
+
+* **fresh start** — every run begins from the pristine initial state
+  (fresh algorithm instances, fully connected network);
+* **cascading** — each run starts in the algorithm *and network* state
+  at which the previous run ended, so state (pending ambiguous
+  sessions, stale knowledge, a partitioned topology) accumulates across
+  thousands of connectivity changes.
+
+Identical-fault-sequence guarantee: for fresh-start cases the fault RNG
+is labelled by (seed, case, run index); for cascading cases by (seed,
+case) with draws consumed in run order.  Neither label mentions the
+algorithm, and topology evolution never depends on algorithm behaviour,
+so every algorithm faces the same faults run for run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.changes import UniformChangeGenerator
+from repro.net.schedule import ChangeSchedule, GeometricSchedule
+from repro.sim.driver import DriverLoop
+from repro.sim.invariants import InvariantChecker
+from repro.sim.rng import derive_rng
+from repro.sim.stats import (
+    AmbiguousSessionCollector,
+    AvailabilityCollector,
+    MessageSizeCollector,
+    RunObserver,
+)
+
+MODE_FRESH = "fresh"
+MODE_CASCADING = "cascading"
+
+
+@dataclass
+class CaseConfig:
+    """One case: algorithm × change count × rate × protocol."""
+
+    algorithm: str
+    n_processes: int = 64
+    n_changes: int = 6
+    mean_rounds_between_changes: float = 4.0
+    runs: int = 1000
+    mode: str = MODE_FRESH
+    master_seed: int = 0
+    check_invariants: bool = True
+    max_quiescence_rounds: int = 400
+    collect_ambiguous: bool = False
+    collect_message_sizes: bool = False
+    change_generator: Optional[UniformChangeGenerator] = None
+    schedule: Optional[ChangeSchedule] = None
+    cut_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_FRESH, MODE_CASCADING):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.runs < 1:
+            raise ValueError("a case needs at least one run")
+
+    def case_label(self) -> Tuple:
+        """The RNG label shared by all algorithms under this case."""
+        return (
+            "case",
+            self.mode,
+            self.n_processes,
+            self.n_changes,
+            self.mean_rounds_between_changes,
+        )
+
+    def make_schedule(self) -> ChangeSchedule:
+        """The configured schedule, defaulting to the thesis' geometric."""
+        if self.schedule is not None:
+            return self.schedule
+        return GeometricSchedule(self.mean_rounds_between_changes)
+
+
+@dataclass
+class CaseResult:
+    """Aggregate outcome of one case."""
+
+    config: CaseConfig
+    availability_percent: float
+    outcomes: List[bool]
+    rounds_total: int
+    changes_total: int
+    ambiguous_stable: Dict[int, int] = field(default_factory=dict)
+    ambiguous_stable_in_primary: Dict[int, int] = field(default_factory=dict)
+    ambiguous_in_progress: Dict[int, int] = field(default_factory=dict)
+    ambiguous_max: int = 0
+    message_max_bytes: float = 0.0
+    message_mean_bytes: float = 0.0
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+
+def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) -> CaseResult:
+    """Execute every run of a case and aggregate the statistics."""
+    availability = AvailabilityCollector()
+    observers: List[RunObserver] = [availability]
+    ambiguous: Optional[AmbiguousSessionCollector] = None
+    sizes: Optional[MessageSizeCollector] = None
+    if config.collect_ambiguous:
+        ambiguous = AmbiguousSessionCollector(monitored_pid=0)
+        observers.append(ambiguous)
+    if config.collect_message_sizes:
+        sizes = MessageSizeCollector()
+        observers.append(sizes)
+    observers.extend(extra_observers)
+
+    schedule = config.make_schedule()
+    rounds_total = 0
+    changes_total = 0
+
+    if config.mode == MODE_FRESH:
+        for run_index in range(config.runs):
+            fault_rng = derive_rng(
+                config.master_seed, *config.case_label(), run_index
+            )
+            driver = _build_driver(config, fault_rng, observers)
+            gaps = schedule.draw_gaps(fault_rng, config.n_changes)
+            driver.execute_run(gaps)
+            rounds_total += driver.round_index
+            changes_total += driver.changes_injected
+    else:
+        fault_rng = derive_rng(config.master_seed, *config.case_label())
+        driver = _build_driver(config, fault_rng, observers)
+        for _ in range(config.runs):
+            gaps = schedule.draw_gaps(fault_rng, config.n_changes)
+            driver.execute_run(gaps)
+        rounds_total = driver.round_index
+        changes_total = driver.changes_injected
+
+    result = CaseResult(
+        config=config,
+        availability_percent=availability.availability_percent,
+        outcomes=list(availability.outcomes),
+        rounds_total=rounds_total,
+        changes_total=changes_total,
+    )
+    if ambiguous is not None:
+        result.ambiguous_stable = dict(ambiguous.stable)
+        result.ambiguous_stable_in_primary = dict(ambiguous.stable_in_primary)
+        result.ambiguous_in_progress = dict(ambiguous.in_progress)
+        result.ambiguous_max = ambiguous.max_observed
+    if sizes is not None:
+        result.message_max_bytes = sizes.max_bytes
+        result.message_mean_bytes = sizes.mean_bytes
+    return result
+
+
+def _build_driver(
+    config: CaseConfig, fault_rng, observers: Sequence[RunObserver]
+) -> DriverLoop:
+    return DriverLoop(
+        algorithm=config.algorithm,
+        n_processes=config.n_processes,
+        fault_rng=fault_rng,
+        change_generator=config.change_generator,
+        checker=InvariantChecker(enabled=config.check_invariants),
+        observers=observers,
+        max_quiescence_rounds=config.max_quiescence_rounds,
+        cut_probability=config.cut_probability,
+    )
+
+
+def compare_algorithms(
+    base_config: CaseConfig, algorithms: Sequence[str]
+) -> Dict[str, CaseResult]:
+    """Run the same case for several algorithms over identical faults."""
+    return {
+        algorithm: run_case(replace(base_config, algorithm=algorithm))
+        for algorithm in algorithms
+    }

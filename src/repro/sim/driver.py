@@ -1,0 +1,318 @@
+"""The driver loop (thesis §2.2).
+
+"The driver loop routes all messages among the multiple instances of
+the algorithm without using the network or any communication system.
+It does this by polling individual processes for messages to send, and
+then immediately delivering those messages to the other processes.  The
+driver loop also supports fault injection and statistics gathering
+during the simulation."
+
+One *round* is one poll-and-deliver cycle over all live processes; it
+is the unit in which the thesis counts change frequency.  A round runs:
+
+1. **Poll** every non-crashed process with an empty application message
+   (Fig. 2-2's behaviour), collecting piggybacked broadcasts.
+2. **Inject** the round's connectivity change, if one fires.  The
+   change lands *mid-round*: every process of the reconfigured
+   components independently either still receives this round's messages
+   ("early") or loses them ("late") — this is what makes interrupted
+   attempts ambiguous (Fig. 3-1's process c is a late receiver).
+   Processes of untouched components always receive everything.
+3. **Deliver** each broadcast to the members of the sender's pre-change
+   component (a sender always receives its own broadcast).
+4. **Install** new views on every member of the reconfigured
+   components, then run the invariant checks and observers.
+
+Quiescence is a round in which no process had anything to send; because
+every algorithm here is event-driven, a silent round proves the system
+is stable until the next connectivity change.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.message import Message
+from repro.core.registry import create_algorithm
+from repro.core.view import View, initial_view
+from repro.errors import SimulationError
+from repro.net.changes import (
+    ConnectivityChange,
+    CrashChange,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+    UniformChangeGenerator,
+    affected_processes,
+    apply_change,
+)
+from repro.net.topology import Topology
+from repro.sim.invariants import InvariantChecker
+from repro.sim.stats import RunObserver
+from repro.types import Members, ProcessId, sorted_members
+
+
+class ProcessEndpoint:
+    """One simulated process: an application wrapped around an algorithm.
+
+    The default endpoint is the idle application of Fig. 2-2 — it
+    offers the algorithm an empty message on every poll and discards
+    stripped incoming payloads.  Real applications (see
+    ``repro.app.replicated_store``) subclass this, produce their own
+    payloads in :meth:`poll` and consume them in :meth:`on_payload`,
+    while the algorithm piggybacks transparently on top.
+    """
+
+    def __init__(self, algorithm: PrimaryComponentAlgorithm) -> None:
+        self.algorithm = algorithm
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.algorithm.pid
+
+    def poll(self) -> Optional[Message]:
+        """Produce this round's broadcast, or None to stay silent."""
+        outgoing = self.next_application_message()
+        modified = self.algorithm.outgoing_message_poll(outgoing)
+        if modified is not None:
+            return modified
+        return None if outgoing.is_empty() else outgoing
+
+    def deliver(self, message: Message, sender: ProcessId) -> None:
+        """Route an incoming broadcast through the algorithm (Fig. 2-2)."""
+        stripped = self.algorithm.incoming_message(message, sender)
+        if stripped.payload is not None:
+            self.on_payload(stripped.payload, sender)
+
+    def install_view(self, view: View) -> None:
+        """Report a connectivity change to algorithm and application."""
+        self.algorithm.view_changed(view)
+        self.on_view(view)
+
+    # Application hooks.
+
+    def next_application_message(self) -> Message:
+        """The application message to offer this round (default: empty)."""
+        return Message.empty()
+
+    def on_payload(self, payload: object, sender: ProcessId) -> None:
+        """An application payload arrived (default: ignore)."""
+
+    def on_view(self, view: View) -> None:
+        """The application learned of a view change (default: ignore)."""
+
+
+class DriverLoop:
+    """In-memory simulation of one system of processes."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        n_processes: int,
+        fault_rng: random.Random,
+        change_generator: Optional[UniformChangeGenerator] = None,
+        checker: Optional[InvariantChecker] = None,
+        observers: Sequence[RunObserver] = (),
+        max_quiescence_rounds: int = 400,
+        endpoint_factory=ProcessEndpoint,
+        cut_probability: float = 0.5,
+    ) -> None:
+        if n_processes < 2:
+            raise SimulationError(
+                "the study needs at least two processes (a single process "
+                "admits no connectivity changes)"
+            )
+        if not 0.0 <= cut_probability <= 1.0:
+            raise SimulationError("cut_probability must be in [0, 1]")
+        self.algorithm_name = algorithm
+        self.n_processes = n_processes
+        self.fault_rng = fault_rng
+        self.change_generator = change_generator or UniformChangeGenerator()
+        self.checker = checker or InvariantChecker()
+        self.observers: List[RunObserver] = list(observers)
+        self.max_quiescence_rounds = max_quiescence_rounds
+        #: Probability that an affected process *loses* the current
+        #: round's messages when a change lands mid-round.  0 means the
+        #: change never destroys in-flight deliveries (everyone is
+        #: "early"); 1 means it always does.  The thesis does not pin
+        #: this down; 0.5 is the symmetric default, and the
+        #: ``abl_cut_model`` experiment shows the study's conclusions
+        #: are insensitive to it.
+        self.cut_probability = cut_probability
+        #: Optional override for the mid-round cut: a callable taking
+        #: the affected member set and returning the set of "late"
+        #: processes.  The exhaustive explorer uses this to enumerate
+        #: every possible cut instead of sampling one.
+        self.cut_chooser = None
+
+        self.initial_view: View = initial_view(n_processes)
+        self.endpoints: Dict[ProcessId, ProcessEndpoint] = {
+            pid: endpoint_factory(create_algorithm(algorithm, pid, self.initial_view))
+            for pid in range(n_processes)
+        }
+        self.algorithms: Dict[ProcessId, PrimaryComponentAlgorithm] = {
+            pid: endpoint.algorithm for pid, endpoint in self.endpoints.items()
+        }
+        self.topology: Topology = Topology.fully_connected(n_processes)
+        self.view_seq: int = 0
+        self.round_index: int = 0
+        self.changes_injected: int = 0
+        self.views_installed_this_round: Tuple[View, ...] = ()
+
+    # ------------------------------------------------------------------
+    # One round.
+    # ------------------------------------------------------------------
+
+    def run_round(self, change: Optional[ConnectivityChange] = None) -> bool:
+        """Execute one round; returns True when any message was sent."""
+        self.round_index += 1
+        active = self.topology.active_processes()
+
+        # 1. Poll every endpoint (Fig. 2-2's application behaviour).
+        bundles: Dict[ProcessId, Message] = {}
+        for pid in sorted(active):
+            message = self.endpoints[pid].poll()
+            if message is not None:
+                bundles[pid] = message
+
+        # 2. Decide who the change cuts off mid-round.
+        late: frozenset = frozenset()
+        dead: frozenset = frozenset()
+        new_topology: Optional[Topology] = None
+        if change is not None:
+            affected = affected_processes(change, self.topology)
+            new_topology = apply_change(self.topology, change)
+            if self.cut_chooser is not None:
+                late = frozenset(self.cut_chooser(affected))
+            else:
+                late = frozenset(
+                    pid
+                    for pid in sorted(affected)
+                    if self.fault_rng.random() < self.cut_probability
+                )
+            if isinstance(change, CrashChange):
+                dead = frozenset({change.pid})
+
+        # 3. Deliver within the pre-change components, sender id order.
+        for sender in sorted(bundles):
+            message = bundles[sender]
+            component = self.topology.component_of(sender)
+            for observer in self.observers:
+                observer.on_broadcast(self, sender, message)
+            for recipient in sorted(component):
+                if recipient in dead:
+                    continue
+                if recipient != sender and recipient in late:
+                    continue
+                self.endpoints[recipient].deliver(message, sender)
+
+        # 4. Apply the change and install the new views.
+        installed: List[View] = []
+        if change is not None:
+            assert new_topology is not None
+            old_topology = self.topology
+            self.topology = new_topology
+            self.changes_injected += 1
+            for component in self._views_needed(change, old_topology):
+                self.view_seq += 1
+                view = View(members=component, seq=self.view_seq)
+                installed.append(view)
+                for pid in sorted(component):
+                    if not self.topology.is_crashed(pid):
+                        self.endpoints[pid].install_view(view)
+        self.views_installed_this_round = tuple(installed)
+
+        if change is not None:
+            for observer in self.observers:
+                observer.on_change(self, change)
+        self.checker.check_round(self.algorithms, self.topology.active_processes())
+        for observer in self.observers:
+            observer.on_round(self)
+        return bool(bundles)
+
+    @staticmethod
+    def _views_needed(
+        change: ConnectivityChange, old_topology: Topology
+    ) -> List[Members]:
+        """The components that must install a new view after a change."""
+        if isinstance(change, PartitionChange):
+            remaining = frozenset(change.component) - frozenset(change.moved)
+            components = [remaining, frozenset(change.moved)]
+        elif isinstance(change, MergeChange):
+            components = [frozenset(change.first) | frozenset(change.second)]
+        elif isinstance(change, CrashChange):
+            survivors = old_topology.component_of(change.pid) - {change.pid}
+            components = [survivors] if survivors else []
+        elif isinstance(change, RecoverChange):
+            components = [frozenset({change.pid})]
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown change type {type(change).__name__}")
+        return sorted(components, key=sorted_members)
+
+    # ------------------------------------------------------------------
+    # Run orchestration.
+    # ------------------------------------------------------------------
+
+    def run_until_quiescent(self) -> int:
+        """Run change-free rounds until a silent round; returns how many."""
+        for elapsed in range(self.max_quiescence_rounds):
+            if not self.run_round(None):
+                return elapsed + 1
+        raise SimulationError(
+            f"{self.algorithm_name} did not quiesce within "
+            f"{self.max_quiescence_rounds} rounds — livelock?"
+        )
+
+    def execute_run(self, gaps: Iterable[int]) -> None:
+        """One measured run: inject a change after each gap, then settle.
+
+        ``gaps`` are the change-free round counts drawn from the fault
+        schedule; the change itself is drawn from the change generator
+        at fire time, so the realized fault sequence depends only on
+        the fault RNG and never on the algorithm under test.
+        """
+        for observer in self.observers:
+            observer.on_run_start(self)
+        for gap in gaps:
+            for _ in range(gap):
+                self.run_round(None)
+            change = self.change_generator.propose(self.topology, self.fault_rng)
+            self.run_round(change)
+        self.run_until_quiescent()
+        self.checker.check_quiescent_agreement(
+            self.algorithms,
+            self.topology.components,
+            self.topology.active_processes(),
+        )
+        for observer in self.observers:
+            observer.on_run_end(self)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def primary_exists(self) -> bool:
+        """Is any live process currently inside a primary component?"""
+        return any(
+            self.algorithms[pid].in_primary()
+            for pid in self.topology.active_processes()
+        )
+
+    def primary_members(self) -> Optional[Tuple[ProcessId, ...]]:
+        """The member tuple of the live primary, or None."""
+        claimants = [
+            pid
+            for pid in self.topology.active_processes()
+            if self.algorithms[pid].in_primary()
+        ]
+        return tuple(sorted(claimants)) if claimants else None
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        """One-line snapshot of round, topology and primary."""
+        return (
+            f"round={self.round_index} changes={self.changes_injected} "
+            f"topology={self.topology.describe()} "
+            f"primary={self.primary_members()}"
+        )

@@ -1,0 +1,292 @@
+"""Statistics collection for simulations (thesis §4.1, §4.2, §3.4).
+
+Observers hang off the driver loop and record what the thesis measured:
+
+* :class:`AvailabilityCollector` — did each run end with a primary
+  component (the availability percentage of Figs. 4-1..4-6);
+* :class:`AmbiguousSessionCollector` — how many ambiguous sessions one
+  monitored process retains, sampled at every connectivity change
+  ("in progress", Fig. 4-8) and at the stable end of each run
+  ("stable", Fig. 4-7);
+* :class:`MessageSizeCollector` — estimated wire size of the piggyback
+  broadcasts (the §3.4/"two kilobytes" accounting);
+* :class:`FormationTimeCollector` — rounds from a view's installation
+  to its formation as a primary (blocking-period visibility).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.message import Message, estimate_piggyback_size_bits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.driver import DriverLoop
+
+
+class RunObserver:
+    """Base observer; override any subset of the hooks."""
+
+    def on_run_start(self, driver: "DriverLoop") -> None:
+        """A new run begins (fresh or cascading)."""
+
+    def on_round(self, driver: "DriverLoop") -> None:
+        """A round completed (after deliveries and view installation)."""
+
+    def on_change(self, driver: "DriverLoop", change: Any) -> None:
+        """A connectivity change was injected this round."""
+
+    def on_broadcast(self, driver: "DriverLoop", sender: int, message: Message) -> None:
+        """A process broadcast a message within its component."""
+
+    def on_run_end(self, driver: "DriverLoop") -> None:
+        """The run reached quiescence."""
+
+
+class AvailabilityCollector(RunObserver):
+    """Fraction of runs that end with a live primary component."""
+
+    def __init__(self) -> None:
+        self.outcomes: List[bool] = []
+
+    def on_run_end(self, driver: "DriverLoop") -> None:
+        self.outcomes.append(driver.primary_exists())
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def available_runs(self) -> int:
+        return sum(self.outcomes)
+
+    @property
+    def availability_percent(self) -> float:
+        if not self.outcomes:
+            raise ValueError("no runs recorded")
+        return 100.0 * self.available_runs / self.runs
+
+
+class AmbiguousSessionCollector(RunObserver):
+    """Ambiguous-session counts of one monitored process (§4.2).
+
+    "For each run, the process reported both the number of ambiguous
+    sessions stored when the network situation stabilized at the end of
+    the run and the number of ambiguous sessions present each time a
+    connectivity change occurred."
+    """
+
+    def __init__(self, monitored_pid: int = 0) -> None:
+        self.monitored_pid = monitored_pid
+        #: Histogram of counts sampled at each connectivity change.
+        self.in_progress: Counter = Counter()
+        #: Histogram of counts sampled at the stable end of each run.
+        self.stable: Counter = Counter()
+        #: As ``stable``, but only for runs the monitored process ends
+        #: inside the primary component — the thesis' "at the conclusion
+        #: of a successful run, none of the algorithms retains any
+        #: ambiguous sessions at all" is about exactly these samples.
+        self.stable_in_primary: Counter = Counter()
+        self.max_observed: int = 0
+
+    def _sample(self, driver: "DriverLoop") -> Optional[int]:
+        if driver.topology.is_crashed(self.monitored_pid):
+            return None
+        count = driver.algorithms[self.monitored_pid].ambiguous_session_count()
+        self.max_observed = max(self.max_observed, count)
+        return count
+
+    def on_change(self, driver: "DriverLoop", change: Any) -> None:
+        count = self._sample(driver)
+        if count is not None:
+            self.in_progress[count] += 1
+
+    def on_run_end(self, driver: "DriverLoop") -> None:
+        count = self._sample(driver)
+        if count is not None:
+            self.stable[count] += 1
+            if driver.algorithms[self.monitored_pid].in_primary():
+                self.stable_in_primary[count] += 1
+
+    @staticmethod
+    def _percent_with_sessions(histogram: Counter) -> Dict[int, float]:
+        total = sum(histogram.values())
+        if total == 0:
+            return {}
+        return {
+            count: 100.0 * occurrences / total
+            for count, occurrences in sorted(histogram.items())
+            if count > 0
+        }
+
+    def stable_percentages(self) -> Dict[int, float]:
+        """% of runs retaining k>0 sessions when stable (Fig. 4-7 bars)."""
+        return self._percent_with_sessions(self.stable)
+
+    def in_progress_percentages(self) -> Dict[int, float]:
+        """% of changes at which k>0 sessions were held (Fig. 4-8 bars)."""
+        return self._percent_with_sessions(self.in_progress)
+
+
+class MessageSizeCollector(RunObserver):
+    """Estimated sizes of the algorithm's piggyback broadcasts (§3.4)."""
+
+    def __init__(self) -> None:
+        self.broadcasts: int = 0
+        self.total_bits: int = 0
+        self.max_bits: int = 0
+
+    def on_broadcast(self, driver: "DriverLoop", sender: int, message: Message) -> None:
+        if message.piggyback is None:
+            return
+        bits = estimate_piggyback_size_bits(
+            message.piggyback, universe_size=driver.n_processes
+        )
+        self.broadcasts += 1
+        self.total_bits += bits
+        self.max_bits = max(self.max_bits, bits)
+
+    @property
+    def max_bytes(self) -> float:
+        return self.max_bits / 8.0
+
+    @property
+    def mean_bytes(self) -> float:
+        if not self.broadcasts:
+            return 0.0
+        return self.total_bits / 8.0 / self.broadcasts
+
+
+class BlockingCollector(RunObserver):
+    """Per-view blocking accounting (thesis Ch. 1/§3.4 concept).
+
+    "When interrupted, dynamic voting algorithms differ in the length
+    of their blocking period."  This collector measures it directly:
+    for every installed view it records how long the view lived and
+    whether it ever became a primary.
+
+    * a view that forms contributes its rounds-to-form to
+      :attr:`formed_durations`;
+    * a view replaced before forming contributes its full lifetime to
+      :attr:`blocked_lifetimes` (the component was blocked throughout);
+    * a view still unformed when its run quiesces is *terminally
+      blocked* — the component sits without a primary until the next
+      connectivity change, however far away that is.
+    """
+
+    def __init__(self) -> None:
+        self._birth: Dict[int, int] = {}  # view seq -> round installed
+        self._members: Dict[int, frozenset] = {}
+        self._member_view: Dict[int, int] = {}  # pid -> its current seq
+        self._formed: set = set()
+        self.views_observed = 0
+        self.formed_durations: List[int] = []
+        self.blocked_lifetimes: List[int] = []
+        self.terminally_blocked = 0
+
+    def on_round(self, driver: "DriverLoop") -> None:
+        # New views retire their members' previous views.
+        for view in driver.views_installed_this_round:
+            for pid in view.members:
+                old_seq = self._member_view.get(pid)
+                if old_seq is not None and old_seq in self._birth:
+                    self._retire(old_seq, driver.round_index)
+                self._member_view[pid] = view.seq
+            self.views_observed += 1
+            self._birth[view.seq] = driver.round_index
+            self._members[view.seq] = view.members
+        # Detect formations among the views still alive.
+        for seq in list(self._birth):
+            if seq in self._formed:
+                continue
+            members = self._members[seq]
+            claimant = next(iter(members))
+            algorithm = driver.algorithms[claimant]
+            if algorithm.in_primary() and algorithm.current_view.seq == seq:
+                self._formed.add(seq)
+                self.formed_durations.append(
+                    driver.round_index - self._birth[seq]
+                )
+
+    def _retire(self, seq: int, round_index: int) -> None:
+        birth = self._birth.pop(seq)
+        self._members.pop(seq, None)
+        if seq in self._formed:
+            self._formed.discard(seq)
+        else:
+            self.blocked_lifetimes.append(round_index - birth)
+
+    def on_run_end(self, driver: "DriverLoop") -> None:
+        # Views alive and unformed at quiescence are terminally blocked:
+        # quiescence means no message will ever arrive, so they cannot
+        # form until a connectivity change replaces them.  Stop tracking
+        # them so cascading campaigns do not double-count.
+        for seq in list(self._birth):
+            if seq not in self._formed:
+                self.terminally_blocked += 1
+                self._birth.pop(seq)
+                self._members.pop(seq, None)
+
+    @property
+    def formation_rate(self) -> float:
+        """Fraction of observed views that became primaries."""
+        if not self.views_observed:
+            return float("nan")
+        return len(self.formed_durations) / self.views_observed
+
+    @property
+    def mean_rounds_to_form(self) -> float:
+        if not self.formed_durations:
+            return float("nan")
+        return sum(self.formed_durations) / len(self.formed_durations)
+
+    @property
+    def mean_blocked_lifetime(self) -> float:
+        if not self.blocked_lifetimes:
+            return float("nan")
+        return sum(self.blocked_lifetimes) / len(self.blocked_lifetimes)
+
+
+class FormationTimeCollector(RunObserver):
+    """Rounds between a view's installation and its formation as primary.
+
+    Measures the window during which an algorithm is exposed to
+    interruption — the §3.4 message-round comparison, observed live.
+    """
+
+    def __init__(self) -> None:
+        self._view_installed_round: Dict[int, int] = {}
+        self._formed_views: set = set()
+        self.formation_rounds: List[int] = []
+
+    def on_round(self, driver: "DriverLoop") -> None:
+        for view in driver.views_installed_this_round:
+            self._view_installed_round[view.seq] = driver.round_index
+        for view_seq, installed in list(self._view_installed_round.items()):
+            if view_seq in self._formed_views:
+                continue
+            claimants = [
+                pid
+                for pid, algorithm in driver.algorithms.items()
+                if algorithm.in_primary()
+                and algorithm.current_view.seq == view_seq
+            ]
+            if claimants:
+                self._formed_views.add(view_seq)
+                self.formation_rounds.append(driver.round_index - installed)
+        # A view that was replaced can never form; prune so long
+        # campaigns stay linear in time and memory.
+        if len(self._view_installed_round) > 256:
+            horizon = max(self._view_installed_round) - 128
+            for view_seq in list(self._view_installed_round):
+                if view_seq < horizon:
+                    self._view_installed_round.pop(view_seq)
+                    self._formed_views.discard(view_seq)
+
+    @property
+    def mean_rounds_to_form(self) -> float:
+        if not self.formation_rounds:
+            return float("nan")
+        return sum(self.formation_rounds) / len(self.formation_rounds)

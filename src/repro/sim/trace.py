@@ -1,0 +1,292 @@
+"""Structured execution tracing.
+
+A :class:`TraceRecorder` observes a driver loop and records every
+interesting event — rounds, broadcasts, connectivity changes, view
+installations, primary formations and losses — as typed, timestamped
+(by round) entries.  Traces serve three audiences:
+
+* debugging an algorithm implementation (the renderer draws a compact
+  per-round timeline of who sent what and which views exist);
+* tests that assert *how* an execution unfolded, not just its outcome;
+* export (`to_dicts`) for external tooling.
+
+Recording is allocation-light: one small dataclass per event, bounded
+by ``max_events`` so long cascading campaigns cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.message import Message
+from repro.sim.stats import RunObserver
+from repro.types import ProcessId, sorted_members
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: something that happened at a given round."""
+
+    round_index: int
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.replace("Event", "").lower()
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        """One-line human-readable rendering for the timeline."""
+        return self.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form of this event."""
+        data: Dict[str, Any] = {"kind": self.kind, "round": self.round_index}
+        data.update(self._fields())
+        return data
+
+    def _fields(self) -> Dict[str, Any]:
+        return {}
+
+
+@dataclass(frozen=True)
+class BroadcastEvent(TraceEvent):
+    sender: ProcessId
+    items: Tuple[str, ...]
+
+    def describe(self) -> str:
+        inner = ", ".join(self.items) if self.items else "app payload"
+        return f"p{self.sender} ⇒ [{inner}]"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {"sender": self.sender, "items": list(self.items)}
+
+
+@dataclass(frozen=True)
+class ChangeEvent(TraceEvent):
+    description: str
+    components_after: Tuple[Tuple[ProcessId, ...], ...]
+
+    def describe(self) -> str:
+        parts = " ".join(
+            "{" + ",".join(map(str, c)) + "}" for c in self.components_after
+        )
+        return f"change {self.description} → {parts}"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {
+            "change": self.description,
+            "components_after": [list(c) for c in self.components_after],
+        }
+
+
+@dataclass(frozen=True)
+class ViewEvent(TraceEvent):
+    view_seq: int
+    members: Tuple[ProcessId, ...]
+
+    def describe(self) -> str:
+        inner = ",".join(map(str, self.members))
+        return f"view#{self.view_seq}{{{inner}}} installed"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {"view_seq": self.view_seq, "members": list(self.members)}
+
+
+@dataclass(frozen=True)
+class PrimaryFormedEvent(TraceEvent):
+    members: Tuple[ProcessId, ...]
+
+    def describe(self) -> str:
+        inner = ",".join(map(str, self.members))
+        return f"PRIMARY {{{inner}}}"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {"members": list(self.members)}
+
+
+@dataclass(frozen=True)
+class PrimaryLostEvent(TraceEvent):
+    members: Tuple[ProcessId, ...]
+
+    def describe(self) -> str:
+        inner = ",".join(map(str, self.members))
+        return f"primary {{{inner}}} dissolved"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {"members": list(self.members)}
+
+
+@dataclass(frozen=True)
+class RunBoundaryEvent(TraceEvent):
+    run_index: int
+    boundary: str  # "start" | "end"
+    available: Optional[bool] = None
+
+    def describe(self) -> str:
+        if self.boundary == "start":
+            return f"— run {self.run_index} begins —"
+        verdict = "available" if self.available else "NO primary"
+        return f"— run {self.run_index} ends: {verdict} —"
+
+    def _fields(self) -> Dict[str, Any]:
+        return {
+            "run_index": self.run_index,
+            "boundary": self.boundary,
+            "available": self.available,
+        }
+
+
+class TraceRecorder(RunObserver):
+    """Observer that accumulates a bounded event trace."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+        self._run_index = 0
+        self._live_primary: Optional[Tuple[ProcessId, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Observer hooks.
+    # ------------------------------------------------------------------
+
+    def on_run_start(self, driver) -> None:
+        self._append(
+            RunBoundaryEvent(
+                round_index=driver.round_index,
+                run_index=self._run_index,
+                boundary="start",
+            )
+        )
+
+    def on_broadcast(self, driver, sender: ProcessId, message: Message) -> None:
+        items: Tuple[str, ...] = ()
+        if message.piggyback is not None:
+            items = tuple(
+                type(item).__name__ for item in message.piggyback.items
+            )
+        self._append(
+            BroadcastEvent(
+                round_index=driver.round_index, sender=sender, items=items
+            )
+        )
+
+    def on_change(self, driver, change) -> None:
+        self._append(
+            ChangeEvent(
+                round_index=driver.round_index,
+                description=change.describe(),
+                components_after=tuple(
+                    sorted_members(c) for c in driver.topology.components
+                ),
+            )
+        )
+
+    def on_round(self, driver) -> None:
+        for view in driver.views_installed_this_round:
+            self._append(
+                ViewEvent(
+                    round_index=driver.round_index,
+                    view_seq=view.seq,
+                    members=sorted_members(view.members),
+                )
+            )
+        current = driver.primary_members()
+        if current != self._live_primary:
+            if self._live_primary is not None:
+                self._append(
+                    PrimaryLostEvent(
+                        round_index=driver.round_index,
+                        members=self._live_primary,
+                    )
+                )
+            if current is not None:
+                self._append(
+                    PrimaryFormedEvent(
+                        round_index=driver.round_index, members=current
+                    )
+                )
+            self._live_primary = current
+
+    def on_run_end(self, driver) -> None:
+        self._append(
+            RunBoundaryEvent(
+                round_index=driver.round_index,
+                run_index=self._run_index,
+                boundary="end",
+                available=driver.primary_exists(),
+            )
+        )
+        self._run_index += 1
+
+    # ------------------------------------------------------------------
+    # Queries and export.
+    # ------------------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind (e.g. ``"view"``)."""
+        return [event for event in self.events if event.kind == kind]
+
+    def formations(self) -> List[PrimaryFormedEvent]:
+        """Every primary-formation event, in order."""
+        return [e for e in self.events if isinstance(e, PrimaryFormedEvent)]
+
+    def rounds_with_traffic(self) -> List[int]:
+        """Round indices at which at least one broadcast happened."""
+        return sorted({e.round_index for e in self.events if isinstance(e, BroadcastEvent)})
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready form of the whole trace."""
+        return [event.to_dict() for event in self.events]
+
+    def iter_rounds(self) -> Iterator[Tuple[int, List[TraceEvent]]]:
+        """Events grouped by round, in order."""
+        current_round: Optional[int] = None
+        bucket: List[TraceEvent] = []
+        for event in self.events:
+            if current_round is None:
+                current_round = event.round_index
+            if event.round_index != current_round:
+                yield current_round, bucket
+                current_round, bucket = event.round_index, []
+            bucket.append(event)
+        if bucket:
+            assert current_round is not None
+            yield current_round, bucket
+
+
+def render_timeline(recorder: TraceRecorder, max_rounds: int = 200) -> str:
+    """A compact human-readable timeline of a trace."""
+    lines: List[str] = []
+    shown = 0
+    for round_index, events in recorder.iter_rounds():
+        if shown >= max_rounds:
+            lines.append(f"... ({len(recorder.events)} events total)")
+            break
+        shown += 1
+        lines.append(f"r{round_index:>4}:")
+        broadcasts = [e for e in events if isinstance(e, BroadcastEvent)]
+        others = [e for e in events if not isinstance(e, BroadcastEvent)]
+        if broadcasts:
+            senders = ",".join(f"p{e.sender}" for e in broadcasts)
+            kinds = sorted(
+                {item for e in broadcasts for item in e.items}
+            )
+            suffix = f" [{', '.join(kinds)}]" if kinds else ""
+            lines.append(f"       sends: {senders}{suffix}")
+        for event in others:
+            lines.append(f"       {event.describe()}")
+    if recorder.truncated:
+        lines.append("(trace truncated at max_events)")
+    return "\n".join(lines)

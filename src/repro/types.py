@@ -1,0 +1,55 @@
+"""Common type aliases and small value helpers shared across the library.
+
+The thesis models a fixed universe of processes that all start together
+in one initial view.  Processes are identified by small integers; the
+"lexically smallest" process used by dynamic *linear* voting to break
+exact-half ties is simply the numerically smallest identifier.  Any
+total order works (the thesis suggests IP address + process id); the
+integer order is the simulation's stand-in for it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+#: Identifier of a single process.  Ordered; the order defines the
+#: "lexically smallest" tie-break of dynamic linear voting.
+ProcessId = int
+
+#: An immutable set of processes, the raw material of views and sessions.
+Members = FrozenSet[ProcessId]
+
+#: A monotonically increasing identifier the driver assigns to each
+#: installed view, used only for bookkeeping/tracing (algorithms number
+#: their own sessions independently, as in the thesis).
+ViewSeq = int
+
+#: Round index within a simulation run.
+Round = int
+
+
+def as_members(processes: Iterable[ProcessId]) -> Members:
+    """Normalize any iterable of process ids into a ``Members`` set.
+
+    Raises ``ValueError`` for an empty iterable: neither views nor
+    sessions may be empty anywhere in the system.
+    """
+    members = frozenset(processes)
+    if not members:
+        raise ValueError("a process set must not be empty")
+    for pid in members:
+        if not isinstance(pid, int) or pid < 0:
+            raise ValueError(f"process ids must be non-negative ints, got {pid!r}")
+    return members
+
+
+def sorted_members(members: Members) -> Tuple[ProcessId, ...]:
+    """Deterministic tuple form of a member set, for display and hashing."""
+    return tuple(sorted(members))
+
+
+def lexically_smallest(members: Members) -> ProcessId:
+    """The designated tie-break process of a member set (thesis §3.1)."""
+    if not members:
+        raise ValueError("no lexically smallest process of an empty set")
+    return min(members)

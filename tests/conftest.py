@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.view import View, initial_view
+from repro.net.changes import MergeChange, PartitionChange
+from repro.sim.driver import DriverLoop
+
+
+@pytest.fixture
+def view5() -> View:
+    return initial_view(5)
+
+
+@pytest.fixture
+def view8() -> View:
+    return initial_view(8)
+
+
+def make_driver(algorithm: str, n: int = 5, seed: int = 1, **kwargs) -> DriverLoop:
+    """A driver with a deterministic fault RNG for scripted scenarios."""
+    return DriverLoop(
+        algorithm=algorithm, n_processes=n, fault_rng=random.Random(seed), **kwargs
+    )
+
+
+def split(driver: DriverLoop, moved) -> None:
+    """Partition the component containing the moved processes."""
+    moved = frozenset(moved)
+    component = next(
+        c for c in driver.topology.components if moved <= c
+    )
+    driver.run_round(PartitionChange(component=component, moved=moved))
+
+
+def heal(driver: DriverLoop) -> None:
+    """Merge components pairwise until the network is whole again."""
+    while len(driver.topology.components) > 1:
+        first, second = driver.topology.components[:2]
+        driver.run_round(MergeChange(first=first, second=second))
+        driver.run_until_quiescent()
+
+
+def settle(driver: DriverLoop) -> None:
+    driver.run_until_quiescent()

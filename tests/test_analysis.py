@@ -1,0 +1,132 @@
+"""Tests for the statistical analysis helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    compare_paired,
+    mcnemar_midp,
+    paired_disagreements,
+    summarize_outcomes,
+    wilson_interval,
+)
+from repro.analysis.intervals import _normal_quantile
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_extremes_stay_in_bounds(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(800, 1000)
+        wide = wilson_interval(80, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_widens_with_higher_confidence(self):
+        standard = wilson_interval(80, 100, confidence=0.95)
+        strict = wilson_interval(80, 100, confidence=0.99)
+        assert (strict[1] - strict[0]) > (standard[1] - standard[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    @given(
+        successes=st.integers(min_value=0, max_value=200),
+        extra=st.integers(min_value=0, max_value=200),
+    )
+    def test_always_a_valid_interval(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.005) == pytest.approx(-2.575829, abs=1e-4)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.9) == pytest.approx(
+            -_normal_quantile(0.1), abs=1e-9
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+
+class TestPairedComparisons:
+    def test_disagreement_counts(self):
+        first = [True, True, False, False, True]
+        second = [True, False, True, False, True]
+        assert paired_disagreements(first, second) == (1, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_disagreements([True], [True, False])
+
+    def test_mcnemar_no_discordance_is_uninformative(self):
+        assert mcnemar_midp(0, 0) == 1.0
+
+    def test_mcnemar_balanced_is_insignificant(self):
+        assert mcnemar_midp(5, 5) > 0.5
+
+    def test_mcnemar_lopsided_is_significant(self):
+        assert mcnemar_midp(15, 0) < 0.001
+
+    def test_mcnemar_symmetric(self):
+        assert mcnemar_midp(3, 9) == pytest.approx(mcnemar_midp(9, 3))
+
+    def test_compare_paired_full_record(self):
+        first = [True] * 90 + [False] * 10
+        second = [True] * 70 + [False] * 30
+        comparison = compare_paired("ykd", first, "dfls", second)
+        assert comparison.first.percent == 90.0
+        assert comparison.second.percent == 70.0
+        assert comparison.first_only == 20
+        assert comparison.second_only == 0
+        assert comparison.significant
+        assert "ykd wins 20" in comparison.describe()
+
+
+class TestSummaries:
+    def test_summarize_outcomes(self):
+        summary = summarize_outcomes([True] * 75 + [False] * 25)
+        assert summary.percent == 75.0
+        assert summary.low_percent < 75.0 < summary.high_percent
+        assert "75.0%" in summary.describe()
+
+    def test_on_real_campaign_data(self):
+        """The analysis plugs directly into campaign outcome lists."""
+        from repro.sim.campaign import CaseConfig, run_case
+        from dataclasses import replace
+
+        base = CaseConfig(
+            algorithm="ykd", n_processes=8, n_changes=8,
+            mean_rounds_between_changes=1.0, runs=60, master_seed=31,
+        )
+        ykd = run_case(base)
+        one_pending = run_case(replace(base, algorithm="one_pending"))
+        comparison = compare_paired(
+            "ykd", ykd.outcomes, "one_pending", one_pending.outcomes
+        )
+        # YKD never loses a paired run to 1-pending... is too strong in
+        # principle, but it must at least win more than it loses.
+        assert comparison.first_only >= comparison.second_only

@@ -1,0 +1,199 @@
+"""Tests for connectivity changes and their random generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.changes import (
+    CrashChange,
+    CrashRecoveryChangeGenerator,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+    UniformChangeGenerator,
+    affected_processes,
+    apply_change,
+)
+from repro.net.topology import Topology
+
+
+class TestApplyChange:
+    def test_partition(self):
+        topology = Topology.fully_connected(4)
+        change = PartitionChange(
+            component=frozenset({0, 1, 2, 3}), moved=frozenset({3})
+        )
+        after = apply_change(topology, change)
+        assert frozenset({3}) in after.components
+
+    def test_merge(self):
+        split = Topology.fully_connected(3).partition(
+            frozenset({0, 1, 2}), frozenset({2})
+        )
+        change = MergeChange(first=frozenset({0, 1}), second=frozenset({2}))
+        assert apply_change(split, change) == Topology.fully_connected(3)
+
+    def test_crash_and_recover(self):
+        topology = Topology.fully_connected(3)
+        crashed = apply_change(topology, CrashChange(pid=1))
+        assert crashed.is_crashed(1)
+        recovered = apply_change(crashed, RecoverChange(pid=1))
+        assert not recovered.is_crashed(1)
+
+    def test_unknown_change_type(self):
+        with pytest.raises(TypeError):
+            apply_change(Topology.fully_connected(2), object())
+
+
+class TestAffectedProcesses:
+    def test_partition_affects_whole_component(self):
+        topology = Topology.fully_connected(4)
+        change = PartitionChange(
+            component=frozenset({0, 1, 2, 3}), moved=frozenset({3})
+        )
+        assert affected_processes(change, topology) == frozenset({0, 1, 2, 3})
+
+    def test_merge_affects_both_components(self):
+        split = Topology.fully_connected(3).partition(
+            frozenset({0, 1, 2}), frozenset({2})
+        )
+        change = MergeChange(first=frozenset({0, 1}), second=frozenset({2}))
+        assert affected_processes(change, split) == frozenset({0, 1, 2})
+
+    def test_crash_affects_old_component(self):
+        topology = Topology.fully_connected(3)
+        assert affected_processes(CrashChange(pid=1), topology) == frozenset(
+            {0, 1, 2}
+        )
+
+    def test_recover_affects_only_the_process(self):
+        crashed = Topology.fully_connected(3).crash(1)
+        assert affected_processes(RecoverChange(pid=1), crashed) == frozenset({1})
+
+
+class TestUniformChangeGenerator:
+    def test_single_component_proposes_partitions(self):
+        generator = UniformChangeGenerator()
+        topology = Topology.fully_connected(5)
+        rng = random.Random(0)
+        for _ in range(20):
+            change = generator.propose(topology, rng)
+            assert isinstance(change, PartitionChange)
+
+    def test_all_singletons_propose_merges(self):
+        generator = UniformChangeGenerator()
+        topology = Topology(components=tuple(frozenset({p}) for p in range(4)))
+        rng = random.Random(0)
+        for _ in range(20):
+            change = generator.propose(topology, rng)
+            assert isinstance(change, MergeChange)
+
+    def test_mixed_topology_is_roughly_even(self):
+        """§2.2: equal likelihood of either change when both feasible."""
+        generator = UniformChangeGenerator()
+        topology = Topology(
+            components=(frozenset({0, 1, 2}), frozenset({3, 4}))
+        )
+        rng = random.Random(42)
+        kinds = Counter(
+            type(generator.propose(topology, rng)).__name__ for _ in range(600)
+        )
+        assert 0.4 < kinds["PartitionChange"] / 600 < 0.6
+        assert 0.4 < kinds["MergeChange"] / 600 < 0.6
+
+    def test_partitions_move_variable_fractions(self):
+        """§2.2: the moved percentage is random, not an even split."""
+        generator = UniformChangeGenerator()
+        topology = Topology.fully_connected(10)
+        rng = random.Random(7)
+        sizes = {
+            len(generator.propose(topology, rng).moved) for _ in range(300)
+        }
+        assert len(sizes) >= 5  # many distinct split sizes appear
+
+    def test_proposals_are_always_applicable(self):
+        generator = UniformChangeGenerator()
+        topology = Topology.fully_connected(6)
+        rng = random.Random(3)
+        for _ in range(300):
+            change = generator.propose(topology, rng)
+            topology = apply_change(topology, change)
+
+    def test_infeasible_topology_returns_none(self):
+        generator = UniformChangeGenerator()
+        assert generator.propose(Topology.fully_connected(1), random.Random(0)) is None
+
+
+class TestCrashRecoveryGenerator:
+    def test_crash_weight_validation(self):
+        with pytest.raises(ValueError):
+            CrashRecoveryChangeGenerator(crash_weight=1.5)
+
+    def test_generates_crashes_and_recoveries(self):
+        generator = CrashRecoveryChangeGenerator(crash_weight=1.0, max_crashed=2)
+        topology = Topology.fully_connected(6)
+        rng = random.Random(5)
+        seen = set()
+        for _ in range(100):
+            change = generator.propose(topology, rng)
+            seen.add(type(change).__name__)
+            topology = apply_change(topology, change)
+        assert "CrashChange" in seen
+        assert "RecoverChange" in seen
+
+    def test_respects_max_crashed(self):
+        generator = CrashRecoveryChangeGenerator(crash_weight=1.0, max_crashed=1)
+        topology = Topology.fully_connected(4)
+        rng = random.Random(1)
+        for _ in range(60):
+            change = generator.propose(topology, rng)
+            topology = apply_change(topology, change)
+            assert len(topology.crashed) <= 1
+
+    def test_zero_weight_degenerates_to_uniform(self):
+        generator = CrashRecoveryChangeGenerator(crash_weight=0.0)
+        topology = Topology.fully_connected(4)
+        rng = random.Random(1)
+        for _ in range(50):
+            change = generator.propose(topology, rng)
+            assert isinstance(change, (PartitionChange, MergeChange))
+            topology = apply_change(topology, change)
+
+
+class TestSkewedPartitionGenerator:
+    def test_styles_validated(self):
+        from repro.net.changes import SkewedPartitionGenerator
+
+        with pytest.raises(ValueError):
+            SkewedPartitionGenerator(style="spiral")
+
+    def test_singleton_style_moves_one_process(self):
+        from repro.net.changes import SkewedPartitionGenerator
+
+        generator = SkewedPartitionGenerator(style="singleton")
+        topology = Topology.fully_connected(8)
+        rng = random.Random(0)
+        for _ in range(20):
+            change = generator.propose(topology, rng)
+            if isinstance(change, PartitionChange):
+                assert len(change.moved) == 1
+
+    def test_even_style_halves_components(self):
+        from repro.net.changes import SkewedPartitionGenerator
+
+        generator = SkewedPartitionGenerator(style="even")
+        topology = Topology.fully_connected(8)
+        rng = random.Random(0)
+        change = generator.propose(topology, rng)
+        assert isinstance(change, PartitionChange)
+        assert len(change.moved) == 4
+
+    def test_uniform_style_matches_base_distribution(self):
+        from repro.net.changes import SkewedPartitionGenerator
+
+        generator = SkewedPartitionGenerator(style="uniform")
+        topology = Topology.fully_connected(10)
+        rng = random.Random(7)
+        sizes = {len(generator.propose(topology, rng).moved) for _ in range(200)}
+        assert len(sizes) >= 5

@@ -1,0 +1,115 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_scales(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_1" in out
+        assert "tab_rounds" in out
+        assert "smoke" in out and "paper" in out
+
+
+class TestRun:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["run", "tab_rounds", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Message rounds" in out
+        assert "tab_rounds done" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        assert main(
+            ["run", "fig4_1", "--scale", "smoke", "--csv", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "csv written" in out
+        assert (tmp_path / "fig4_1.csv").exists()
+
+    def test_seed_option(self, capsys):
+        assert main(["run", "tab_rounds", "--scale", "smoke", "--seed", "5"]) == 0
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig9_9"])
+
+    def test_unknown_scale_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig4_1", "--scale", "galactic"])
+
+
+class TestCompare:
+    def test_paired_comparison_output(self, capsys):
+        assert main([
+            "compare", "ykd", "dfls",
+            "--processes", "6", "--changes", "6", "--rate", "1",
+            "--runs", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "paired runs" in out
+        assert "ykd" in out and "dfls" in out
+        assert "mid-p" in out
+
+    def test_cascading_mode(self, capsys):
+        assert main([
+            "compare", "ykd", "one_pending",
+            "--processes", "6", "--changes", "4", "--rate", "1",
+            "--runs", "30", "--mode", "cascading",
+        ]) == 0
+        assert "cascading mode" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "ykd", "paxos"])
+
+
+class TestTrace:
+    def test_timeline_output(self, capsys):
+        assert main([
+            "trace", "ykd", "--processes", "4", "--changes", "2",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run 0 begins" in out
+        assert "outcome:" in out
+        assert "view#" in out
+
+
+class TestPlotFlag:
+    def test_run_with_plot(self, capsys):
+        assert main(["run", "fig4_1", "--scale", "smoke", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "mean message rounds between connectivity changes" in out
+
+
+class TestVerify:
+    def test_exhaustive_check_passes(self, capsys):
+        assert main([
+            "verify", "ykd", "--processes", "3", "--depth", "1",
+            "--gaps", "0", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios" in out
+        assert "all invariants held" in out
+
+    def test_max_scenarios_option(self, capsys):
+        assert main([
+            "verify", "mr1p", "--processes", "3", "--depth", "2",
+            "--gaps", "0", "--max-scenarios", "20",
+        ]) == 0
+        assert "truncated" in capsys.readouterr().out
+
+
+class TestSoak:
+    def test_endurance_trial(self, capsys):
+        assert main([
+            "soak", "ykd", "--changes", "300", "--processes", "5",
+            "--rate", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "soak complete" in out
+        assert "every invariant intact" in out

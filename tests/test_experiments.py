@@ -1,0 +1,249 @@
+"""Tests for the experiment harness: specs, runners, rendering, CSV."""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    SPECS,
+    all_spec_ids,
+    get_scale,
+    get_spec,
+    render,
+    run_experiment,
+    write_availability_csv,
+)
+from repro.experiments.ablation import run_ablation
+from repro.experiments.ambiguous import run_ambiguous_figure
+from repro.experiments.availability import run_availability_figure
+from repro.experiments.extras import (
+    run_msgsize_table,
+    run_rounds_table,
+    run_scaling_table,
+)
+from repro.experiments.spec import Scale
+
+#: A very small scale so experiment tests stay fast.
+TINY = Scale(
+    name="tiny",
+    n_processes=6,
+    runs=15,
+    rates=(0.0, 4.0),
+    scaling_process_counts=(4, 6),
+)
+
+
+class TestSpecs:
+    def test_every_paper_artifact_has_a_spec(self):
+        ids = all_spec_ids()
+        for figure in range(1, 9):
+            assert f"fig4_{figure}" in ids
+        for table in ("tab_rounds", "tab_scaling", "tab_msgsize"):
+            assert table in ids
+
+    def test_get_spec_and_scale_validate(self):
+        assert get_spec("fig4_1").n_changes == 2
+        assert get_spec("fig4_6").mode == "cascading"
+        with pytest.raises(ExperimentError):
+            get_spec("fig9_9")
+        with pytest.raises(ExperimentError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_thesis_parameters(self):
+        paper = get_scale("paper")
+        assert paper.n_processes == 64
+        assert paper.runs == 1000
+        assert min(paper.rates) == 0.0
+        assert max(paper.rates) == 12.0
+        assert paper.scaling_process_counts == (32, 48, 64)
+
+    def test_specs_have_expectations_documented(self):
+        for spec in SPECS.values():
+            assert spec.expected_shape, spec.experiment_id
+
+
+class TestAvailabilityFigures:
+    def test_runs_and_renders(self):
+        figure = run_availability_figure(get_spec("fig4_1"), TINY)
+        assert set(figure.series) == set(get_spec("fig4_1").algorithms)
+        for points in figure.series.values():
+            assert [rate for rate, _ in points] == [0.0, 4.0]
+            assert all(0.0 <= pct <= 100.0 for _, pct in points)
+        text = render(figure)
+        assert "Figure 4-1" in text
+        assert "YKD" in text and "Simple Majority" in text
+
+    def test_at_accessor(self):
+        figure = run_availability_figure(get_spec("fig4_1"), TINY)
+        assert figure.at("ykd", 0.0) == dict(figure.series["ykd"])[0.0]
+        with pytest.raises(KeyError):
+            figure.at("ykd", 3.3)
+
+    def test_csv_export(self, tmp_path):
+        figure = run_availability_figure(get_spec("fig4_1"), TINY)
+        path = write_availability_csv(figure, tmp_path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("mean_rounds_between_changes")
+        assert len(lines) == 1 + len(TINY.rates)
+
+
+class TestAmbiguousFigures:
+    def test_runs_and_renders_both_views(self):
+        spec7 = replace(get_spec("fig4_7"))
+        figure = run_ambiguous_figure(spec7, TINY)
+        cell = figure.cell(2, 0.0, "ykd")
+        assert 0.0 <= cell.stable_retained_percent <= 100.0
+        assert 0.0 <= cell.in_progress_retained_percent <= 100.0
+        assert "stable" in render(figure)
+        spec8 = get_spec("fig4_8")
+        figure8 = run_ambiguous_figure(spec8, TINY)
+        assert "in progress" in render(figure8)
+
+
+class TestTables:
+    def test_rounds_table_matches_declared_counts(self):
+        table = run_rounds_table(get_spec("tab_rounds"), TINY)
+        by_name = {row.algorithm: row for row in table.rows}
+        assert by_name["ykd"].declared_rounds == 2
+        assert by_name["dfls"].declared_rounds == 3
+        assert by_name["mr1p"].declared_rounds_with_pending == 5
+        assert by_name["simple_majority"].measured_mean_rounds == 0.0
+        # DFLS's confirm round shows in the quiescence tail.
+        assert (
+            by_name["dfls"].measured_quiescence_rounds
+            > by_name["ykd"].measured_quiescence_rounds
+        )
+        assert "declared" in render(table)
+
+    def test_scaling_table(self):
+        table = run_scaling_table(get_spec("tab_scaling"), TINY)
+        for algorithm, points in table.series.items():
+            assert [n for n, _ in points] == [4, 6]
+            assert table.spread(algorithm) <= 100.0
+        assert "process count" in render(table)
+
+    def test_msgsize_table(self):
+        table = run_msgsize_table(get_spec("tab_msgsize"), TINY)
+        assert {row.algorithm for row in table.rows} == {
+            "ykd", "ykd_unopt", "dfls",
+        }
+        assert all(row.max_bytes > 0 for row in table.rows)
+        assert "bytes" in render(table)
+
+
+class TestAblations:
+    def test_never_formed_ablation(self):
+        result = run_ablation(get_spec("abl_never_formed"), TINY)
+        assert any("identical" in note for note in result.notes)
+        assert "YKD" in render(result)
+
+    def test_rounds_gap_ablation(self):
+        result = run_ablation(get_spec("abl_rounds"), TINY)
+        assert any("YKD succeeds where DFLS fails" in n for n in result.notes)
+
+    def test_schedules_ablation(self):
+        result = run_ablation(get_spec("abl_schedules"), TINY)
+        assert set(result.availability) == {
+            "geometric", "deterministic", "burst(3)",
+        }
+
+    def test_crashes_ablation(self):
+        result = run_ablation(get_spec("abl_crashes"), TINY)
+        assert len(result.availability) == 2
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_ablation(get_spec("fig4_1"), TINY)
+
+
+class TestRunExperimentDispatch:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["fig4_1", "fig4_7", "tab_rounds", "tab_scaling", "tab_msgsize",
+         "abl_rounds"],
+    )
+    def test_dispatch_renders_every_kind(self, experiment_id):
+        result = run_experiment(experiment_id, scale=TINY)
+        assert render(result)
+
+    def test_string_scales_resolve(self):
+        result = run_experiment("tab_rounds", scale="smoke")
+        assert render(result)
+
+
+class TestLongRun:
+    def test_windows_and_trend(self):
+        from repro.experiments.longrun import run_longrun
+
+        series = run_longrun(get_spec("ext_longrun"), TINY)
+        assert series.windows == 6
+        for algorithm in get_spec("ext_longrun").algorithms:
+            assert len(series.series[algorithm]) == 6
+        # trend is late-mean minus early-mean, bounded by construction.
+        assert -100.0 <= series.trend("ykd") <= 100.0
+        assert "window" in render(series)
+        assert "trend" in render(series)
+
+    def test_dispatch_renders_longrun(self):
+        result = run_experiment("ext_longrun", scale=TINY)
+        assert "Windowed availability" in render(result)
+
+
+class TestMethodologyAblations:
+    def test_cut_model_conditions(self):
+        result = run_ablation(get_spec("abl_cut_model"), TINY)
+        assert set(result.availability) == {
+            "cut p=0.25", "cut p=0.5", "cut p=0.75",
+        }
+        assert result.notes
+
+    def test_partition_shape_conditions(self):
+        result = run_ablation(get_spec("abl_partition_shape"), TINY)
+        assert len(result.availability) == 3
+        assert result.notes
+
+
+class TestGCSSubstrateExperiment:
+    def test_runs_and_renders(self):
+        result = run_ablation(get_spec("ext_gcs_substrate"), TINY)
+        assert len(result.availability) == 2
+        assert any("ordering holds" in note for note in result.notes)
+        assert "group communication" in render(result)
+
+
+class TestIntervals:
+    def test_interval_at_brackets_the_point(self):
+        figure = run_availability_figure(get_spec("fig4_1"), TINY)
+        for algorithm in figure.series:
+            for rate in TINY.rates:
+                low, high = figure.interval_at(algorithm, rate)
+                assert 0.0 <= low <= figure.at(algorithm, rate) <= high <= 100.0
+
+    def test_render_includes_half_widths(self):
+        figure = run_availability_figure(get_spec("fig4_1"), TINY)
+        from repro.experiments.report import render_availability
+
+        with_ci = render_availability(figure)
+        assert "±" in with_ci
+        assert "Wilson" in with_ci
+        without = render_availability(figure, with_intervals=False)
+        assert "±" not in without
+
+    def test_workers_dispatch_matches_serial(self):
+        serial = run_availability_figure(get_spec("fig4_1"), TINY, workers=1)
+        parallel = run_availability_figure(get_spec("fig4_1"), TINY, workers=2)
+        assert serial.series == parallel.series
+
+
+class TestAmbiguousCsv:
+    def test_export(self, tmp_path):
+        from repro.experiments.report import write_ambiguous_csv
+
+        figure = run_ambiguous_figure(get_spec("fig4_7"), TINY)
+        path = write_ambiguous_csv(figure, tmp_path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("n_changes,mean_rounds,algorithm")
+        # 3 change counts × len(rates) × 3 algorithms data rows.
+        assert len(lines) == 1 + 3 * len(TINY.rates) * 3

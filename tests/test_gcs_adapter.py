@@ -1,0 +1,137 @@
+"""Tests for primary-component algorithms running over the GCS.
+
+The thesis' portability claim (§2.1): "any group communication service
+which has reliable multicast and can report connectivity changes will
+work".  These tests run the exact algorithm classes from the simulation
+study over the negotiated stack and check both behaviour and safety.
+"""
+
+import random
+
+import pytest
+
+from repro.core.registry import algorithm_names
+from repro.gcs.adapter import PrimaryComponentService
+from repro.net.changes import UniformChangeGenerator, apply_change
+from repro.net.topology import Topology
+
+
+def partition(service, moved):
+    moved = frozenset(moved)
+    component = next(
+        c for c in service.cluster.topology.components if moved <= c
+    )
+    service.set_topology(service.cluster.topology.partition(component, moved))
+
+
+def merge_all(service):
+    while len(service.cluster.topology.components) > 1:
+        first, second = service.cluster.topology.components[:2]
+        service.set_topology(
+            service.cluster.topology.merge(first, second)
+        )
+        service.run_until_stable()
+
+
+class TestYkdOverGCS:
+    def test_initial_primary_is_everyone(self):
+        service = PrimaryComponentService("ykd", 5)
+        service.run_until_stable()
+        assert service.primary_members() == (0, 1, 2, 3, 4)
+
+    def test_partition_shrinks_the_primary(self):
+        service = PrimaryComponentService("ykd", 5)
+        service.run_until_stable()
+        partition(service, {3, 4})
+        service.run_until_stable()
+        assert service.primary_members() == (0, 1, 2)
+
+    def test_dynamic_voting_chains_below_original_majority(self):
+        service = PrimaryComponentService("ykd", 5)
+        service.run_until_stable()
+        partition(service, {3, 4})
+        service.run_until_stable()
+        partition(service, {2})
+        service.run_until_stable()
+        # {0,1} is 2 of the original 5 — only dynamic voting allows it.
+        assert service.primary_members() == (0, 1)
+
+    def test_merge_restores_the_full_primary(self):
+        service = PrimaryComponentService("ykd", 5)
+        service.run_until_stable()
+        partition(service, {3, 4})
+        service.run_until_stable()
+        merge_all(service)
+        assert service.primary_members() == (0, 1, 2, 3, 4)
+        for algorithm in service.algorithms.values():
+            assert algorithm.ambiguous == []
+
+
+class TestEveryAlgorithmOverGCS:
+    @pytest.mark.parametrize("algorithm", algorithm_names())
+    def test_partition_merge_cycle(self, algorithm):
+        service = PrimaryComponentService(algorithm, 5)
+        service.run_until_stable()
+        partition(service, {3, 4})
+        service.run_until_stable()
+        primary = service.primary_members()
+        if primary is not None:
+            assert primary == (0, 1, 2)
+        merge_all(service)
+        assert service.primary_members() == (0, 1, 2, 3, 4)
+
+    @pytest.mark.parametrize("algorithm", ["ykd", "dfls", "one_pending", "mr1p"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_safety_under_random_walks(self, algorithm, seed):
+        """Random topology walks with little breathing room: the
+        co-viewer invariant runs every tick, and every stable point must
+        show at most one primary component."""
+        service = PrimaryComponentService(algorithm, 6)
+        rng = random.Random(seed)
+        generator = UniformChangeGenerator()
+        for _ in range(10):
+            change = generator.propose(service.cluster.topology, rng)
+            if change is not None:
+                service.set_topology(
+                    apply_change(service.cluster.topology, change)
+                )
+            for _ in range(rng.randint(1, 6)):
+                service.tick()
+        service.run_until_stable(max_ticks=500)
+        primary = service.primary_members()
+        if primary is not None:
+            # Strict form at stability: claimants form one component.
+            members = frozenset(primary)
+            assert any(
+                members == component
+                for component in service.cluster.topology.components
+            )
+        merge_all(service)
+        assert service.primary_members() == tuple(range(6))
+
+
+class TestCrossSubstrateConsistency:
+    def test_gcs_and_driver_agree_on_scripted_scenario(self):
+        """The same fault script produces the same primaries on both
+        substrates (negotiated GCS vs the thesis-style driver)."""
+        from tests.conftest import heal, make_driver, split
+
+        service = PrimaryComponentService("ykd", 5)
+        service.run_until_stable()
+        driver = make_driver("ykd", 5)
+
+        partition(service, {3, 4})
+        service.run_until_stable()
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert service.primary_members() == driver.primary_members()
+
+        partition(service, {2})
+        service.run_until_stable()
+        split(driver, {2})
+        driver.run_until_quiescent()
+        assert service.primary_members() == driver.primary_members()
+
+        merge_all(service)
+        heal(driver)
+        assert service.primary_members() == driver.primary_members()

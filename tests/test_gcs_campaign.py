@@ -1,0 +1,66 @@
+"""Tests for availability campaigns on the GCS substrate — the
+cross-substrate validation of the whole study."""
+
+import pytest
+
+from repro.gcs.campaign import GCSCaseConfig, GCSCaseResult, compare_on_gcs, run_gcs_case
+
+
+class TestGCSCase:
+    def test_runs_and_counts(self):
+        config = GCSCaseConfig(
+            algorithm="ykd", n_processes=5, n_changes=4,
+            mean_ticks_between_changes=4.0, runs=10,
+        )
+        result = run_gcs_case(config)
+        assert len(result.outcomes) == 10
+        assert 0.0 <= result.availability_percent <= 100.0
+
+    def test_reproducible(self):
+        config = GCSCaseConfig(
+            algorithm="dfls", n_processes=5, n_changes=4,
+            mean_ticks_between_changes=3.0, runs=8,
+        )
+        assert run_gcs_case(config).outcomes == run_gcs_case(config).outcomes
+
+    def test_empty_result_rejects_percentage(self):
+        with pytest.raises(ValueError):
+            GCSCaseResult(config=None).availability_percent
+
+
+class TestCrossSubstrateOrdering:
+    def test_paper_orderings_hold_on_the_gcs(self):
+        """The headline cross-validation: the GCS substrate interrupts
+        through natural packet drops and multi-tick membership
+        agreement — a completely different failure microstructure from
+        the driver's mid-round cut — yet the paper's algorithm ordering
+        must survive."""
+        results = compare_on_gcs(
+            ["ykd", "dfls", "one_pending"],
+            n_processes=6,
+            n_changes=8,
+            mean_ticks_between_changes=4.0,
+            runs=40,
+        )
+        ykd = results["ykd"].availability_percent
+        dfls = results["dfls"].availability_percent
+        one_pending = results["one_pending"].availability_percent
+        assert ykd >= dfls
+        assert dfls > one_pending
+
+    def test_identical_fault_sequences_across_algorithms(self):
+        """Simple majority's outcomes depend only on final topologies,
+        so two algorithms' campaigns must expose identical sequences."""
+        first = run_gcs_case(
+            GCSCaseConfig(
+                algorithm="simple_majority", n_processes=5, n_changes=4,
+                mean_ticks_between_changes=2.0, runs=12,
+            )
+        )
+        second = run_gcs_case(
+            GCSCaseConfig(
+                algorithm="simple_majority", n_processes=5, n_changes=4,
+                mean_ticks_between_changes=2.0, runs=12,
+            )
+        )
+        assert first.outcomes == second.outcomes

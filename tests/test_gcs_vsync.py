@@ -1,0 +1,146 @@
+"""Tests for the view-synchrony layer and the full stack's delivery."""
+
+import random
+
+import pytest
+
+from repro.gcs.stack import Delivered, GCSCluster, ViewInstalled
+from repro.gcs.vsync import ViewMessage, VSyncLayer
+from repro.net.topology import Topology
+
+
+class TestVSyncLayer:
+    def make_layer(self, pid=0, members=frozenset({0, 1, 2})):
+        layer = VSyncLayer(pid)
+        layer.enter_view((1, 0), members)
+        return layer
+
+    def test_multicast_targets_all_members_in_order(self):
+        layer = self.make_layer()
+        sends = layer.multicast("hello")
+        assert [dst for dst, _ in sends] == [0, 1, 2]
+        assert all(m.payload == "hello" for _, m in sends)
+        assert sends[0][1].seq == 0
+        assert layer.multicast("again")[0][1].seq == 1
+
+    def test_same_view_delivery(self):
+        layer = self.make_layer()
+        message = ViewMessage(view_id=(1, 0), sender=1, seq=0, payload="m")
+        assert layer.receive(message) == [(1, "m")]
+
+    def test_old_view_traffic_discarded(self):
+        layer = self.make_layer()
+        stale = ViewMessage(view_id=(0, 0), sender=1, seq=0, payload="old")
+        assert layer.receive(stale) == []
+        assert layer.discarded_cross_view == 1
+
+    def test_future_view_traffic_buffered_until_entry(self):
+        layer = self.make_layer()
+        early = ViewMessage(view_id=(2, 0), sender=1, seq=0, payload="early")
+        assert layer.receive(early) == []
+        delivered = layer.enter_view((2, 0), frozenset({0, 1}))
+        assert delivered == [(1, "early")]
+
+    def test_entering_a_later_view_drops_skipped_buffers(self):
+        layer = self.make_layer()
+        skipped = ViewMessage(view_id=(2, 0), sender=1, seq=0, payload="x")
+        layer.receive(skipped)
+        assert layer.enter_view((3, 0), frozenset({0, 1})) == []
+
+    def test_duplicates_suppressed(self):
+        layer = self.make_layer()
+        message = ViewMessage(view_id=(1, 0), sender=1, seq=0, payload="m")
+        assert layer.receive(message) == [(1, "m")]
+        assert layer.receive(message) == []
+
+    def test_non_member_sender_ignored(self):
+        layer = self.make_layer(members=frozenset({0, 1}))
+        foreign = ViewMessage(view_id=(1, 0), sender=9, seq=0, payload="?")
+        assert layer.receive(foreign) == []
+
+
+class TestStackDelivery:
+    def test_multicast_reaches_every_member(self):
+        cluster = GCSCluster(4)
+        cluster.run_until_stable()
+        cluster.stacks[0].multicast("broadcast!")
+        cluster.tick()
+        cluster.tick()
+        for pid in range(4):
+            events = cluster.stacks[pid].poll_events()
+            payloads = [e.payload for e in events if isinstance(e, Delivered)]
+            assert payloads == ["broadcast!"]
+
+    def test_view_events_are_emitted(self):
+        cluster = GCSCluster(4)
+        cluster.run_until_stable()
+        for stack in cluster.stacks.values():
+            stack.poll_events()
+        cluster.set_topology(
+            cluster.topology.partition(frozenset(range(4)), frozenset({3}))
+        )
+        cluster.run_until_stable()
+        events = cluster.stacks[0].poll_events()
+        views = [e for e in events if isinstance(e, ViewInstalled)]
+        assert views
+        assert views[-1].members == frozenset({0, 1, 2})
+
+    def test_same_view_members_see_same_view_seq(self):
+        cluster = GCSCluster(5)
+        cluster.set_topology(
+            cluster.topology.partition(frozenset(range(5)), frozenset({3, 4}))
+        )
+        cluster.run_until_stable()
+        final_seqs = set()
+        for pid in (0, 1, 2):
+            events = cluster.stacks[pid].poll_events()
+            views = [e for e in events if isinstance(e, ViewInstalled)]
+            final_seqs.add(views[-1].seq)
+        assert len(final_seqs) == 1
+
+    def test_traffic_does_not_cross_view_boundaries(self):
+        """A multicast interrupted by a partition is never delivered in
+        the new views (view synchrony's discard semantics)."""
+        cluster = GCSCluster(4)
+        cluster.run_until_stable()
+        for stack in cluster.stacks.values():
+            stack.poll_events()
+        cluster.stacks[0].multicast("straddler")
+        # The partition lands before the message's delivery tick.
+        cluster.set_topology(
+            cluster.topology.partition(frozenset(range(4)), frozenset({2, 3}))
+        )
+        cluster.run_until_stable()
+        for pid in (2, 3):
+            deliveries = [
+                e
+                for e in cluster.stacks[pid].poll_events()
+                if isinstance(e, Delivered)
+            ]
+            assert deliveries == []
+
+
+class TestStackRobustness:
+    def test_unknown_payload_rejected(self):
+        from repro.errors import SimulationError
+        from repro.gcs.stack import GCStack
+
+        stack = GCStack(0, frozenset({0, 1}))
+        with pytest.raises(SimulationError):
+            stack.on_datagram(1, object())
+
+    def test_cluster_requires_two_processes(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            GCSCluster(1)
+
+    def test_future_buffer_is_bounded(self):
+        layer = VSyncLayer(0)
+        layer.enter_view((1, 0), frozenset({0, 1}))
+        layer.MAX_FUTURE_BUFFER  # documented constant
+        for seq in range(VSyncLayer.MAX_FUTURE_BUFFER + 10):
+            layer.receive(
+                ViewMessage(view_id=(9, 0), sender=1, seq=seq, payload=seq)
+            )
+        assert len(layer._future) == VSyncLayer.MAX_FUTURE_BUFFER

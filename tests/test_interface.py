@@ -1,0 +1,142 @@
+"""Tests for the algorithm-to-application interface contract (Fig. 2-1)."""
+
+import pytest
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.message import Message, Piggyback
+from repro.core.view import View, initial_view
+from repro.errors import ProtocolError
+
+
+class Recorder(PrimaryComponentAlgorithm):
+    """Minimal concrete algorithm that records interface calls."""
+
+    name = "recorder"
+
+    def __init__(self, pid, first_view):
+        super().__init__(pid, first_view)
+        self.views = []
+        self.received = []
+
+    def _on_view(self, view):
+        self.views.append(view)
+        self._queue(("hello", view.seq))
+
+    def _on_items(self, sender, items):
+        self.received.extend((sender, item) for item in items)
+
+
+@pytest.fixture
+def algorithm():
+    return Recorder(0, initial_view(3))
+
+
+class TestConstruction:
+    def test_requires_membership_in_initial_view(self):
+        with pytest.raises(ProtocolError):
+            Recorder(9, initial_view(3))
+
+    def test_starts_in_primary(self, algorithm):
+        # All processes begin together: the initial view is primary.
+        assert algorithm.in_primary()
+
+    def test_universe_is_initial_membership(self, algorithm):
+        assert algorithm.universe == frozenset({0, 1, 2})
+
+
+class TestOutgoingPoll:
+    def test_returns_none_when_nothing_queued(self, algorithm):
+        assert algorithm.outgoing_message_poll(Message.empty()) is None
+
+    def test_attaches_queued_items_and_drains_queue(self, algorithm):
+        algorithm.view_changed(View.of([0, 1], seq=1))
+        message = algorithm.outgoing_message_poll(Message.empty())
+        assert message is not None
+        assert message.piggyback.sender == 0
+        assert message.piggyback.view_seq == 1
+        assert ("hello", 1) in message.piggyback.items
+        # A second poll has nothing more to add.
+        assert algorithm.outgoing_message_poll(Message.empty()) is None
+
+    def test_piggybacks_onto_application_message(self, algorithm):
+        algorithm.view_changed(View.of([0, 2], seq=1))
+        app = Message(payload={"app": "data"})
+        message = algorithm.outgoing_message_poll(app)
+        assert message.payload == {"app": "data"}
+        assert message.piggyback is not None
+
+
+class TestIncoming:
+    def test_strips_piggyback_before_application_sees_it(self, algorithm):
+        algorithm.view_changed(View.of([0, 1], seq=1))
+        incoming = Message(
+            payload="app",
+            piggyback=Piggyback(sender=1, view_seq=1, items=("x",)),
+        )
+        returned = algorithm.incoming_message(incoming, sender=1)
+        assert returned.payload == "app"
+        assert returned.piggyback is None
+        assert algorithm.received == [(1, "x")]
+
+    def test_plain_application_message_passes_through(self, algorithm):
+        returned = algorithm.incoming_message(Message(payload="app"), sender=1)
+        assert returned.payload == "app"
+        assert algorithm.received == []
+
+    def test_discards_items_from_other_view_seq(self, algorithm):
+        algorithm.view_changed(View.of([0, 1], seq=2))
+        stale = Message(piggyback=Piggyback(sender=1, view_seq=1, items=("x",)))
+        algorithm.incoming_message(stale, sender=1)
+        assert algorithm.received == []
+
+    def test_discards_items_from_non_member_of_current_view(self, algorithm):
+        algorithm.view_changed(View.of([0, 1], seq=1))
+        foreign = Message(piggyback=Piggyback(sender=2, view_seq=1, items=("x",)))
+        algorithm.incoming_message(foreign, sender=2)
+        assert algorithm.received == []
+
+    def test_rejects_sender_spoofing(self, algorithm):
+        spoofed = Message(piggyback=Piggyback(sender=1, view_seq=0, items=()))
+        with pytest.raises(ProtocolError):
+            algorithm.incoming_message(spoofed, sender=2)
+
+    def test_rejects_unknown_process(self, algorithm):
+        alien = Message(piggyback=Piggyback(sender=7, view_seq=0, items=()))
+        with pytest.raises(ProtocolError):
+            algorithm.incoming_message(alien, sender=7)
+
+
+class TestViewChanged:
+    def test_installs_view_and_calls_hook(self, algorithm):
+        view = View.of([0, 2], seq=1)
+        algorithm.view_changed(view)
+        assert algorithm.current_view == view
+        assert algorithm.views == [view]
+
+    def test_rejects_view_without_self(self, algorithm):
+        with pytest.raises(ProtocolError):
+            algorithm.view_changed(View.of([1, 2], seq=1))
+
+    def test_rejects_processes_outside_initial_view(self, algorithm):
+        with pytest.raises(ProtocolError):
+            algorithm.view_changed(View.of([0, 9], seq=1))
+
+    def test_clears_pending_outgoing_items(self, algorithm):
+        algorithm.view_changed(View.of([0, 1], seq=1))
+        # The hook queued an item for seq 1; a new view must drop it so
+        # no message ever crosses a view boundary.
+        algorithm.view_changed(View.of([0, 2], seq=2))
+        message = algorithm.outgoing_message_poll(Message.empty())
+        assert message.piggyback.view_seq == 2
+        assert message.piggyback.items == (("hello", 2),)
+
+
+class TestIntrospection:
+    def test_debug_stats_shape(self, algorithm):
+        stats = algorithm.debug_stats()
+        assert stats["pid"] == 0
+        assert stats["in_primary"] is True
+        assert stats["ambiguous_sessions"] == 0
+
+    def test_default_formed_primaries_is_empty(self, algorithm):
+        assert algorithm.formed_primaries() == ()

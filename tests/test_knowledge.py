@@ -1,0 +1,149 @@
+"""Tests for the exchanged-state reasoning (LEARN rules, KnowledgeBook)."""
+
+import pytest
+
+from repro.core.knowledge import (
+    KnowledgeBook,
+    Outcome,
+    formed_anywhere,
+    make_state_item,
+    outcome_for,
+    provably_never_formed,
+)
+from repro.core.session import Session, initial_session
+
+W = initial_session(range(5))
+
+
+def state(session_number=0, ambiguous=(), last_primary=W, last_formed=None):
+    if last_formed is None:
+        last_formed = {q: W for q in range(5)}
+    return make_state_item(session_number, ambiguous, last_primary, last_formed)
+
+
+class TestStateItem:
+    def test_formed_evidence_collects_primary_and_formed_rows(self):
+        s1 = Session.of(1, [0, 1, 2])
+        s2 = Session.of(2, [0, 1])
+        item = state(last_primary=s2, last_formed={0: s2, 1: s2, 2: s1, 3: W, 4: W})
+        assert item.formed_evidence() == {W, s1, s2}
+
+    def test_last_formed_map_round_trips(self):
+        item = state()
+        assert item.last_formed_map == {q: W for q in range(5)}
+
+    def test_state_items_are_hashable_values(self):
+        assert state() == state()
+        assert hash(state()) == hash(state())
+
+
+class TestOutcomeFor:
+    def test_formed_when_session_in_evidence(self):
+        s1 = Session.of(1, [0, 1, 2])
+        peer = state(last_primary=s1, last_formed={0: s1, 1: s1, 2: s1, 3: W, 4: W})
+        assert outcome_for(peer, s1) is Outcome.FORMED
+
+    def test_not_formed_when_some_member_row_is_older(self):
+        s1 = Session.of(1, [0, 1, 2])
+        # The peer's lastFormed rows for s1's members still point at W
+        # (number 0 < 1): had it formed s1, they would have been raised.
+        peer = state()
+        assert outcome_for(peer, s1) is Outcome.NOT_FORMED
+
+    def test_unknown_when_rows_overtaken_by_later_sessions(self):
+        s1 = Session.of(1, [0, 1])
+        s2 = Session.of(2, [0, 1])
+        # Every member of s1 was overwritten by the later s2: the state
+        # alone cannot prove innocence for s1.
+        peer = state(last_primary=s2, last_formed={0: s2, 1: s2, 2: W, 3: W, 4: W})
+        assert outcome_for(peer, s1) is Outcome.UNKNOWN
+
+
+class TestGlobalRules:
+    def test_formed_anywhere(self):
+        s1 = Session.of(1, [0, 1])
+        witness = state(last_primary=s1, last_formed={0: s1, 1: s1, 2: W, 3: W, 4: W})
+        assert formed_anywhere({0: witness, 1: state()}, s1)
+        assert not formed_anywhere({1: state()}, s1)
+
+    def test_provably_never_formed_needs_every_member(self):
+        s1 = Session.of(1, [0, 1, 2])
+        innocent = state()
+        states = {0: innocent, 1: innocent}
+        assert not provably_never_formed(states, s1)  # member 2 missing
+        states[2] = innocent
+        assert provably_never_formed(states, s1)
+
+    def test_provably_never_formed_vetoed_by_formed_member(self):
+        s1 = Session.of(1, [0, 1])
+        witness = state(last_primary=s1, last_formed={0: s1, 1: s1, 2: W, 3: W, 4: W})
+        states = {0: witness, 1: state()}
+        assert not provably_never_formed(states, s1)
+
+
+class TestKnowledgeBook:
+    def test_open_session_requires_membership(self):
+        book = KnowledgeBook(owner=4)
+        with pytest.raises(ValueError):
+            book.open_session(Session.of(1, [0, 1]))
+
+    def test_owner_starts_as_innocent(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1])
+        book.open_session(session)
+        assert book.outcome(session, 0) is Outcome.NOT_FORMED
+        assert book.outcome(session, 1) is Outcome.UNKNOWN
+
+    def test_nobody_formed_requires_all_members(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1, 2])
+        book.open_session(session)
+        book.learn(session, 1, Outcome.NOT_FORMED)
+        assert not book.nobody_formed(session)
+        book.learn(session, 2, Outcome.NOT_FORMED)
+        assert book.nobody_formed(session)
+
+    def test_formed_fact_vetoes_nobody_formed(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1])
+        book.open_session(session)
+        book.learn(session, 1, Outcome.NOT_FORMED)
+        book.learn(session, 1, Outcome.FORMED)  # formation evidence arrived
+        assert book.anyone_formed(session)
+        assert not book.nobody_formed(session)
+
+    def test_facts_accumulate_across_exchanges(self):
+        """A process can meet members of a pending session one at a time."""
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1, 2])
+        book.open_session(session)
+        innocent = state()
+        book.learn_from_states(session, {1: innocent})
+        assert not book.nobody_formed(session)
+        book.learn_from_states(session, {2: innocent})
+        assert book.nobody_formed(session)
+
+    def test_learn_from_states_ignores_non_members(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1])
+        book.open_session(session)
+        book.learn_from_states(session, {3: state()})
+        assert book.outcome(session, 3) is Outcome.UNKNOWN
+
+    def test_close_and_clear(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1])
+        book.open_session(session)
+        assert book.tracked_sessions() == (session,)
+        book.close_session(session)
+        assert book.tracked_sessions() == ()
+        book.open_session(session)
+        book.clear()
+        assert book.tracked_sessions() == ()
+        assert not book.nobody_formed(session)
+
+    def test_untracked_sessions_are_ignored(self):
+        book = KnowledgeBook(owner=0)
+        session = Session.of(1, [0, 1])
+        book.learn(session, 1, Outcome.NOT_FORMED)
+        assert book.outcome(session, 1) is Outcome.UNKNOWN

@@ -1,0 +1,67 @@
+"""Liveness properties: a healed, quiet network always recovers.
+
+Safety (never two primaries) is necessary but not sufficient — an
+algorithm that never forms anything is trivially safe.  These tests pin
+the complementary obligation: after arbitrary fault pressure, merging
+every component back together and letting the system quiesce must
+always yield the full primary component, with every process agreeing
+and no ambiguous sessions left anywhere.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.registry import algorithm_names
+
+from tests.conftest import heal, make_driver
+
+ALL_ALGORITHMS = algorithm_names()
+
+
+def pressure(driver, rng_seed, steps):
+    """Apply a burst of random changes with minimal breathing room."""
+    import random
+
+    rng = random.Random(rng_seed)
+    for _ in range(steps):
+        change = driver.change_generator.propose(driver.topology, driver.fault_rng)
+        driver.run_round(change)
+        for _ in range(rng.randint(0, 2)):
+            driver.run_round()
+    driver.run_until_quiescent()
+
+
+class TestRecoveryAfterHeal:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_merge_restores_the_full_primary(self, algorithm, seed):
+        driver = make_driver(algorithm, 6, seed=seed)
+        pressure(driver, rng_seed=seed, steps=8)
+        heal(driver)
+        assert driver.primary_members() == tuple(range(6)), (
+            f"{algorithm} failed to recover after healing (seed {seed})"
+        )
+
+    @pytest.mark.parametrize("algorithm", ["ykd", "ykd_unopt", "dfls", "one_pending"])
+    def test_no_ambiguous_sessions_survive_recovery(self, algorithm):
+        driver = make_driver(algorithm, 6, seed=3)
+        pressure(driver, rng_seed=3, steps=8)
+        heal(driver)
+        for pid in range(6):
+            assert driver.algorithms[pid].ambiguous == []
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        algorithm=st.sampled_from(ALL_ALGORITHMS),
+        n_processes=st.integers(min_value=2, max_value=9),
+        steps=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_recovery_property(self, algorithm, n_processes, steps, seed):
+        driver = make_driver(algorithm, n_processes, seed=seed)
+        pressure(driver, rng_seed=seed, steps=steps)
+        heal(driver)
+        assert driver.primary_members() == tuple(range(n_processes))

@@ -1,0 +1,53 @@
+"""Tests for the simple majority baseline (§3.3)."""
+
+import pytest
+
+from repro.core.majority import SimpleMajority
+from repro.core.view import View, initial_view
+from repro.errors import ProtocolError
+
+from tests.conftest import heal, make_driver, split
+
+
+class TestSimpleMajority:
+    def test_majority_view_is_primary(self):
+        algorithm = SimpleMajority(0, initial_view(5))
+        algorithm.view_changed(View.of([0, 1, 2], seq=1))
+        assert algorithm.in_primary()
+
+    def test_minority_view_is_not(self):
+        algorithm = SimpleMajority(0, initial_view(5))
+        algorithm.view_changed(View.of([0, 1], seq=1))
+        assert not algorithm.in_primary()
+
+    def test_half_view_uses_tie_break(self):
+        with_designated = SimpleMajority(0, initial_view(4))
+        with_designated.view_changed(View.of([0, 1], seq=1))
+        assert with_designated.in_primary()
+        without = SimpleMajority(2, initial_view(4))
+        without.view_changed(View.of([2, 3], seq=1))
+        assert not without.in_primary()
+
+    def test_never_sends_messages(self):
+        driver = make_driver("simple_majority", 5)
+        split(driver, {3, 4})
+        rounds = driver.run_until_quiescent()
+        assert rounds == 1  # immediately silent: nothing was ever sent
+
+    def test_receiving_anything_is_a_protocol_error(self):
+        algorithm = SimpleMajority(0, initial_view(3))
+        with pytest.raises(ProtocolError):
+            algorithm._on_items(1, ["x"])
+
+    def test_no_dynamic_voting_memory(self):
+        """Unlike YKD, losing the original majority loses the primary,
+        even when a majority of the previous primary survives."""
+        driver = make_driver("simple_majority", 5)
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert driver.primary_members() == (0, 1, 2)
+        split(driver, {2})
+        driver.run_until_quiescent()
+        assert not driver.primary_exists()
+        heal(driver)
+        assert driver.primary_members() == (0, 1, 2, 3, 4)

@@ -1,0 +1,79 @@
+"""Tests for the message envelope and the size accounting."""
+
+import pytest
+
+from repro.core.message import (
+    Message,
+    Piggyback,
+    estimate_item_size_bits,
+    estimate_piggyback_size_bits,
+)
+from repro.core.session import Session
+
+
+class TestMessage:
+    def test_empty_message(self):
+        message = Message.empty()
+        assert message.is_empty()
+        assert message.payload is None
+        assert message.piggyback is None
+
+    def test_with_piggyback_preserves_payload(self):
+        piggyback = Piggyback(sender=1, view_seq=2, items=("x",))
+        message = Message(payload="app-data").with_piggyback(piggyback)
+        assert message.payload == "app-data"
+        assert message.piggyback is piggyback
+        assert not message.is_empty()
+
+    def test_stripped_removes_only_piggyback(self):
+        piggyback = Piggyback(sender=1, view_seq=2, items=())
+        message = Message(payload="app-data", piggyback=piggyback).stripped()
+        assert message.payload == "app-data"
+        assert message.piggyback is None
+
+    def test_piggyback_items_are_immutable_tuple(self):
+        piggyback = Piggyback(sender=0, view_seq=0, items=[1, 2])
+        assert piggyback.items == (1, 2)
+        assert len(piggyback) == 2
+
+
+class TestSizeEstimation:
+    def test_session_costs_two_n_bits(self):
+        session = Session.of(5, [0, 1])
+        assert estimate_item_size_bits(session, universe_size=64) == 128
+
+    def test_scalars(self):
+        assert estimate_item_size_bits(None, 8) == 0
+        assert estimate_item_size_bits(True, 8) == 1
+        assert estimate_item_size_bits(7, 8) == 8
+        assert estimate_item_size_bits("sent", 8) == 8
+        assert estimate_item_size_bits(frozenset({1, 2}), 8) == 8
+
+    def test_containers_sum_recursively(self):
+        items = [Session.of(1, [0]), Session.of(2, [1])]
+        assert estimate_item_size_bits(items, 16) == 64
+        assert estimate_item_size_bits({0: 1}, 8) == 16
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            estimate_item_size_bits(object(), 8)
+
+    def test_piggyback_size_includes_header(self):
+        piggyback = Piggyback(sender=0, view_seq=0, items=(Session.of(1, [0]),))
+        assert estimate_piggyback_size_bits(piggyback, 8) == 16 + 16
+
+    def test_ykd_state_item_sizes_are_plausible(self):
+        """A 64-process YKD state broadcast should be well under 2 KB."""
+        from repro.core.knowledge import make_state_item
+        from repro.core.session import initial_session
+
+        w = initial_session(range(64))
+        item = make_state_item(
+            session_number=10,
+            ambiguous=[Session.of(9, range(32)), Session.of(10, range(16))],
+            last_primary=w,
+            last_formed={q: w for q in range(64)},
+        )
+        piggyback = Piggyback(sender=0, view_seq=1, items=(item,))
+        size_bytes = estimate_piggyback_size_bits(piggyback, 64) / 8
+        assert size_bytes < 2048

@@ -1,0 +1,168 @@
+"""Behavioural tests for MR1p, the majority-resilient 1-pending (§3.2.4)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.mr1p import (
+    MR1p,
+    STATUS_ATTEMPT,
+    STATUS_NONE,
+    STATUS_SENT,
+    AttemptVoteItem,
+    ShareItem,
+)
+from repro.core.view import View, initial_view
+from repro.net.changes import MergeChange, PartitionChange
+from repro.sim.campaign import CaseConfig, run_case
+
+from tests.conftest import heal, make_driver, split
+
+
+def interrupt_attempt(driver, moved):
+    driver.run_round()  # <V,1> exchanged; attempt votes queued
+    component = next(
+        c for c in driver.topology.components if frozenset(moved) <= c
+    )
+    driver.run_round(PartitionChange(component=component, moved=frozenset(moved)))
+
+
+class TestInitialState:
+    def test_starts_primary_with_initial_view(self):
+        algorithm = MR1p(0, initial_view(4))
+        assert algorithm.in_primary()
+        assert algorithm.cur_primary.members == frozenset(range(4))
+        assert algorithm.pending is None
+        assert algorithm.status == STATUS_NONE
+
+
+class TestCleanFormation:
+    def test_two_rounds_without_pending(self):
+        """§3.4: MR1p needs only two rounds when nothing is pending."""
+        driver = make_driver("mr1p", 5)
+        split(driver, {3, 4})
+        driver.run_round()  # <V,1>
+        assert not driver.primary_exists()
+        driver.run_round()  # attempt votes -> formed
+        assert driver.primary_members() == (0, 1, 2)
+
+    def test_formation_requires_try_from_all(self):
+        """One member refusing (no subquorum) stalls the whole view."""
+        driver = make_driver("mr1p", 5)
+        split(driver, {3, 4})
+        driver.run_until_quiescent()     # {0,1,2} formed
+        split(driver, {0, 1})            # {0,1} is majority of {0,1,2}
+        driver.run_until_quiescent()
+        assert driver.primary_members() == (0, 1)
+        # {2}: cur_primary={0,1,2}; alone it is no subquorum -> idle.
+        assert not driver.algorithms[2].in_primary()
+
+    def test_formation_needs_only_majority_of_attempt_votes(self):
+        """Step 5 declares the primary on a majority of votes."""
+        # Covered behaviourally: a clean formation delivers all votes,
+        # so instead check the vote-counting logic directly.
+        algorithm = MR1p(0, initial_view(3))
+        view = View.of([0, 1, 2], seq=1)
+        algorithm.view_changed(view)
+        algorithm._try_senders = {0, 1, 2}
+        algorithm.pending = view
+        algorithm.status = STATUS_SENT
+        algorithm._maybe_vote_attempt()
+        assert algorithm.status == STATUS_ATTEMPT
+        algorithm._handle_attempt_vote(0, AttemptVoteItem(view=view))
+        assert not algorithm.in_primary()  # 1 of 3 votes
+        algorithm._handle_attempt_vote(1, AttemptVoteItem(view=view))
+        assert algorithm.in_primary()  # 2 of 3 votes: majority
+
+
+class TestResolution:
+    def make_pending(self, seed):
+        """Interrupt a formation so someone carries a pending session."""
+        driver = make_driver("mr1p", 5, seed=seed)
+        split(driver, {3, 4})
+        interrupt_attempt(driver, {2})
+        driver.run_until_quiescent()
+        return driver
+
+    def find_pending(self):
+        for seed in range(64):
+            driver = self.make_pending(seed)
+            if any(
+                driver.algorithms[p].ambiguous_session_count() for p in range(5)
+            ):
+                return driver
+        pytest.fail("no seed produced a pending MR1p session")
+
+    def test_interruption_creates_pending_session(self):
+        driver = self.find_pending()
+        holders = [
+            p for p in range(5)
+            if driver.algorithms[p].ambiguous_session_count()
+        ]
+        assert holders  # someone holds the interrupted <V,1> session
+
+    def test_majority_resolution_unblocks(self):
+        """Unlike 1-pending, a majority of the pending session's members
+        suffices to resolve it."""
+        driver = self.find_pending()
+        heal(driver)
+        assert driver.primary_members() == (0, 1, 2, 3, 4)
+        for pid in range(5):
+            assert driver.algorithms[pid].pending is None or (
+                driver.algorithms[pid].pending.members
+                == frozenset(range(5))
+            )
+
+    def test_aborted_answer_resolves_immediately(self):
+        """A member of the session with no record of it answers
+        'aborted', which is definitive."""
+        algorithm = MR1p(0, initial_view(3))
+        view = View.of([0, 1, 2], seq=1)
+        algorithm.view_changed(view)
+        # A peer asks about a session we are a member of but never saw.
+        ghost = View.of([0, 1], seq=7)
+        algorithm._on_items(1, [ShareItem(view=ghost, num=1, status=STATUS_SENT)])
+        outgoing = algorithm.outgoing_message_poll(Message.empty())
+        kinds = [
+            (item.kind, item.view)
+            for item in outgoing.piggyback.items
+            if type(item).__name__ == "InfoItem"
+        ]
+        assert ("aborted", ghost) in kinds
+
+    def test_share_answers_are_deferred_one_round(self):
+        """Shares are answered, never treated as direct information —
+        preserving the thesis' five-round resolution pipeline."""
+        algorithm = MR1p(0, initial_view(3))
+        view = View.of([0, 1, 2], seq=1)
+        pending = View.of([0, 1], seq=7)
+        algorithm.view_changed(view)
+        algorithm.pending = pending
+        algorithm.num, algorithm.status = 1, STATUS_SENT
+        algorithm._on_items(1, [ShareItem(view=pending, num=1, status=STATUS_SENT)])
+        assert 1 not in algorithm._infos  # the share itself is not info
+        assert not algorithm._call_done
+
+
+class TestAvailabilityShape:
+    BASE = CaseConfig(
+        algorithm="mr1p",
+        n_processes=8,
+        n_changes=12,
+        mean_rounds_between_changes=1.0,
+        runs=80,
+        master_seed=13,
+    )
+
+    def test_cascading_collapse(self):
+        """§4.1: cascading faults hit MR1p's long pipeline hardest —
+        it falls well below its fresh-start availability."""
+        fresh = run_case(self.BASE)
+        cascading = run_case(replace(self.BASE, mode="cascading"))
+        assert cascading.availability_percent < fresh.availability_percent
+
+    def test_below_ykd_under_frequent_changes(self):
+        mr1p = run_case(replace(self.BASE, mode="cascading"))
+        ykd = run_case(replace(self.BASE, algorithm="ykd", mode="cascading"))
+        assert mr1p.availability_percent < ykd.availability_percent

@@ -1,0 +1,124 @@
+"""Behavioural tests for the 1-pending variant (§3.2.3)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.net.changes import MergeChange, PartitionChange
+from repro.sim.campaign import CaseConfig, run_case
+
+from tests.conftest import heal, make_driver, split
+
+
+def interrupt_attempt(driver, moved):
+    """Complete the state round, then cut the attempt round."""
+    driver.run_round()
+    component = next(
+        c for c in driver.topology.components if frozenset(moved) <= c
+    )
+    driver.run_round(PartitionChange(component=component, moved=frozenset(moved)))
+
+
+def make_pending_scenario(seed):
+    """Drive {0..4} so that process 2 holds a pending session {0,1,2}."""
+    driver = make_driver("one_pending", 5, seed=seed)
+    split(driver, {3, 4})
+    interrupt_attempt(driver, {2})
+    driver.run_until_quiescent()
+    c = driver.algorithms[2]
+    if any(s.members == frozenset({0, 1, 2}) for s in c.ambiguous):
+        return driver
+    return None
+
+
+def find_pending_scenario():
+    for seed in range(64):
+        driver = make_pending_scenario(seed)
+        if driver is not None:
+            return driver
+    pytest.fail("no seed produced a pending session")
+
+
+class TestBasicFormation:
+    def test_clean_two_round_formation(self):
+        driver = make_driver("one_pending", 5)
+        split(driver, {3, 4})
+        driver.run_round()
+        driver.run_round()
+        assert driver.primary_members() == (0, 1, 2)
+
+    def test_retains_at_most_one_session(self):
+        driver = find_pending_scenario()
+        for pid in range(5):
+            assert driver.algorithms[pid].ambiguous_session_count() <= 1
+
+
+class TestBlocking:
+    def test_unresolved_pending_blocks_the_view(self):
+        """A view containing an unresolvable pending session forms no
+        primary, even with a quorum present."""
+        driver = find_pending_scenario()
+        components = {frozenset(c) for c in driver.topology.components}
+        c_comp = next(c for c in components if 2 in c)
+        de_comp = next(c for c in components if 3 in c)
+        driver.run_round(MergeChange(first=c_comp, second=de_comp))
+        driver.run_until_quiescent()
+        # {2,3,4} is a majority of the original five, but 2's pending
+        # {0,1,2} cannot be resolved without 0 or 1: the view blocks.
+        assert not any(driver.algorithms[p].in_primary() for p in (2, 3, 4))
+        assert driver.algorithms[2].ambiguous_session_count() == 1
+
+    def test_resolution_when_all_members_reunite(self):
+        """Hearing from all members of the pending session resolves it."""
+        driver = find_pending_scenario()
+        heal(driver)
+        assert driver.primary_members() == (0, 1, 2, 3, 4)
+        for pid in range(5):
+            assert driver.algorithms[pid].ambiguous == []
+
+    def test_resolution_via_formed_evidence(self):
+        """Meeting a member that *formed* the session resolves it too."""
+        for seed in range(64):
+            driver = make_pending_scenario(seed)
+            if driver is None:
+                continue
+            a = driver.algorithms[0]
+            if not (
+                a.last_formed[2].members == frozenset({0, 1, 2})
+                and a.last_formed[2].number > 0
+            ):
+                continue
+            # Merge c back with {a,b} only: evidence that {0,1,2} formed
+            # arrives from a, resolving c's pending session.
+            components = {frozenset(c) for c in driver.topology.components}
+            ab = next(c for c in components if 0 in c)
+            c_comp = next(c for c in components if 2 in c)
+            driver.run_round(MergeChange(first=ab, second=c_comp))
+            driver.run_until_quiescent()
+            assert driver.algorithms[2].ambiguous == []
+            assert driver.primary_members() == (0, 1, 2)
+            return
+        pytest.fail("no seed had {0,1} form the interrupted session")
+
+
+class TestAvailabilityShape:
+    BASE = CaseConfig(
+        algorithm="one_pending",
+        n_processes=8,
+        n_changes=12,
+        mean_rounds_between_changes=1.0,
+        runs=80,
+        master_seed=3,
+    )
+
+    def test_less_available_than_ykd(self):
+        one_pending = run_case(self.BASE)
+        ykd = run_case(replace(self.BASE, algorithm="ykd"))
+        assert one_pending.availability_percent < ykd.availability_percent
+
+    def test_cascading_runs_degrade_further(self):
+        """§4.1: 1-pending's availability keeps decreasing over long
+        (cascading) executions."""
+        fresh = run_case(self.BASE)
+        cascading = run_case(replace(self.BASE, mode="cascading"))
+        assert cascading.availability_percent < fresh.availability_percent

@@ -1,0 +1,184 @@
+"""Shape-level validation of the thesis' headline claims (Ch. 4-5).
+
+These are the reproduction contract: not absolute numbers (our
+substrate is a reimplemented simulator), but who wins, in what order,
+and where the qualitative crossovers fall.  Larger-scale versions of
+the same checks run in the benchmark harness; here the scales are
+chosen to keep the suite fast while leaving comfortable margins.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.campaign import CaseConfig, run_case
+
+N, RUNS, SEED = 10, 120, 2001
+
+
+def availability(algorithm, *, rate, changes=12, mode="fresh", runs=RUNS):
+    case = CaseConfig(
+        algorithm=algorithm,
+        n_processes=N,
+        n_changes=changes,
+        mean_rounds_between_changes=rate,
+        runs=runs,
+        mode=mode,
+        master_seed=SEED,
+    )
+    return run_case(case)
+
+
+class TestOrderings:
+    """§4.1's qualitative ordering at a frequent-change operating point."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            algorithm: availability(algorithm, rate=1.0)
+            for algorithm in (
+                "ykd", "dfls", "one_pending", "mr1p", "simple_majority"
+            )
+        }
+
+    def test_ykd_is_the_most_available(self, results):
+        best = max(results.values(), key=lambda r: r.availability_percent)
+        assert best is results["ykd"]
+
+    def test_ykd_beats_dfls(self, results):
+        assert (
+            results["ykd"].availability_percent
+            > results["dfls"].availability_percent
+        )
+
+    def test_blocking_algorithms_trail_pipelining_ones(self, results):
+        for blocking in ("one_pending",):
+            for pipelining in ("ykd", "dfls"):
+                assert (
+                    results[blocking].availability_percent
+                    < results[pipelining].availability_percent
+                )
+
+    def test_dynamic_voting_beats_static_majority(self, results):
+        assert (
+            results["ykd"].availability_percent
+            > results["simple_majority"].availability_percent + 5
+        )
+
+
+class TestRateTrends:
+    def test_availability_rises_with_quieter_networks(self):
+        """Left-to-right growth of every availability figure."""
+        fast = availability("ykd", rate=0.0)
+        slow = availability("ykd", rate=8.0)
+        assert slow.availability_percent > fast.availability_percent
+
+    def test_algorithms_converge_at_extreme_change_rates(self):
+        """§4.1: with changes every round, no algorithm can exchange
+        information, so all sit near the simple majority baseline."""
+        ykd = availability("ykd", rate=0.0)
+        majority = availability("simple_majority", rate=0.0)
+        assert abs(
+            ykd.availability_percent - majority.availability_percent
+        ) < 12.0
+
+
+class TestCascadingClaims:
+    def test_ykd_does_not_degrade_when_cascading(self):
+        """§4.1: YKD is nearly as available in cascading runs."""
+        fresh = availability("ykd", rate=4.0)
+        cascading = availability("ykd", rate=4.0, mode="cascading")
+        assert (
+            cascading.availability_percent
+            > fresh.availability_percent - 25.0
+        )
+
+    def test_one_pending_collapses_when_cascading(self):
+        fresh = availability("one_pending", rate=1.0)
+        cascading = availability("one_pending", rate=1.0, mode="cascading")
+        assert (
+            cascading.availability_percent
+            < fresh.availability_percent - 10.0
+        )
+
+    def test_one_pending_can_fall_below_simple_majority(self):
+        """§4.1/Ch.5: in unstable cascading runs the blocking algorithm
+        is even less available than the stateless baseline."""
+        one_pending = availability("one_pending", rate=0.5, mode="cascading")
+        majority = availability("simple_majority", rate=0.5, mode="cascading")
+        assert (
+            one_pending.availability_percent
+            <= majority.availability_percent + 5.0
+        )
+
+    def test_mr1p_suffers_under_cascading_faults(self):
+        fresh = availability("mr1p", rate=1.0)
+        cascading = availability("mr1p", rate=1.0, mode="cascading")
+        assert cascading.availability_percent < fresh.availability_percent
+
+
+class TestOptimizationClaims:
+    def test_ykd_equals_unoptimized_per_run(self):
+        """§4.1: unoptimized YKD's availability is identical."""
+        for mode in ("fresh", "cascading"):
+            ykd = availability("ykd", rate=0.5, mode=mode, runs=60)
+            unopt = availability("ykd_unopt", rate=0.5, mode=mode, runs=60)
+            assert ykd.outcomes == unopt.outcomes
+
+    def test_ambiguous_sessions_dominantly_zero(self):
+        """§4.2: the retained-session count is dominantly zero."""
+        case = CaseConfig(
+            algorithm="ykd", n_processes=N, n_changes=12,
+            mean_rounds_between_changes=1.0, runs=RUNS,
+            master_seed=SEED, collect_ambiguous=True,
+        )
+        result = run_case(case)
+        zero = result.ambiguous_in_progress.get(0, 0)
+        total = sum(result.ambiguous_in_progress.values())
+        assert zero / total > 0.5
+
+    def test_ambiguous_sessions_stay_tiny(self):
+        """§4.2: the worst case stays far below the theoretical bound
+        (exponential in the process count for unopt/DFLS).  The thesis
+        observed ≤4 for YKD and ≤9 for the unoptimized variants; our
+        operating point is harsher (rate 0.5, cascading), so the bounds
+        here carry a small margin while remaining 'surprisingly few'."""
+        bounds = {"ykd": 6, "ykd_unopt": 12, "dfls": 12}
+        for algorithm, bound in bounds.items():
+            case = CaseConfig(
+                algorithm=algorithm, n_processes=N, n_changes=12,
+                mean_rounds_between_changes=0.5, runs=RUNS,
+                mode="cascading", master_seed=SEED, collect_ambiguous=True,
+            )
+            result = run_case(case)
+            assert result.ambiguous_max <= bound, (
+                f"{algorithm} retained {result.ambiguous_max}"
+            )
+
+    def test_unoptimized_retains_more_than_optimized(self):
+        def nonzero_weight(algorithm):
+            case = CaseConfig(
+                algorithm=algorithm, n_processes=N, n_changes=12,
+                mean_rounds_between_changes=0.5, runs=RUNS,
+                mode="cascading", master_seed=SEED, collect_ambiguous=True,
+            )
+            result = run_case(case)
+            return sum(
+                count * k for k, count in result.ambiguous_in_progress.items()
+            )
+
+        assert nonzero_weight("ykd_unopt") >= nonzero_weight("ykd")
+
+
+class TestScalingClaim:
+    def test_availability_insensitive_to_process_count(self):
+        """§4.1: 32/48/64 processes gave almost identical results; we
+        check the same insensitivity at smaller scales."""
+        percents = []
+        for n in (6, 10, 14):
+            case = CaseConfig(
+                algorithm="ykd", n_processes=n, n_changes=6,
+                mean_rounds_between_changes=4.0, runs=RUNS, master_seed=SEED,
+            )
+            percents.append(run_case(case).availability_percent)
+        assert max(percents) - min(percents) < 15.0

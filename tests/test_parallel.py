@@ -1,0 +1,47 @@
+"""Tests for the parallel campaign runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.parallel import run_cases_parallel
+
+BASE = CaseConfig(
+    algorithm="ykd", n_processes=6, n_changes=4,
+    mean_rounds_between_changes=1.0, runs=20, master_seed=8,
+)
+
+CONFIGS = [
+    BASE,
+    replace(BASE, algorithm="simple_majority"),
+    replace(BASE, algorithm="one_pending"),
+    replace(BASE, mean_rounds_between_changes=4.0),
+]
+
+
+class TestParallelRunner:
+    def test_serial_fallback_matches_run_case(self):
+        results = run_cases_parallel(CONFIGS, workers=1)
+        assert [r.availability_percent for r in results] == [
+            run_case(c).availability_percent for c in CONFIGS
+        ]
+
+    def test_parallel_matches_serial(self):
+        serial = run_cases_parallel(CONFIGS, workers=1)
+        parallel = run_cases_parallel(CONFIGS, workers=2)
+        assert [r.outcomes for r in parallel] == [r.outcomes for r in serial]
+
+    def test_result_order_matches_config_order(self):
+        results = run_cases_parallel(CONFIGS, workers=2)
+        assert [r.config.algorithm for r in results] == [
+            c.algorithm for c in CONFIGS
+        ]
+
+    def test_single_config_stays_in_process(self):
+        results = run_cases_parallel([BASE], workers=8)
+        assert len(results) == 1
+        assert results[0].runs == 20
+
+    def test_empty_config_list(self):
+        assert run_cases_parallel([], workers=4) == []

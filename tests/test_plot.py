@@ -1,0 +1,76 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.ambiguous import run_ambiguous_figure
+from repro.experiments.availability import AvailabilityFigure, run_availability_figure
+from repro.experiments.plot import MARKERS, plot_ambiguous, plot_availability
+from repro.experiments.spec import get_spec
+
+from tests.test_experiments import TINY
+
+
+@pytest.fixture(scope="module")
+def availability_figure():
+    return run_availability_figure(get_spec("fig4_1"), TINY)
+
+
+@pytest.fixture(scope="module")
+def ambiguous_figure():
+    return run_ambiguous_figure(get_spec("fig4_7"), TINY)
+
+
+class TestAvailabilityPlot:
+    def test_contains_axes_title_and_legend(self, availability_figure):
+        chart = plot_availability(availability_figure)
+        assert "Figure 4-1" in chart
+        assert "100% |" in chart
+        assert "mean message rounds" in chart
+        assert "legend:" in chart
+        assert "A=YKD" in chart
+
+    def test_markers_are_unique_per_series(self, availability_figure):
+        used = MARKERS[: len(availability_figure.series)]
+        assert len(set(used)) == len(used)
+
+    def test_every_series_is_drawn(self, availability_figure):
+        chart = plot_availability(availability_figure)
+        for index in range(len(availability_figure.series)):
+            assert MARKERS[index] in chart
+
+    def test_needs_two_rates(self):
+        figure = AvailabilityFigure(
+            spec=get_spec("fig4_1"),
+            scale=_single_rate_scale(),
+            series={"ykd": [(0.0, 50.0)]},
+        )
+        with pytest.raises(ValueError):
+            plot_availability(figure)
+
+    def test_dimensions_are_respected(self, availability_figure):
+        chart = plot_availability(availability_figure, width=30, height=8)
+        data_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(data_lines) == 8
+        assert all(len(line) <= 8 + 30 for line in data_lines)
+
+
+def _single_rate_scale():
+    from dataclasses import replace
+
+    return replace(TINY, rates=(0.0,))
+
+
+class TestAmbiguousPlot:
+    def test_panels_and_bars(self, ambiguous_figure):
+        chart = plot_ambiguous(ambiguous_figure)
+        assert "-- 2 connectivity changes --" in chart
+        assert "-- 12 connectivity changes --" in chart
+        assert "|" in chart and "%" in chart
+        assert "YKD" in chart and "DFLS" in chart
+
+    def test_bar_lengths_match_percentages(self, ambiguous_figure):
+        chart = plot_ambiguous(ambiguous_figure, bar_width=10)
+        for line in chart.splitlines():
+            if "|" in line and line.strip().endswith("%"):
+                bar = line.split("|")[1]
+                assert len(bar) == 10

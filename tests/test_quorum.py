@@ -1,0 +1,130 @@
+"""Tests for the quorum primitives, including hypothesis properties.
+
+The SUBQUORUM predicate is the safety keystone of every algorithm here:
+its defining property is that two subquorums of the same set always
+intersect, which is what makes concurrent disjoint primaries impossible.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quorum import (
+    intersection_size,
+    is_exact_half,
+    is_majority,
+    is_subquorum,
+    quorum_deficit,
+    simple_majority_primary,
+)
+
+members = st.frozensets(st.integers(min_value=0, max_value=15), min_size=1, max_size=12)
+subsets = st.frozensets(st.integers(min_value=0, max_value=15), max_size=12)
+
+
+class TestMajority:
+    def test_strict_majority(self):
+        assert is_majority({0, 1}, {0, 1, 2})
+        assert not is_majority({0}, {0, 1})
+
+    def test_exactly_half_is_not_majority(self):
+        assert not is_majority({0, 1}, {0, 1, 2, 3})
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            is_majority({0}, set())
+
+    def test_intersection_size(self):
+        assert intersection_size({0, 1, 2}, {1, 2, 3}) == 2
+        assert intersection_size(set(), {1}) == 0
+
+    def test_exact_half(self):
+        assert is_exact_half({0, 1}, {0, 1, 2, 3})
+        assert not is_exact_half({0, 1}, {0, 1, 2})
+
+
+class TestSubquorum:
+    def test_majority_is_subquorum(self):
+        assert is_subquorum({0, 1}, {0, 1, 2})
+
+    def test_half_with_designated_process(self):
+        # The lexically smallest member of Y breaks exact-half ties.
+        assert is_subquorum({0, 1}, {0, 1, 2, 3})
+        assert not is_subquorum({2, 3}, {0, 1, 2, 3})
+
+    def test_less_than_half_never_subquorum(self):
+        assert not is_subquorum({0}, {0, 1, 2})
+
+    def test_superset_is_subquorum(self):
+        assert is_subquorum({0, 1, 2, 3}, {1, 2})
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            is_subquorum({0}, set())
+
+    @given(x=subsets, y=members)
+    def test_adding_members_never_breaks_subquorum(self, x, y):
+        # Monotonicity: a larger X is at least as quorate.
+        if is_subquorum(x, y):
+            assert is_subquorum(x | {99}, y)
+
+    @given(a=subsets, b=subsets, y=members)
+    def test_two_subquorums_always_intersect(self, a, b, y):
+        """The safety keystone: subquorums of Y cannot be disjoint."""
+        if is_subquorum(a, y) and is_subquorum(b, y):
+            assert a & b & frozenset(y), (
+                f"disjoint subquorums {a} and {b} of {y}"
+            )
+
+    @given(y=members)
+    def test_exactly_one_half_wins_even_splits(self, y):
+        """Of two complementary halves, at most one is a subquorum."""
+        ordered = sorted(y)
+        half = frozenset(ordered[: len(ordered) // 2])
+        other = frozenset(y) - half
+        if half and len(half) * 2 == len(y):
+            assert is_subquorum(half, y) != is_subquorum(other, y)
+
+
+class TestSimpleMajorityPrimary:
+    def test_majority_component_is_primary(self):
+        assert simple_majority_primary({0, 1, 2}, {0, 1, 2, 3, 4})
+
+    def test_minority_component_is_not(self):
+        assert not simple_majority_primary({3, 4}, {0, 1, 2, 3, 4})
+
+    def test_empty_component_is_not(self):
+        assert not simple_majority_primary(set(), {0, 1})
+
+    def test_even_split_uses_lexical_tie_break(self):
+        universe = {0, 1, 2, 3}
+        assert simple_majority_primary({0, 3}, universe)
+        assert not simple_majority_primary({1, 2}, universe)
+
+    @given(y=members)
+    def test_at_most_one_component_of_any_partition_is_primary(self, y):
+        """However the universe splits in two, at most one side wins."""
+        ordered = sorted(y)
+        for cut in range(1, len(ordered)):
+            left = frozenset(ordered[:cut])
+            right = frozenset(ordered[cut:])
+            winners = sum(
+                simple_majority_primary(side, y) for side in (left, right)
+            )
+            assert winners <= 1
+
+
+class TestQuorumDeficit:
+    def test_zero_when_already_quorate(self):
+        assert quorum_deficit({0, 1}, {0, 1, 2}) == 0
+
+    def test_counts_missing_members(self):
+        assert quorum_deficit({0}, {0, 1, 2, 3, 4}) == 2
+        assert quorum_deficit(set(), {0, 1, 2}) == 2
+
+    @given(x=subsets, y=members)
+    def test_deficit_is_achievable(self, x, y):
+        """Adding `deficit` members of y to x always reaches a subquorum."""
+        deficit = quorum_deficit(x, y)
+        if deficit > 0:
+            missing = sorted(set(y) - set(x))[:deficit]
+            assert is_subquorum(set(x) | set(missing), y)

@@ -1,0 +1,72 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.core.interface import PrimaryComponentAlgorithm
+from repro.core.registry import (
+    AMBIGUITY_ALGORITHMS,
+    AVAILABILITY_ALGORITHMS,
+    algorithm_class,
+    algorithm_names,
+    create_algorithm,
+    display_name,
+    register,
+)
+from repro.core.view import initial_view
+from repro.core.ykd import YKD
+from repro.errors import ExperimentError
+
+
+class TestRegistry:
+    def test_all_studied_algorithms_registered(self):
+        names = algorithm_names()
+        for expected in (
+            "ykd", "ykd_unopt", "ykd_aggressive", "dfls",
+            "one_pending", "mr1p", "simple_majority",
+        ):
+            assert expected in names
+
+    def test_availability_set_matches_thesis_figures(self):
+        assert AVAILABILITY_ALGORITHMS == [
+            "ykd", "dfls", "one_pending", "mr1p", "simple_majority",
+        ]
+
+    def test_ambiguity_set_matches_section_4_2(self):
+        assert AMBIGUITY_ALGORITHMS == ["ykd", "ykd_unopt", "dfls"]
+
+    def test_lookup_and_creation(self):
+        assert algorithm_class("ykd") is YKD
+        instance = create_algorithm("ykd", 0, initial_view(3))
+        assert isinstance(instance, YKD)
+        assert instance.pid == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            algorithm_class("paxos")
+
+    def test_display_names(self):
+        assert display_name("ykd") == "YKD"
+        assert display_name("one_pending") == "1-pending"
+        assert display_name("unknown_thing") == "unknown_thing"
+
+    def test_register_rejects_abstract_or_duplicate_names(self):
+        class Nameless(PrimaryComponentAlgorithm):
+            name = "abstract"
+
+            def _on_view(self, view):  # pragma: no cover - never run
+                pass
+
+            def _on_items(self, sender, items):  # pragma: no cover
+                pass
+
+        with pytest.raises(ValueError):
+            register(Nameless)
+
+        class Impostor(Nameless):
+            name = "ykd"
+
+        with pytest.raises(ValueError):
+            register(Impostor)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        assert register(YKD) is YKD

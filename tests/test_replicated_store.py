@@ -1,0 +1,157 @@
+"""Tests for the replicated key-value store application."""
+
+import pytest
+
+from repro.app.replicated_store import (
+    NotPrimaryError,
+    PutOp,
+    ReplicatedStore,
+    SyncOffer,
+)
+from repro.net.changes import MergeChange, PartitionChange
+
+from tests.conftest import heal, make_driver, split
+
+
+def make_system(n=5, algorithm="ykd", seed=1):
+    driver = make_driver(algorithm, n, seed=seed, endpoint_factory=ReplicatedStore)
+    return driver, driver.endpoints
+
+
+class TestBasicReplication:
+    def test_initial_write_replicates_everywhere(self):
+        driver, stores = make_system()
+        stores[0].put("k", "v")
+        driver.run_until_quiescent()
+        assert all(store.get("k") == "v" for store in stores.values())
+
+    def test_reads_have_defaults(self):
+        _, stores = make_system()
+        assert stores[0].get("missing") is None
+        assert stores[0].get("missing", 7) == 7
+
+    def test_writes_count_and_stamp_advance(self):
+        driver, stores = make_system()
+        first = stores[0].put("a", 1)
+        second = stores[0].put("b", 2)
+        assert isinstance(first, PutOp)
+        assert second.stamp > first.stamp
+        assert stores[0].writes_accepted == 2
+
+    def test_concurrent_writers_in_one_primary_converge(self):
+        driver, stores = make_system()
+        stores[0].put("x", "from-0")
+        stores[1].put("y", "from-1")
+        driver.run_until_quiescent()
+        snapshots = {
+            tuple(sorted(store.snapshot().items())) for store in stores.values()
+        }
+        assert len(snapshots) == 1
+
+
+class TestPrimaryPartitionSemantics:
+    def test_minority_writes_refused(self):
+        driver, stores = make_system()
+        split(driver, {0, 1})
+        driver.run_until_quiescent()
+        assert not stores[0].in_primary()
+        with pytest.raises(NotPrimaryError):
+            stores[0].put("k", "v")
+        assert stores[0].writes_refused == 1
+
+    def test_primary_writes_accepted(self):
+        driver, stores = make_system()
+        split(driver, {0, 1})
+        driver.run_until_quiescent()
+        assert stores[2].in_primary()
+        stores[2].put("k", "primary")
+        driver.run_until_quiescent()
+        assert stores[3].get("k") == "primary"
+        assert stores[0].get("k") is None  # minority never saw it
+
+    def test_merge_reconciles_to_primary_history(self):
+        driver, stores = make_system()
+        split(driver, {0, 1})
+        driver.run_until_quiescent()
+        stores[2].put("k", "primary-truth")
+        driver.run_until_quiescent()
+        heal(driver)
+        assert all(
+            store.get("k") == "primary-truth" for store in stores.values()
+        )
+        assert stores[0].syncs_adopted >= 1
+
+    def test_successive_primaries_never_lose_writes(self):
+        """Writes accepted by each primary survive into the next."""
+        driver, stores = make_system()
+        stores[0].put("epoch0", "w")
+        driver.run_until_quiescent()
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        stores[0].put("epoch1", "x")
+        driver.run_until_quiescent()
+        split(driver, {2})
+        driver.run_until_quiescent()
+        stores[0].put("epoch2", "y")
+        driver.run_until_quiescent()
+        heal(driver)
+        final = stores[4].snapshot()
+        assert final["epoch0"] == "w"
+        assert final["epoch1"] == "x"
+        assert final["epoch2"] == "y"
+
+
+class TestSyncProtocol:
+    def test_stale_offer_is_ignored(self):
+        driver, stores = make_system()
+        stores[0].put("k", "new")
+        driver.run_until_quiescent()
+        store = stores[1]
+        before = store.snapshot()
+        store._consider_sync(SyncOffer(stamp=(0, 0), contents=(("k", "old"),)))
+        assert store.snapshot() == before
+
+    def test_fresher_offer_is_adopted(self):
+        _, stores = make_system()
+        store = stores[0]
+        store._consider_sync(
+            SyncOffer(stamp=(99, 1), contents=(("k", "future"),))
+        )
+        assert store.get("k") == "future"
+        assert store.stamp == (99, 1)
+
+    def test_unknown_payload_rejected(self):
+        from repro.errors import ReproError
+
+        _, stores = make_system()
+        with pytest.raises(ReproError):
+            stores[0].on_payload(object(), sender=1)
+
+
+class TestUnderRandomFaults:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_convergence_after_heal_under_random_faults(self, seed):
+        """Whatever faults occur, healing the network converges every
+        replica onto one history that includes all primary writes that
+        were not superseded."""
+        import random
+
+        driver, stores = make_system(seed=seed)
+        rng = random.Random(seed)
+        writes = 0
+        for step in range(8):
+            change = driver.change_generator.propose(driver.topology, driver.fault_rng)
+            driver.run_round(change)
+            driver.run_until_quiescent()
+            primary = driver.primary_members()
+            if primary:
+                writer = stores[rng.choice(primary)]
+                writer.put(f"step{step}", step)
+                writes += 1
+                driver.run_until_quiescent()
+        heal(driver)
+        snapshots = {
+            tuple(sorted(store.snapshot().items())) for store in stores.values()
+        }
+        assert len(snapshots) == 1
+        assert writes > 0

@@ -1,0 +1,78 @@
+"""Tests for numbered sessions."""
+
+import pytest
+
+from repro.core.session import Session, initial_session, max_session
+
+
+class TestSessionBasics:
+    def test_construction(self):
+        session = Session.of(3, [0, 1])
+        assert session.number == 3
+        assert session.members == frozenset({0, 1})
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            Session.of(-1, [0])
+
+    def test_rejects_empty_members(self):
+        with pytest.raises(ValueError):
+            Session.of(0, [])
+
+    def test_contains_len_designated(self):
+        session = Session.of(1, [4, 2, 6])
+        assert 2 in session
+        assert 3 not in session
+        assert len(session) == 3
+        assert session.designated == 2
+
+    def test_describe(self):
+        assert Session.of(2, [1, 0]).describe() == "S2{0,1}"
+
+
+class TestSessionOrdering:
+    def test_orders_by_number_first(self):
+        assert Session.of(1, [0, 1, 2]) < Session.of(2, [0])
+
+    def test_ties_break_on_members_deterministically(self):
+        a = Session.of(1, [0, 1])
+        b = Session.of(1, [0, 2])
+        assert (a < b) != (b < a)
+        assert a != b
+
+    def test_total_order_is_consistent(self):
+        sessions = [
+            Session.of(2, [0]),
+            Session.of(1, [0, 1]),
+            Session.of(1, [0, 2]),
+            Session.of(0, [0, 1, 2]),
+        ]
+        ordered = sorted(sessions)
+        assert [s.number for s in ordered] == [0, 1, 1, 2]
+        assert sorted(reversed(ordered)) == ordered
+
+    def test_equality_requires_both_fields(self):
+        assert Session.of(1, [0, 1]) == Session.of(1, [1, 0])
+        assert Session.of(1, [0, 1]) != Session.of(2, [0, 1])
+
+
+class TestSessionHelpers:
+    def test_initial_session_is_number_zero(self):
+        session = initial_session([0, 1, 2])
+        assert session.number == 0
+        assert session.members == frozenset({0, 1, 2})
+
+    def test_max_session(self):
+        sessions = [Session.of(1, [0]), Session.of(3, [1]), Session.of(2, [2])]
+        assert max_session(sessions) == Session.of(3, [1])
+
+    def test_max_session_of_nothing_is_none(self):
+        assert max_session([]) is None
+
+    def test_encoded_size_follows_thesis_accounting(self):
+        # §3.4: "an ambiguous session is roughly 2n bits in length".
+        assert Session.of(1, [0]).encoded_size_bits(64) == 128
+
+    def test_encoded_size_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            Session.of(1, [0]).encoded_size_bits(0)

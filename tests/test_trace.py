@@ -1,0 +1,121 @@
+"""Tests for the execution trace recorder and timeline renderer."""
+
+import pytest
+
+from repro.sim.trace import (
+    BroadcastEvent,
+    ChangeEvent,
+    PrimaryFormedEvent,
+    PrimaryLostEvent,
+    RunBoundaryEvent,
+    TraceRecorder,
+    ViewEvent,
+    render_timeline,
+)
+
+from tests.conftest import heal, make_driver, split
+
+
+@pytest.fixture
+def traced_driver():
+    recorder = TraceRecorder()
+    driver = make_driver("ykd", 5, observers=[recorder])
+    return driver, recorder
+
+
+class TestRecording:
+    def test_records_views_and_broadcasts(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        views = recorder.of_kind("view")
+        assert {tuple(v.members) for v in views} == {(0, 1, 2), (3, 4)}
+        broadcasts = [e for e in recorder.events if isinstance(e, BroadcastEvent)]
+        assert broadcasts
+        assert any("StateItem" in e.items for e in broadcasts)
+        assert any("AttemptItem" in e.items for e in broadcasts)
+
+    def test_records_primary_transitions(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        formations = recorder.formations()
+        assert formations[-1].members == (0, 1, 2)
+        # Splitting the primary again records its loss.
+        split(driver, {2})
+        driver.run_until_quiescent()
+        losses = [e for e in recorder.events if isinstance(e, PrimaryLostEvent)]
+        assert any(e.members == (0, 1, 2) for e in losses)
+
+    def test_records_changes_with_topology(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        changes = recorder.of_kind("change")
+        assert len(changes) == 1
+        assert changes[0].description.startswith("partition")
+        assert (3, 4) in changes[0].components_after
+
+    def test_records_run_boundaries(self, traced_driver):
+        driver, recorder = traced_driver
+        driver.execute_run(gaps=[1, 1])
+        boundaries = [
+            e for e in recorder.events if isinstance(e, RunBoundaryEvent)
+        ]
+        assert [b.boundary for b in boundaries] == ["start", "end"]
+        assert boundaries[1].available == driver.primary_exists()
+
+    def test_truncation_bound(self):
+        recorder = TraceRecorder(max_events=5)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert len(recorder) == 5
+        assert recorder.truncated
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+
+class TestQueriesAndExport:
+    def test_iter_rounds_groups_in_order(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        rounds = list(recorder.iter_rounds())
+        indices = [round_index for round_index, _ in rounds]
+        assert indices == sorted(indices)
+        assert all(events for _, events in rounds)
+
+    def test_rounds_with_traffic(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        traffic = recorder.rounds_with_traffic()
+        assert len(traffic) >= 2  # state round + attempt round
+
+    def test_to_dicts_is_json_ready(self, traced_driver):
+        import json
+
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        payload = json.dumps(recorder.to_dicts())
+        assert '"kind": "view"' in payload
+
+    def test_timeline_rendering(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        text = render_timeline(recorder)
+        assert "PRIMARY {0,1,2}" in text
+        assert "sends:" in text
+        assert "view#" in text
+
+    def test_timeline_respects_max_rounds(self, traced_driver):
+        driver, recorder = traced_driver
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        heal(driver)
+        text = render_timeline(recorder, max_rounds=1)
+        assert "events total" in text

@@ -1,0 +1,38 @@
+"""Tests for the shared type helpers."""
+
+import pytest
+
+from repro.types import as_members, lexically_smallest, sorted_members
+
+
+class TestAsMembers:
+    def test_normalizes_iterables(self):
+        assert as_members([3, 1, 2]) == frozenset({1, 2, 3})
+        assert as_members(range(3)) == frozenset({0, 1, 2})
+
+    def test_deduplicates(self):
+        assert as_members([1, 1, 2]) == frozenset({1, 2})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_members([])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            as_members([0, -1])
+
+    def test_rejects_non_int_ids(self):
+        with pytest.raises(ValueError):
+            as_members(["a"])
+
+
+class TestOrderingHelpers:
+    def test_sorted_members_is_deterministic(self):
+        assert sorted_members(frozenset({5, 1, 3})) == (1, 3, 5)
+
+    def test_lexically_smallest(self):
+        assert lexically_smallest(frozenset({9, 4, 7})) == 4
+
+    def test_lexically_smallest_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lexically_smallest(frozenset())

@@ -1,0 +1,58 @@
+"""Tests for the Transis-like view structure."""
+
+import pytest
+
+from repro.core.view import View, initial_view
+
+
+class TestViewConstruction:
+    def test_of_builds_from_iterable(self):
+        view = View.of([2, 0, 1], seq=3)
+        assert view.members == frozenset({0, 1, 2})
+        assert view.seq == 3
+
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ValueError):
+            View.of([])
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError):
+            View.of([0], seq=-1)
+
+    def test_is_hashable_value_object(self):
+        assert View.of([0, 1], seq=2) == View.of([1, 0], seq=2)
+        assert len({View.of([0, 1], seq=2), View.of([0, 1], seq=2)}) == 1
+
+    def test_same_members_different_seq_are_distinct(self):
+        assert View.of([0, 1], seq=1) != View.of([0, 1], seq=2)
+
+
+class TestViewQueries:
+    def test_contains_and_len(self):
+        view = View.of([0, 2, 4])
+        assert 2 in view
+        assert 1 not in view
+        assert len(view) == 3
+
+    def test_iterates_in_id_order(self):
+        assert list(View.of([4, 0, 2])) == [0, 2, 4]
+
+    def test_designated_is_smallest(self):
+        assert View.of([7, 3, 9]).designated == 3
+
+    def test_same_members(self):
+        assert View.of([0, 1], seq=1).same_members(View.of([1, 0], seq=9))
+
+    def test_describe(self):
+        assert View.of([1, 0], seq=4).describe() == "view#4{0,1}"
+
+
+class TestInitialView:
+    def test_contains_all_processes(self):
+        view = initial_view(4)
+        assert view.members == frozenset({0, 1, 2, 3})
+        assert view.seq == 0
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            initial_view(0)

@@ -1,0 +1,83 @@
+"""Tests for unoptimized YKD and the aggressive-delete ablation variant."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.campaign import CaseConfig, run_case
+
+from tests.conftest import heal, make_driver, split
+
+
+BASE = CaseConfig(
+    algorithm="ykd",
+    n_processes=8,
+    n_changes=8,
+    mean_rounds_between_changes=1.0,
+    runs=50,
+    master_seed=5,
+)
+
+
+class TestUnoptimizedYKD:
+    def test_availability_identical_to_ykd_per_run(self):
+        """Thesis §3.2.1/§4.1: identical availability, 'as expected'."""
+        for mode in ("fresh", "cascading"):
+            ykd = run_case(replace(BASE, mode=mode))
+            unopt = run_case(replace(BASE, algorithm="ykd_unopt", mode=mode))
+            assert ykd.outcomes == unopt.outcomes
+
+    def test_retains_at_least_as_many_sessions_as_ykd(self):
+        """Thesis §3.4: the unoptimized variant stores more sessions."""
+        ykd = run_case(replace(BASE, collect_ambiguous=True))
+        unopt = run_case(
+            replace(BASE, algorithm="ykd_unopt", collect_ambiguous=True)
+        )
+        assert unopt.ambiguous_max >= ykd.ambiguous_max
+        # More weight on nonzero retention counts overall.
+        ykd_nonzero = sum(v for k, v in ykd.ambiguous_in_progress.items() if k)
+        unopt_nonzero = sum(
+            v for k, v in unopt.ambiguous_in_progress.items() if k
+        )
+        assert unopt_nonzero >= ykd_nonzero
+
+    def test_deletes_only_on_own_formation(self):
+        driver = make_driver("ykd_unopt", 5)
+        split(driver, {3, 4})
+        driver.run_round()  # states
+        # Cut the attempt round so sessions go ambiguous.
+        from repro.net.changes import PartitionChange
+
+        abc = next(
+            c for c in driver.topology.components if c == frozenset({0, 1, 2})
+        )
+        driver.run_round(PartitionChange(component=abc, moved=frozenset({2})))
+        driver.run_until_quiescent()
+        # Whatever is pending survives until a formation succeeds.
+        heal(driver)
+        assert driver.primary_members() == (0, 1, 2, 3, 4)
+        for pid in range(5):
+            assert driver.algorithms[pid].ambiguous == []
+
+
+class TestAggressiveDelete:
+    def test_never_less_available_than_ykd(self):
+        """Deleting provably-never-formed sessions can only help."""
+        for mode in ("fresh", "cascading"):
+            ykd = run_case(replace(BASE, mode=mode))
+            aggressive = run_case(
+                replace(BASE, algorithm="ykd_aggressive", mode=mode)
+            )
+            regressions = sum(
+                plain and not aggr
+                for plain, aggr in zip(ykd.outcomes, aggressive.outcomes)
+            )
+            assert regressions == 0
+
+    def test_knowledge_book_is_active(self):
+        from repro.core.view import initial_view
+        from repro.core.ykd import YKD, YKDAggressiveDelete
+
+        assert YKDAggressiveDelete(0, initial_view(3)).knowledge is not None
+        assert YKDAggressiveDelete.delete_never_formed
+        assert not YKD.delete_never_formed
