@@ -1,0 +1,76 @@
+"""Differential fuzzing, failure minimization and regression corpora.
+
+The production correctness stack on top of the simulator:
+
+* :mod:`repro.check.plan` — explicit, replayable fault schedules and
+  their canonical JSON (the repro-file format);
+* :mod:`repro.check.differential` — run one plan under every registered
+  algorithm with full invariant checking, a topology oracle, and
+  family-chain agreement;
+* :mod:`repro.check.fuzzer` — coverage of the random fault space from
+  one master seed, fully deterministic;
+* :mod:`repro.check.shrink` — delta-debugging a violating schedule to a
+  locally minimal reproducer;
+* :mod:`repro.check.corpus` — committed repro files replayed in CI.
+
+CLI: ``repro-experiments check`` (fuzz), ``check --replay FILE``,
+``check --corpus DIR``.
+"""
+
+from repro.check.corpus import (
+    EXPECT_PASS,
+    EXPECT_VIOLATION,
+    CorpusResult,
+    ReproFile,
+    load_repro,
+    run_corpus,
+    run_repro,
+    write_repro,
+)
+from repro.check.differential import (
+    AlgorithmVerdict,
+    DifferentialReport,
+    check_plan,
+    run_plan,
+)
+from repro.check.fuzzer import FuzzConfig, FuzzFailure, FuzzResult, fuzz, generate_plan
+from repro.check.plan import (
+    PlanError,
+    PlanStep,
+    SchedulePlan,
+    plan_from_json,
+    plan_from_recorded,
+    plan_to_json,
+    validate_plan,
+)
+from repro.check.shrink import ShrinkResult, minimize, violation_predicate
+
+__all__ = [
+    "EXPECT_PASS",
+    "EXPECT_VIOLATION",
+    "AlgorithmVerdict",
+    "CorpusResult",
+    "DifferentialReport",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzResult",
+    "PlanError",
+    "PlanStep",
+    "ReproFile",
+    "SchedulePlan",
+    "ShrinkResult",
+    "check_plan",
+    "fuzz",
+    "generate_plan",
+    "load_repro",
+    "minimize",
+    "plan_from_json",
+    "plan_from_recorded",
+    "plan_to_json",
+    "run_corpus",
+    "run_plan",
+    "run_repro",
+    "validate_plan",
+    "violation_predicate",
+    "write_repro",
+]

@@ -1,0 +1,216 @@
+"""Differential execution: one fault plan, every algorithm, cross-checked.
+
+The thesis' central experimental discipline — "the same random sequence
+was used to test each of the algorithms" — becomes a correctness weapon
+here: because a :class:`~repro.check.plan.SchedulePlan` pins every
+nondeterministic choice, all registered algorithms can be driven
+through *identical* faults and their behaviour compared.
+
+Three layers of checking run per plan:
+
+1. **Per-algorithm invariants** — the full
+   :class:`~repro.sim.invariants.InvariantChecker` (at most one live
+   primary, view agreement, subquorum chain) plus the strict
+   stable-point check at quiescence, and livelock detection.
+2. **Replay oracle** — topology evolution never depends on the
+   algorithm, so every run must end on exactly the components the pure
+   topology replay (:func:`~repro.check.plan.validate_plan`) predicts.
+3. **Family agreement** — variants of one base protocol
+   (:data:`repro.core.registry.FAMILIES`) must produce *consistent
+   formed-primary chains*: no order key claimed with two different
+   member sets across variants, and the merged chain must still be
+   subquorum-linked.  An optimization that changes which primaries its
+   family forms is a divergence finding, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.plan import SchedulePlan, driver_steps, validate_plan
+from repro.core.quorum import is_subquorum
+from repro.core.registry import algorithm_family, algorithm_names
+from repro.errors import InvariantViolation, SimulationError
+from repro.net.topology import Topology
+from repro.sim.driver import DriverLoop
+from repro.sim.invariants import InvariantChecker
+from repro.sim.rng import derive_rng
+
+#: Verdict outcomes, in decreasing order of severity.
+OUTCOME_VIOLATION = "violation"
+OUTCOME_LIVELOCK = "livelock"
+OUTCOME_OK = "ok"
+
+Components = Tuple[Tuple[int, ...], ...]
+Chain = Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class AlgorithmVerdict:
+    """Outcome of replaying one plan under one algorithm."""
+
+    algorithm: str
+    outcome: str
+    detail: str = ""
+    available: Optional[bool] = None
+    final_components: Components = ()
+    chain: Chain = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    def describe(self) -> str:
+        """One line for failure reports."""
+        if self.ok:
+            return f"{self.algorithm}: ok (available={self.available})"
+        return f"{self.algorithm}: {self.outcome} — {self.detail}"
+
+
+@dataclass
+class DifferentialReport:
+    """Everything one plan revealed across all algorithms."""
+
+    plan: SchedulePlan
+    verdicts: Dict[str, AlgorithmVerdict] = field(default_factory=dict)
+    divergences: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[AlgorithmVerdict]:
+        """Verdicts that are not clean, most severe first."""
+        order = {OUTCOME_VIOLATION: 0, OUTCOME_LIVELOCK: 1}
+        return sorted(
+            (v for v in self.verdicts.values() if not v.ok),
+            key=lambda v: (order.get(v.outcome, 9), v.algorithm),
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.divergences
+
+    def describe(self) -> str:
+        """Multi-line summary of every finding on this plan."""
+        lines = [self.plan.describe()]
+        lines.extend(f"  {v.describe()}" for v in self.failures)
+        lines.extend(f"  divergence: {d}" for d in self.divergences)
+        if self.ok:
+            lines.append("  all algorithms clean")
+        return "\n".join(lines)
+
+
+def _canonical_components(topology: Topology) -> Components:
+    return tuple(
+        sorted(tuple(sorted(component)) for component in topology.components)
+    )
+
+
+def run_plan(
+    plan: SchedulePlan,
+    algorithm: str,
+    max_quiescence_rounds: int = 400,
+) -> AlgorithmVerdict:
+    """Replay one plan under one algorithm with full invariant checking.
+
+    The driver's fault RNG is labelled but never consumed — every
+    late-set is explicit — so the verdict is a pure function of
+    (plan, algorithm).
+    """
+    driver = DriverLoop(
+        algorithm=algorithm,
+        n_processes=plan.n_processes,
+        fault_rng=derive_rng(0, "check", "replay", algorithm),
+        checker=InvariantChecker(),
+        max_quiescence_rounds=max_quiescence_rounds,
+    )
+    outcome, detail = OUTCOME_OK, ""
+    try:
+        driver.execute_schedule(driver_steps(plan))
+        driver.checker.check_stable_primary(
+            driver.algorithms,
+            driver.topology.components,
+            driver.topology.active_processes(),
+        )
+    except InvariantViolation as violation:
+        outcome, detail = OUTCOME_VIOLATION, str(violation)
+    except SimulationError as error:
+        outcome, detail = OUTCOME_LIVELOCK, str(error)
+    return AlgorithmVerdict(
+        algorithm=algorithm,
+        outcome=outcome,
+        detail=detail,
+        available=driver.primary_exists() if outcome == OUTCOME_OK else None,
+        final_components=_canonical_components(driver.topology),
+        chain=tuple(
+            (order_key, tuple(sorted(members)))
+            for order_key, members in driver.checker.formed_chain
+        ),
+    )
+
+
+def _check_family_chains(
+    verdicts: Dict[str, AlgorithmVerdict], divergences: List[str]
+) -> None:
+    """Merge the formed chains of each family and re-verify them.
+
+    Only clean runs participate: a run that already violated has a
+    failure verdict of its own, and its partial chain would produce
+    noise findings here.
+    """
+    families: Dict[str, List[AlgorithmVerdict]] = {}
+    for verdict in verdicts.values():
+        if verdict.ok and verdict.chain:
+            families.setdefault(
+                algorithm_family(verdict.algorithm), []
+            ).append(verdict)
+    for family, members in sorted(families.items()):
+        if len(members) < 2:
+            continue
+        merged: Dict[int, Tuple[int, ...]] = {}
+        claimants: Dict[int, str] = {}
+        for verdict in sorted(members, key=lambda v: v.algorithm):
+            for order_key, chain_members in verdict.chain:
+                known = merged.get(order_key)
+                if known is None:
+                    merged[order_key] = chain_members
+                    claimants[order_key] = verdict.algorithm
+                elif known != chain_members:
+                    divergences.append(
+                        f"family {family!r}: primary #{order_key} formed as "
+                        f"{list(known)} by {claimants[order_key]} but as "
+                        f"{list(chain_members)} by {verdict.algorithm}"
+                    )
+        ordered = sorted(merged)
+        for previous, current in zip(ordered, ordered[1:]):
+            if not is_subquorum(set(merged[current]), set(merged[previous])):
+                divergences.append(
+                    f"family {family!r}: merged chain broken — primary "
+                    f"#{current} {list(merged[current])} lacks a subquorum "
+                    f"of #{previous} {list(merged[previous])}"
+                )
+
+
+def check_plan(
+    plan: SchedulePlan,
+    algorithms: Optional[Sequence[str]] = None,
+    max_quiescence_rounds: int = 400,
+) -> DifferentialReport:
+    """Run one plan under every algorithm and cross-check the results."""
+    names = list(algorithms) if algorithms else algorithm_names()
+    expected = _canonical_components(validate_plan(plan))
+    report = DifferentialReport(plan=plan)
+    for name in names:
+        report.verdicts[name] = run_plan(
+            plan, name, max_quiescence_rounds=max_quiescence_rounds
+        )
+    for name in names:
+        verdict = report.verdicts[name]
+        # A violating run aborts mid-plan, so only clean runs are held
+        # to the oracle (the violation is already its own finding).
+        if verdict.ok and verdict.final_components != expected:
+            report.divergences.append(
+                f"{name}: final components {list(verdict.final_components)} "
+                f"differ from the topology oracle {list(expected)}"
+            )
+    _check_family_chains(report.verdicts, report.divergences)
+    return report

@@ -1,0 +1,169 @@
+"""The schedule fuzzer: random fault plans, differentially checked.
+
+Between the thesis' 1.3-million-random-changes endurance trial and the
+exhaustive-but-tiny bounded model checker (``repro.sim.explore``) sits
+this workhorse: generate random explicit fault plans — partitions,
+merges, crashes, recoveries, mid-round cuts, gap choices — and run
+*every* registered algorithm against each plan under the full
+differential harness (``repro.check.differential``).
+
+Every random draw comes from ``repro.sim.rng`` labelled streams keyed
+by ``(master_seed, "check", "fuzz", index)``, so one integer reproduces
+the entire campaign: the same seed yields identical plans, identical
+verdicts and byte-identical repro files.  Plan generation never
+consults an algorithm, so all algorithms face the same faults —
+schedule ``index`` under seed ``s`` is one immutable test case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.check.differential import DifferentialReport, check_plan
+from repro.check.plan import PlanStep, SchedulePlan
+from repro.core.registry import algorithm_names
+from repro.net.changes import (
+    CrashRecoveryChangeGenerator,
+    UniformChangeGenerator,
+    affected_processes,
+    apply_change,
+)
+from repro.net.topology import Topology
+from repro.sim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing campaign (all defaults CI-sized)."""
+
+    master_seed: int = 0
+    schedules: int = 200
+    #: Algorithms to cross-check; None means every registered one.
+    algorithms: Optional[Tuple[str, ...]] = None
+    min_processes: int = 3
+    max_processes: int = 6
+    min_changes: int = 1
+    max_changes: int = 6
+    max_gap: int = 3
+    #: Probability that a change is drawn from the crash/recovery
+    #: family (0 keeps the thesis' pure partition/merge model).
+    crash_weight: float = 0.2
+    #: Per-process probability of landing in a step's late-set.
+    cut_bias: float = 0.5
+    max_quiescence_rounds: int = 400
+
+    def __post_init__(self) -> None:
+        if self.schedules < 0:
+            raise ValueError("schedules must be >= 0")
+        if not 2 <= self.min_processes <= self.max_processes:
+            raise ValueError("need 2 <= min_processes <= max_processes")
+        if not 0 <= self.min_changes <= self.max_changes:
+            raise ValueError("need 0 <= min_changes <= max_changes")
+        if self.max_gap < 0:
+            raise ValueError("max_gap must be >= 0")
+        if not 0.0 <= self.cut_bias <= 1.0:
+            raise ValueError("cut_bias must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One plan that produced a finding."""
+
+    index: int
+    plan: SchedulePlan
+    report: DifferentialReport
+
+    def describe(self) -> str:
+        """Human-readable failure summary, with the full report."""
+        return f"schedule #{self.index}:\n{self.report.describe()}"
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a whole fuzzing campaign."""
+
+    config: FuzzConfig
+    algorithms: Tuple[str, ...]
+    schedules_run: int = 0
+    changes_injected: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [
+            f"fuzzed {self.schedules_run} schedules "
+            f"({self.changes_injected} changes) under seed "
+            f"{self.config.master_seed} across "
+            f"{len(self.algorithms)} algorithms: "
+            f"{len(self.failures)} failing"
+        ]
+        lines.extend(failure.describe() for failure in self.failures)
+        return "\n".join(lines)
+
+
+def generate_plan(config: FuzzConfig, index: int) -> SchedulePlan:
+    """Deterministically generate fuzz schedule ``index``.
+
+    The labelled stream covers every draw — system size, change count,
+    each change, each cut, each gap — and never mentions an algorithm,
+    so the plan is the same for every algorithm under test.  Changes
+    are drawn against the evolving topology, so every generated plan is
+    feasible by construction.
+    """
+    rng = derive_rng(config.master_seed, "check", "fuzz", index)
+    n_processes = rng.randint(config.min_processes, config.max_processes)
+    n_changes = rng.randint(config.min_changes, config.max_changes)
+    generator = (
+        CrashRecoveryChangeGenerator(crash_weight=config.crash_weight)
+        if config.crash_weight > 0
+        else UniformChangeGenerator()
+    )
+    topology = Topology.fully_connected(n_processes)
+    steps: List[PlanStep] = []
+    for _ in range(n_changes):
+        change = generator.propose(topology, rng)
+        if change is None:  # pragma: no cover - needs a frozen topology
+            break
+        affected = affected_processes(change, topology)
+        late = frozenset(
+            pid for pid in sorted(affected) if rng.random() < config.cut_bias
+        )
+        gap = rng.randint(0, config.max_gap)
+        steps.append(PlanStep(gap=gap, change=change, late=late))
+        topology = apply_change(topology, change)
+    return SchedulePlan(n_processes=n_processes, steps=tuple(steps))
+
+
+def fuzz(
+    config: FuzzConfig,
+    on_schedule: Optional[Callable[[int, DifferentialReport], None]] = None,
+) -> FuzzResult:
+    """Run one fuzzing campaign; deterministic from the master seed.
+
+    ``on_schedule`` (if given) observes every (index, report) pair —
+    the CLI uses it for progress reporting; it must not mutate the
+    report.
+    """
+    algorithms = tuple(config.algorithms or algorithm_names())
+    result = FuzzResult(config=config, algorithms=algorithms)
+    for index in range(config.schedules):
+        plan = generate_plan(config, index)
+        report = check_plan(
+            plan,
+            algorithms,
+            max_quiescence_rounds=config.max_quiescence_rounds,
+        )
+        result.schedules_run += 1
+        result.changes_injected += len(plan.steps)
+        if not report.ok:
+            result.failures.append(
+                FuzzFailure(index=index, plan=plan, report=report)
+            )
+        if on_schedule is not None:
+            on_schedule(index, report)
+    return result

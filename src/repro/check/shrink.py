@@ -1,0 +1,254 @@
+"""Delta-debugging minimizer for violating fault schedules.
+
+A fuzzer finding is only as useful as its smallest reproducer.  Given a
+plan and a predicate ("this plan still fails"), the minimizer applies
+the classic ddmin discipline plus domain-specific reductions, greedily
+accepting any candidate that (a) is still a feasible schedule and
+(b) still satisfies the predicate:
+
+* **drop steps** — remove contiguous chunks of changes, halving chunk
+  size down to single steps (ddmin);
+* **remove processes** — delete a process from the system entirely,
+  rewriting every component/moved/late set and renumbering the rest;
+* **shrink moved sets** — move fewer processes in a partition;
+* **shrink late sets** — cut fewer processes mid-round;
+* **zero gaps** — replace each gap with 0, then with half its value.
+
+Each accepted transformation strictly decreases
+:meth:`~repro.check.plan.SchedulePlan.cost`, so the loop terminates;
+passes repeat until a full sweep accepts nothing, which makes the
+result *locally minimal*: no single step, process, moved/late member or
+gap can be removed without losing the failure.
+
+Candidate feasibility is not reasoned about — a transformation may
+produce an infeasible schedule (a partition whose moved set became the
+whole component, a merge of a vanished component); such candidates fail
+:func:`~repro.check.plan.validate_plan` and are simply rejected.  This
+keeps every reduction trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.check.differential import check_plan
+from repro.check.plan import PlanError, PlanStep, SchedulePlan, validate_plan
+from repro.net.changes import (
+    ConnectivityChange,
+    CrashChange,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+)
+
+Predicate = Callable[[SchedulePlan], bool]
+
+
+def violation_predicate(
+    algorithms: Sequence[str], max_quiescence_rounds: int = 400
+) -> Predicate:
+    """The standard predicate: the plan still produces any finding.
+
+    "Any finding" (rather than the exact original message) follows the
+    delta-debugging convention — while shrinking, the failure may shift
+    between equivalent manifestations of the same bug, and chasing the
+    original string overfits the reproducer.
+    """
+    names = list(algorithms)
+
+    def predicate(plan: SchedulePlan) -> bool:
+        return not check_plan(
+            plan, names, max_quiescence_rounds=max_quiescence_rounds
+        ).ok
+
+    return predicate
+
+
+def _is_feasible(plan: SchedulePlan) -> bool:
+    try:
+        validate_plan(plan)
+    except PlanError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Transformations.  Each yields candidate plans strictly smaller (by
+# cost) than the input; feasibility is checked by the accept loop.
+# ----------------------------------------------------------------------
+
+
+def _drop_step_chunks(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """ddmin over the step list: drop chunks, largest first."""
+    n_steps = len(plan.steps)
+    chunk = n_steps
+    while chunk >= 1:
+        for start in range(0, n_steps, chunk):
+            remaining = plan.steps[:start] + plan.steps[start + chunk:]
+            if len(remaining) < n_steps:
+                yield replace(plan, steps=remaining)
+        chunk //= 2
+
+
+def _remap_change(
+    change: ConnectivityChange, mapping: Dict[int, int]
+) -> Optional[ConnectivityChange]:
+    """The change with processes dropped/renumbered; None when it
+    degenerates to nothing (e.g. a crash of the removed process)."""
+    if isinstance(change, PartitionChange):
+        component = frozenset(mapping[p] for p in change.component if p in mapping)
+        moved = frozenset(mapping[p] for p in change.moved if p in mapping)
+        if not moved or moved == component:
+            return None
+        return PartitionChange(component=component, moved=moved)
+    if isinstance(change, MergeChange):
+        first = frozenset(mapping[p] for p in change.first if p in mapping)
+        second = frozenset(mapping[p] for p in change.second if p in mapping)
+        if not first or not second:
+            return None
+        return MergeChange(first=first, second=second)
+    if isinstance(change, CrashChange):
+        if change.pid not in mapping:
+            return None
+        return CrashChange(pid=mapping[change.pid])
+    if isinstance(change, RecoverChange):
+        if change.pid not in mapping:
+            return None
+        return RecoverChange(pid=mapping[change.pid])
+    raise TypeError(f"unknown change type {type(change).__name__}")
+
+
+def _remove_processes(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """Delete one process entirely, renumbering the survivors."""
+    if plan.n_processes <= 2:
+        return
+    for removed in range(plan.n_processes - 1, -1, -1):
+        survivors = [p for p in range(plan.n_processes) if p != removed]
+        mapping = {old: new for new, old in enumerate(survivors)}
+        steps: List[PlanStep] = []
+        for step in plan.steps:
+            change = _remap_change(step.change, mapping)
+            if change is None:
+                continue  # the step degenerated; dropping it shrinks too
+            late = frozenset(mapping[p] for p in step.late if p in mapping)
+            steps.append(replace(step, change=change, late=late))
+        yield SchedulePlan(
+            n_processes=plan.n_processes - 1, steps=tuple(steps)
+        )
+
+
+def _shrink_moved_sets(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """Move one process fewer in a partition."""
+    for index, step in enumerate(plan.steps):
+        if not isinstance(step.change, PartitionChange):
+            continue
+        if len(step.change.moved) <= 1:
+            continue
+        for dropped in sorted(step.change.moved):
+            smaller = PartitionChange(
+                component=step.change.component,
+                moved=step.change.moved - {dropped},
+            )
+            steps = list(plan.steps)
+            steps[index] = replace(step, change=smaller)
+            yield replace(plan, steps=tuple(steps))
+
+
+def _shrink_late_sets(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """Try an empty cut first, then dropping single late processes."""
+    for index, step in enumerate(plan.steps):
+        if not step.late:
+            continue
+        candidates = [frozenset()]
+        if len(step.late) > 1:
+            candidates.extend(
+                step.late - {dropped} for dropped in sorted(step.late)
+            )
+        for late in candidates:
+            steps = list(plan.steps)
+            steps[index] = replace(step, late=late)
+            yield replace(plan, steps=tuple(steps))
+
+
+def _shrink_gaps(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """Try gap 0 first, then halving."""
+    for index, step in enumerate(plan.steps):
+        if step.gap <= 0:
+            continue
+        for gap in dict.fromkeys((0, step.gap // 2)):
+            steps = list(plan.steps)
+            steps[index] = replace(step, gap=gap)
+            yield replace(plan, steps=tuple(steps))
+
+
+_PASSES = (
+    _drop_step_chunks,
+    _remove_processes,
+    _shrink_moved_sets,
+    _shrink_late_sets,
+    _shrink_gaps,
+)
+
+
+@dataclass
+class ShrinkResult:
+    """A minimization outcome, with its audit trail."""
+
+    original: SchedulePlan
+    minimized: SchedulePlan
+    tests_run: int
+    accepted: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.minimized.cost() < self.original.cost()
+
+
+def minimize(
+    plan: SchedulePlan,
+    predicate: Predicate,
+    max_tests: int = 5000,
+) -> ShrinkResult:
+    """Shrink ``plan`` to a locally minimal schedule still satisfying
+    ``predicate``.
+
+    ``max_tests`` bounds predicate evaluations (each one replays the
+    schedule under every algorithm of interest); on exhaustion the best
+    plan found so far is returned — still failing, possibly not yet
+    minimal.  The input plan must itself satisfy the predicate.
+    """
+    if not predicate(plan):
+        raise ValueError("the input plan does not satisfy the predicate")
+    current = plan
+    tests_run = 1
+    accepted = 0
+    improved = True
+    while improved and tests_run < max_tests:
+        improved = False
+        for transformation in _PASSES:
+            # Re-derive candidates from the current plan after every
+            # acceptance: stale candidates would fight the new baseline.
+            restart = True
+            while restart and tests_run < max_tests:
+                restart = False
+                for candidate in transformation(current):
+                    if candidate.cost() >= current.cost():
+                        continue
+                    if not _is_feasible(candidate):
+                        continue
+                    tests_run += 1
+                    if predicate(candidate):
+                        current = candidate
+                        accepted += 1
+                        improved = True
+                        restart = True
+                        break
+                    if tests_run >= max_tests:
+                        break
+    return ShrinkResult(
+        original=plan,
+        minimized=current,
+        tests_run=tests_run,
+        accepted=accepted,
+    )

@@ -9,7 +9,8 @@ algorithms by configuration.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Type
 
 from repro.core.dfls import DFLS
 from repro.core.interface import PrimaryComponentAlgorithm
@@ -36,6 +37,31 @@ def register(cls: Type[PrimaryComponentAlgorithm]) -> Type[PrimaryComponentAlgor
     return cls
 
 
+def unregister(name: str) -> None:
+    """Remove an algorithm from the registry (tests, plug-in teardown)."""
+    if name not in _REGISTRY:
+        raise ValueError(f"algorithm name {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+@contextmanager
+def temporary_algorithm(
+    cls: Type[PrimaryComponentAlgorithm],
+) -> Iterator[Type[PrimaryComponentAlgorithm]]:
+    """Register an algorithm for the duration of a ``with`` block.
+
+    The differential fuzzer and the shrinker resolve algorithms by
+    registry name; test fixtures (deliberately broken algorithms whose
+    violations exercise the minimizer) use this to appear in the
+    registry without leaking into other tests.
+    """
+    register(cls)
+    try:
+        yield cls
+    finally:
+        unregister(cls.name)
+
+
 for _cls in (YKD, UnoptimizedYKD, YKDAggressiveDelete, DFLS, OnePending, MR1p, SimpleMajority):
     register(_cls)
 
@@ -50,6 +76,27 @@ AVAILABILITY_ALGORITHMS: List[str] = [
 
 #: The three algorithms whose ambiguous sessions §4.2 measures.
 AMBIGUITY_ALGORITHMS: List[str] = [YKD.name, UnoptimizedYKD.name, DFLS.name]
+
+#: Algorithm families: variants of one base protocol that share its
+#: formation rule and therefore its externally observable guarantees.
+#: ``repro.check.differential`` cross-checks members of a family on
+#: identical fault plans — properties the family must agree on (the
+#: formed-primary chain) become divergence findings when they differ.
+#: Names absent from this map are their own singleton family.  The
+#: aggressive-delete YKD is deliberately *not* in the ykd family: the
+#: Fig. 3-3 DELETE clause drops a vacuous constraint and therefore
+#: forms (slightly) different primaries by design — the exact effect
+#: the ``abl_never_formed`` ablation quantifies.  The §3.2.1
+#: unoptimized YKD runs the identical decision rule, so it must agree.
+FAMILIES: Dict[str, str] = {
+    YKD.name: "ykd",
+    UnoptimizedYKD.name: "ykd",
+    YKDAggressiveDelete.name: "ykd_aggressive",
+    DFLS.name: "dfls",
+    OnePending.name: "one_pending",
+    MR1p.name: "mr1p",
+    SimpleMajority.name: "majority",
+}
 
 #: Human-readable labels matching the thesis figures' legends.
 DISPLAY_NAMES: Dict[str, str] = {
@@ -88,3 +135,8 @@ def create_algorithm(
 def display_name(name: str) -> str:
     """Human-readable label matching the thesis figures' legends."""
     return DISPLAY_NAMES.get(name, name)
+
+
+def algorithm_family(name: str) -> str:
+    """The family key of an algorithm (its own name when unmapped)."""
+    return FAMILIES.get(name, name)

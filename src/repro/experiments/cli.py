@@ -8,12 +8,14 @@ Examples::
     repro-experiments all --scale smoke
     repro-experiments compare ykd dfls --changes 6 --rate 2 --runs 300
     repro-experiments trace ykd --processes 5 --changes 3
+    repro-experiments check --schedules 500 --seed 3 --shrink
+    repro-experiments check --replay repro.json
+    repro-experiments check --corpus tests/corpus
 """
 
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 import time
 from pathlib import Path
@@ -34,6 +36,7 @@ from repro.experiments.spec import SCALES, SPECS, all_spec_ids, get_scale
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
 from repro.sim.explore import explore
+from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceRecorder, render_timeline
 
 
@@ -103,6 +106,49 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--processes", type=int, default=5)
     trace_parser.add_argument("--changes", type=int, default=3)
     trace_parser.add_argument("--seed", type=int, default=0)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="differential schedule fuzzing with failure minimization, "
+        "repro replay, and corpus regression",
+    )
+    check_parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        help="replay one repro file instead of fuzzing",
+    )
+    check_parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="replay every repro file in a directory instead of fuzzing",
+    )
+    check_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=algorithm_names(),
+        default=None,
+        help="algorithms to cross-check (default: all registered)",
+    )
+    check_parser.add_argument("--schedules", type=int, default=200)
+    check_parser.add_argument("--seed", type=int, default=0)
+    check_parser.add_argument("--min-processes", type=int, default=3)
+    check_parser.add_argument("--max-processes", type=int, default=6)
+    check_parser.add_argument("--max-changes", type=int, default=6)
+    check_parser.add_argument("--max-gap", type=int, default=3)
+    check_parser.add_argument("--crash-weight", type=float, default=0.2)
+    check_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each failing schedule to a minimal reproducer",
+    )
+    check_parser.add_argument(
+        "--save-repros",
+        type=Path,
+        default=None,
+        help="directory for the (minimized) failing schedules as repro files",
+    )
 
     return parser
 
@@ -191,7 +237,7 @@ def _soak(args: argparse.Namespace) -> int:
     driver = DriverLoop(
         algorithm=args.algorithm,
         n_processes=args.processes,
-        fault_rng=random.Random(args.seed),
+        fault_rng=derive_rng(args.seed, "soak", args.processes, args.rate),
     )
     milestone = max(args.changes // 10, 1)
     runs = 0
@@ -247,7 +293,7 @@ def _trace(args: argparse.Namespace) -> None:
     driver = DriverLoop(
         algorithm=args.algorithm,
         n_processes=args.processes,
-        fault_rng=random.Random(args.seed),
+        fault_rng=derive_rng(args.seed, "trace", args.processes, args.changes),
         observers=[recorder],
     )
     driver.execute_run(gaps=[1] * args.changes)
@@ -256,6 +302,87 @@ def _trace(args: argparse.Namespace) -> None:
         f"\noutcome: primary={driver.primary_members()} "
         f"topology={driver.topology.describe()}"
     )
+
+
+def _check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        EXPECT_VIOLATION,
+        FuzzConfig,
+        PlanError,
+        ReproFile,
+        fuzz,
+        load_repro,
+        minimize,
+        run_corpus,
+        run_repro,
+        violation_predicate,
+        write_repro,
+    )
+
+    started = time.time()
+    if args.replay is not None:
+        try:
+            repro = load_repro(args.replay)
+        except (OSError, PlanError) as error:
+            print(f"error: cannot load repro: {error}", file=sys.stderr)
+            return 2
+        met, report = run_repro(repro, args.algorithms)
+        print(report.describe())
+        status = "matches" if met else "DOES NOT match"
+        print(f"expectation {repro.expect!r} {status} ({args.replay})")
+        return 0 if met else 1
+
+    if args.corpus is not None:
+        result = run_corpus(args.corpus, args.algorithms)
+        print(result.describe())
+        print(f"[corpus done in {time.time() - started:.1f}s]")
+        return 0 if result.ok else 1
+
+    try:
+        config = FuzzConfig(
+            master_seed=args.seed,
+            schedules=args.schedules,
+            algorithms=tuple(args.algorithms) if args.algorithms else None,
+            min_processes=args.min_processes,
+            max_processes=args.max_processes,
+            max_changes=args.max_changes,
+            max_gap=args.max_gap,
+            crash_weight=args.crash_weight,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = fuzz(config)
+    print(result.describe())
+    for failure in result.failures:
+        plan = failure.plan
+        if args.shrink:
+            shrunk = minimize(
+                plan, violation_predicate(result.algorithms)
+            )
+            plan = shrunk.minimized
+            print(
+                f"schedule #{failure.index} minimized "
+                f"{shrunk.original.cost()} -> {shrunk.minimized.cost()} "
+                f"({shrunk.tests_run} replays): {plan.describe()}"
+            )
+        if args.save_repros is not None:
+            path = write_repro(
+                args.save_repros / f"seed{args.seed}_schedule{failure.index}.json",
+                ReproFile(
+                    plan=plan,
+                    algorithms=result.algorithms,
+                    expect=EXPECT_VIOLATION,
+                    note=(
+                        f"found by fuzzer seed={args.seed} "
+                        f"schedule={failure.index}; flip expect to 'pass' "
+                        "once the underlying bug is fixed"
+                    ),
+                ),
+            )
+            print(f"repro written: {path}")
+    print(f"[check done in {time.time() - started:.1f}s]")
+    return 0 if result.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -293,6 +420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _verify(args)
     if args.command == "soak":
         return _soak(args)
+    if args.command == "check":
+        return _check(args)
     return 2  # pragma: no cover - argparse guards commands
 
 

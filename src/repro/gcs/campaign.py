@@ -13,7 +13,6 @@ algorithms, not of the simulator.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 

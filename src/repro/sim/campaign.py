@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import InvariantViolation
 from repro.net.changes import UniformChangeGenerator
 from repro.net.schedule import ChangeSchedule, GeometricSchedule
 from repro.sim.driver import DriverLoop
@@ -129,15 +130,15 @@ def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) ->
             )
             driver = _build_driver(config, fault_rng, observers)
             gaps = schedule.draw_gaps(fault_rng, config.n_changes)
-            driver.execute_run(gaps)
+            _execute_with_repro(driver, gaps, config, run_index)
             rounds_total += driver.round_index
             changes_total += driver.changes_injected
     else:
         fault_rng = derive_rng(config.master_seed, *config.case_label())
         driver = _build_driver(config, fault_rng, observers)
-        for _ in range(config.runs):
+        for run_index in range(config.runs):
             gaps = schedule.draw_gaps(fault_rng, config.n_changes)
-            driver.execute_run(gaps)
+            _execute_with_repro(driver, gaps, config, run_index)
         rounds_total = driver.round_index
         changes_total = driver.changes_injected
 
@@ -157,6 +158,31 @@ def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) ->
         result.message_max_bytes = sizes.max_bytes
         result.message_mean_bytes = sizes.mean_bytes
     return result
+
+
+def _execute_with_repro(
+    driver: DriverLoop, gaps: Sequence[int], config: CaseConfig, run_index: int
+) -> None:
+    """Run one measured run; a violation carries its repro out with it.
+
+    The driver records the realized (gap, change, late) schedule of
+    every run, so when an invariant breaks mid-campaign the exception
+    is annotated with everything ``repro.check`` needs to replay,
+    shrink and archive the failure — no re-running the campaign to
+    catch the bug a second time.  For fresh-start runs the attached
+    steps replay the whole failure from the pristine state; for
+    cascading runs they are the failing tail only (the run started from
+    accumulated state).
+    """
+    try:
+        driver.execute_run(gaps)
+    except InvariantViolation as violation:
+        violation.repro_algorithm = config.algorithm
+        violation.repro_run_index = run_index
+        violation.repro_mode = config.mode
+        violation.repro_n_processes = driver.n_processes
+        violation.repro_steps = driver.recorded_steps()
+        raise
 
 
 def _build_driver(

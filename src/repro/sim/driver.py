@@ -160,6 +160,13 @@ class DriverLoop:
         self.round_index: int = 0
         self.changes_injected: int = 0
         self.views_installed_this_round: Tuple[View, ...] = ()
+        #: Realized fault schedule of the current run, as (gap, change,
+        #: late-set) triples — exactly what :meth:`execute_schedule`
+        #: replays.  Recording is always on (one append per change);
+        #: :meth:`execute_run` resets it at each run start so a
+        #: violating run can be turned into an explicit repro plan.
+        self._recorded_steps: List[Tuple[int, ConnectivityChange, frozenset]] = []
+        self._rounds_since_change: int = 0
 
     # ------------------------------------------------------------------
     # One round.
@@ -194,6 +201,12 @@ class DriverLoop:
                 )
             if isinstance(change, CrashChange):
                 dead = frozenset({change.pid})
+            self._recorded_steps.append(
+                (self._rounds_since_change, change, late)
+            )
+            self._rounds_since_change = 0
+        else:
+            self._rounds_since_change += 1
 
         # 3. Deliver within the pre-change components, sender id order.
         for sender in sorted(bundles):
@@ -273,6 +286,7 @@ class DriverLoop:
         at fire time, so the realized fault sequence depends only on
         the fault RNG and never on the algorithm under test.
         """
+        self.reset_schedule_recording()
         for observer in self.observers:
             observer.on_run_start(self)
         for gap in gaps:
@@ -288,6 +302,87 @@ class DriverLoop:
         )
         for observer in self.observers:
             observer.on_run_end(self)
+
+    # ------------------------------------------------------------------
+    # Scripted replay (repro.check and repro.sim.explore).
+    # ------------------------------------------------------------------
+
+    def run_scripted_round(
+        self, change: Optional[ConnectivityChange], late: Iterable[ProcessId]
+    ) -> bool:
+        """Run one round injecting ``change`` with an explicit late-set.
+
+        The mid-round cut is forced to exactly ``late ∩ affected``
+        instead of being sampled from the fault RNG, which makes the
+        round fully deterministic — the building block of exhaustive
+        exploration and of schedule replay.
+        """
+        late_set = frozenset(late)
+        previous = self.cut_chooser
+        self.cut_chooser = lambda affected: late_set & frozenset(affected)
+        try:
+            return self.run_round(change)
+        finally:
+            self.cut_chooser = previous
+
+    def execute_schedule(
+        self,
+        steps: Iterable[Tuple[int, ConnectivityChange, Optional[frozenset]]],
+        settle: bool = True,
+    ) -> None:
+        """Replay an explicit fault schedule against this system.
+
+        ``steps`` are (gap, change, late) triples: run ``gap`` quiet
+        rounds, then inject ``change`` with the given late-set (``None``
+        samples the cut from the fault RNG as a random run would).
+        With ``settle`` the run afterwards drains to quiescence under
+        the quiescent-agreement check, mirroring :meth:`execute_run`.
+
+        Replaying the same steps against the same initial state is
+        bit-for-bit deterministic whenever every late-set is explicit,
+        whatever the fault RNG — this is the driver-side hook that
+        ``repro.check`` (fuzzing, shrinking, repro files) and
+        ``repro.sim.explore`` build on.
+        """
+        self.reset_schedule_recording()
+        for observer in self.observers:
+            observer.on_run_start(self)
+        for gap, change, late in steps:
+            for _ in range(gap):
+                self.run_round(None)
+            if late is None:
+                self.run_round(change)
+            else:
+                self.run_scripted_round(change, late)
+        if settle:
+            self.run_until_quiescent()
+            self.checker.check_quiescent_agreement(
+                self.algorithms,
+                self.topology.components,
+                self.topology.active_processes(),
+            )
+        for observer in self.observers:
+            observer.on_run_end(self)
+
+    def recorded_steps(
+        self,
+    ) -> List[Tuple[int, ConnectivityChange, frozenset]]:
+        """The realized fault schedule of the current run.
+
+        Each entry is a (gap, change, late) triple exactly as
+        :meth:`execute_schedule` consumes them, so any random run —
+        including one that just raised an :class:`InvariantViolation` —
+        can be replayed deterministically from a fresh system.  Valid
+        as a standalone plan only for runs started from the pristine
+        initial state (fresh-start campaigns; cascading runs replay
+        their tail against accumulated state).
+        """
+        return list(self._recorded_steps)
+
+    def reset_schedule_recording(self) -> None:
+        """Start a new recorded schedule (called at each run start)."""
+        self._recorded_steps.clear()
+        self._rounds_since_change = 0
 
     # ------------------------------------------------------------------
     # Queries.

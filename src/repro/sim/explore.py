@@ -28,7 +28,6 @@ covered.
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
@@ -37,6 +36,7 @@ from repro.net.changes import ConnectivityChange, MergeChange, PartitionChange
 from repro.net.topology import Topology
 from repro.sim.driver import DriverLoop
 from repro.sim.invariants import InvariantChecker
+from repro.sim.rng import derive_rng
 from repro.types import Members
 
 
@@ -97,16 +97,6 @@ class ExplorationResult:
         return not self.violations and self.scenarios > 0
 
 
-class _FixedCut:
-    """Cut chooser that returns a predetermined late-set once."""
-
-    def __init__(self, late: FrozenSet[int]) -> None:
-        self.late = late
-
-    def __call__(self, affected: Members) -> FrozenSet[int]:
-        return frozenset(self.late) & frozenset(affected)
-
-
 def explore(
     algorithm: str,
     n_processes: int = 3,
@@ -137,21 +127,13 @@ def explore(
         driver = DriverLoop(
             algorithm=algorithm,
             n_processes=n_processes,
-            fault_rng=random.Random(0),  # unused: cuts are injected
+            # Never consumed: every cut is injected explicitly, but the
+            # stream is labelled so any future sampled decision stays
+            # inside the reproducibility discipline.
+            fault_rng=derive_rng(0, "explore", algorithm),
             checker=InvariantChecker(),
         )
-        for gap, change, late in steps:
-            for _ in range(gap):
-                driver.run_round()
-            driver.cut_chooser = _FixedCut(late)
-            driver.run_round(change)
-            driver.cut_chooser = None
-        driver.run_until_quiescent()
-        driver.checker.check_quiescent_agreement(
-            driver.algorithms,
-            driver.topology.components,
-            driver.topology.active_processes(),
-        )
+        driver.execute_schedule(steps)
         return driver.primary_exists()
 
     def scenario_prefixes(

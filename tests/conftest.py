@@ -3,12 +3,42 @@
 from __future__ import annotations
 
 import random
+from typing import ClassVar
 
 import pytest
 
+from repro.core.majority import SimpleMajority
+from repro.core.quorum import is_exact_half, is_majority
+from repro.core.registry import temporary_algorithm
 from repro.core.view import View, initial_view
 from repro.net.changes import MergeChange, PartitionChange
 from repro.sim.driver import DriverLoop
+
+
+class BrokenMajority(SimpleMajority):
+    """Majority voting *without* the exact-half tie-break.
+
+    On an even split both halves satisfy "at least half", so both
+    declare primaryhood — the textbook split brain the tie-break
+    exists to prevent.  The fuzzer/shrinker tests register this
+    deliberately broken algorithm to prove the harness catches and
+    minimizes real violations.
+    """
+
+    name: ClassVar[str] = "broken_majority"
+
+    def _on_view(self, view: View) -> None:
+        members = view.members
+        self._in_primary = is_majority(members, self.universe) or is_exact_half(
+            members, self.universe
+        )
+
+
+@pytest.fixture
+def broken_majority():
+    """The broken algorithm, registered for the duration of one test."""
+    with temporary_algorithm(BrokenMajority) as cls:
+        yield cls
 
 
 @pytest.fixture

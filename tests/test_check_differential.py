@@ -1,0 +1,146 @@
+"""Tests for differential plan execution and cross-algorithm checks."""
+
+import pytest
+
+from repro.check.differential import (
+    OUTCOME_VIOLATION,
+    AlgorithmVerdict,
+    _check_family_chains,
+    check_plan,
+    run_plan,
+)
+from repro.check.plan import PlanStep, SchedulePlan
+from repro.core.registry import algorithm_names
+from repro.net.changes import MergeChange, PartitionChange
+
+EVEN_SPLIT = SchedulePlan(
+    n_processes=4,
+    steps=(
+        PlanStep(
+            gap=1,
+            change=PartitionChange(
+                component=frozenset({0, 1, 2, 3}), moved=frozenset({1, 2})
+            ),
+            late=frozenset({1}),
+        ),
+        PlanStep(
+            gap=0,
+            change=MergeChange(
+                first=frozenset({0, 3}), second=frozenset({1, 2})
+            ),
+            late=frozenset(),
+        ),
+    ),
+)
+
+
+class TestRunPlan:
+    def test_clean_algorithm_gets_ok_verdict(self):
+        verdict = run_plan(EVEN_SPLIT, "ykd")
+        assert verdict.ok
+        assert verdict.available is True
+        assert verdict.final_components == ((0, 1, 2, 3),)
+        assert verdict.chain  # ykd reports its formed primaries
+
+    def test_verdict_is_deterministic(self):
+        assert run_plan(EVEN_SPLIT, "ykd") == run_plan(EVEN_SPLIT, "ykd")
+
+    def test_broken_algorithm_gets_violation_verdict(self, broken_majority):
+        verdict = run_plan(EVEN_SPLIT, "broken_majority")
+        assert verdict.outcome == OUTCOME_VIOLATION
+        assert "primary" in verdict.detail
+
+    def test_all_registered_algorithms_clean_on_even_split(self):
+        for name in algorithm_names():
+            assert run_plan(EVEN_SPLIT, name).ok, name
+
+
+class TestCheckPlan:
+    def test_clean_plan_produces_clean_report(self):
+        report = check_plan(EVEN_SPLIT)
+        assert report.ok
+        assert not report.divergences
+        assert set(report.verdicts) == set(algorithm_names())
+
+    def test_broken_algorithm_surfaces_as_failure(self, broken_majority):
+        report = check_plan(EVEN_SPLIT)
+        assert not report.ok
+        failing = [v.algorithm for v in report.failures]
+        assert failing == ["broken_majority"]
+        assert "broken_majority" in report.describe()
+
+    def test_explicit_algorithm_list_is_respected(self):
+        report = check_plan(EVEN_SPLIT, ["ykd", "dfls"])
+        assert set(report.verdicts) == {"ykd", "dfls"}
+
+
+class TestFamilyChains:
+    @staticmethod
+    def _verdict(algorithm, chain):
+        return AlgorithmVerdict(
+            algorithm=algorithm, outcome="ok", chain=tuple(chain)
+        )
+
+    def test_agreeing_chains_produce_no_divergence(self):
+        divergences = []
+        _check_family_chains(
+            {
+                "ykd": self._verdict("ykd", [(1, (0, 1, 2)), (2, (0, 1))]),
+                "ykd_unopt": self._verdict("ykd_unopt", [(1, (0, 1, 2))]),
+            },
+            divergences,
+        )
+        assert divergences == []
+
+    def test_conflicting_order_key_is_a_divergence(self):
+        divergences = []
+        _check_family_chains(
+            {
+                "ykd": self._verdict("ykd", [(1, (0, 1, 2))]),
+                "ykd_unopt": self._verdict("ykd_unopt", [(1, (1, 2, 3))]),
+            },
+            divergences,
+        )
+        assert len(divergences) == 1
+        assert "primary #1" in divergences[0]
+
+    def test_broken_merged_chain_is_a_divergence(self):
+        divergences = []
+        # Disjoint successive primaries: each run alone is a one-link
+        # chain, but merged they cannot both descend from #1.
+        _check_family_chains(
+            {
+                "ykd": self._verdict("ykd", [(1, (0, 1))]),
+                "ykd_unopt": self._verdict("ykd_unopt", [(2, (2, 3))]),
+            },
+            divergences,
+        )
+        assert len(divergences) == 1
+        assert "merged chain broken" in divergences[0]
+
+    def test_different_families_are_not_compared(self):
+        divergences = []
+        _check_family_chains(
+            {
+                "ykd": self._verdict("ykd", [(1, (0, 1))]),
+                "mr1p": self._verdict("mr1p", [(1, (2, 3))]),
+            },
+            divergences,
+        )
+        assert divergences == []
+
+    def test_ykd_aggressive_is_not_in_the_strict_family(self):
+        # The aggressive DELETE rule forms different primaries by
+        # design (the abl_never_formed ablation); holding it to the
+        # ykd family would turn that design into a false positive.
+        divergences = []
+        _check_family_chains(
+            {
+                "ykd": self._verdict("ykd", [(1, (0, 1, 2))]),
+                "ykd_aggressive": self._verdict(
+                    "ykd_aggressive", [(1, (0, 1))]
+                ),
+            },
+            divergences,
+        )
+        assert divergences == []

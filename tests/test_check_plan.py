@@ -1,0 +1,156 @@
+"""Tests for the explicit-schedule data model and repro-file codec."""
+
+import pytest
+
+from repro.check.plan import (
+    PlanError,
+    PlanStep,
+    SchedulePlan,
+    change_from_dict,
+    change_to_dict,
+    driver_steps,
+    plan_from_json,
+    plan_from_recorded,
+    plan_to_json,
+    validate_plan,
+)
+from repro.net.changes import (
+    CrashChange,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+)
+from repro.net.topology import Topology
+from repro.sim.driver import DriverLoop
+from repro.sim.rng import derive_rng
+
+SPLIT = PlanStep(
+    gap=1,
+    change=PartitionChange(
+        component=frozenset({0, 1, 2, 3}), moved=frozenset({2, 3})
+    ),
+    late=frozenset({2}),
+)
+HEAL = PlanStep(
+    gap=0,
+    change=MergeChange(first=frozenset({0, 1}), second=frozenset({2, 3})),
+    late=frozenset(),
+)
+PLAN = SchedulePlan(n_processes=4, steps=(SPLIT, HEAL))
+
+
+class TestCodec:
+    def test_plan_round_trips_through_json(self):
+        assert plan_from_json(plan_to_json(PLAN)) == PLAN
+
+    def test_json_is_canonical(self):
+        # Same plan, same bytes — repro files must diff cleanly.
+        assert plan_to_json(PLAN) == plan_to_json(
+            plan_from_json(plan_to_json(PLAN))
+        )
+
+    def test_every_change_kind_round_trips(self):
+        changes = [
+            PartitionChange(component=frozenset({0, 1}), moved=frozenset({1})),
+            MergeChange(first=frozenset({0}), second=frozenset({1})),
+            CrashChange(pid=3),
+            RecoverChange(pid=3),
+        ]
+        for change in changes:
+            assert change_from_dict(change_to_dict(change)) == change
+
+    def test_unknown_change_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown change kind"):
+            change_from_dict({"kind": "meteor"})
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(PlanError, match="unsupported plan format"):
+            plan_from_json('{"format": 99, "n_processes": 2, "steps": []}')
+
+
+class TestValidation:
+    def test_valid_plan_returns_final_topology(self):
+        final = validate_plan(PLAN)
+        assert final.components == Topology.fully_connected(4).components
+
+    def test_partition_of_non_component_rejected(self):
+        plan = SchedulePlan(n_processes=3, steps=(SPLIT,))
+        with pytest.raises(PlanError, match="infeasible"):
+            validate_plan(plan)
+
+    def test_negative_gap_rejected(self):
+        bad = SchedulePlan(
+            n_processes=4,
+            steps=(PlanStep(gap=-1, change=SPLIT.change, late=frozenset()),),
+        )
+        with pytest.raises(PlanError, match="negative gap"):
+            validate_plan(bad)
+
+    def test_unaffected_late_process_rejected(self):
+        bad = SchedulePlan(
+            n_processes=5,
+            steps=(
+                PlanStep(
+                    gap=0,
+                    change=PartitionChange(
+                        component=frozenset(range(5)), moved=frozenset({4})
+                    ),
+                    late=frozenset(),
+                ),
+                PlanStep(
+                    gap=0,
+                    change=PartitionChange(
+                        component=frozenset({0, 1, 2, 3}), moved=frozenset({3})
+                    ),
+                    late=frozenset({4}),  # 4 is in the untouched component
+                ),
+            ),
+        )
+        with pytest.raises(PlanError, match="not.*affected"):
+            validate_plan(bad)
+
+    def test_single_process_plan_rejected(self):
+        with pytest.raises(PlanError, match="two processes"):
+            validate_plan(SchedulePlan(n_processes=1, steps=()))
+
+
+class TestCost:
+    def test_fewer_steps_always_smaller(self):
+        assert SchedulePlan(4, (SPLIT,)).cost() < PLAN.cost()
+
+    def test_fewer_processes_smaller_at_equal_steps(self):
+        small = SchedulePlan(3, (SPLIT,))
+        assert small.cost() < SchedulePlan(4, (SPLIT,)).cost()
+
+    def test_detail_breaks_ties(self):
+        quiet = PlanStep(gap=0, change=SPLIT.change, late=frozenset())
+        assert SchedulePlan(4, (quiet,)).cost() < SchedulePlan(4, (SPLIT,)).cost()
+
+
+class TestRecordedRoundTrip:
+    def test_random_run_replays_identically(self):
+        original = DriverLoop(
+            "ykd", 6, fault_rng=derive_rng(11, "record-test")
+        )
+        original.execute_run([1, 0, 2, 1])
+        plan = plan_from_recorded(
+            original.n_processes, original.recorded_steps()
+        )
+        validate_plan(plan)
+        replay = DriverLoop(
+            "ykd", 6, fault_rng=derive_rng(999, "unrelated-stream")
+        )
+        replay.execute_schedule(driver_steps(plan))
+        assert replay.primary_members() == original.primary_members()
+        assert replay.checker.formed_chain == original.checker.formed_chain
+        assert sorted(map(sorted, replay.topology.components)) == sorted(
+            map(sorted, original.topology.components)
+        )
+
+    def test_execute_run_resets_recording_between_runs(self):
+        driver = DriverLoop("ykd", 5, fault_rng=derive_rng(3, "reset-test"))
+        driver.execute_run([1, 1])
+        first = driver.recorded_steps()
+        driver.execute_run([1])
+        assert len(driver.recorded_steps()) == 1
+        assert len(first) == 2

@@ -1,0 +1,125 @@
+"""Tests for the delta-debugging minimizer.
+
+The acceptance bar: handed a schedule with an injected invariant
+violation, the shrinker must emit a replayable minimal repro that still
+violates and is strictly smaller than the input.
+"""
+
+import pytest
+
+from repro.check.differential import check_plan
+from repro.check.fuzzer import FuzzConfig, fuzz
+from repro.check.plan import (
+    PlanStep,
+    SchedulePlan,
+    plan_from_json,
+    plan_to_json,
+    validate_plan,
+)
+from repro.check.shrink import minimize, violation_predicate
+from repro.net.changes import CrashChange, MergeChange, PartitionChange
+
+
+def padded_violating_plan() -> SchedulePlan:
+    """An even split (the broken-majority trigger) buried in noise."""
+    return SchedulePlan(
+        n_processes=6,
+        steps=(
+            PlanStep(
+                gap=2,
+                change=PartitionChange(
+                    component=frozenset(range(6)), moved=frozenset({5})
+                ),
+                late=frozenset({5}),
+            ),
+            PlanStep(
+                gap=1,
+                change=MergeChange(
+                    first=frozenset({0, 1, 2, 3, 4}), second=frozenset({5})
+                ),
+                late=frozenset({0, 1}),
+            ),
+            PlanStep(
+                gap=3,
+                change=PartitionChange(
+                    component=frozenset(range(6)), moved=frozenset({0, 2, 4})
+                ),
+                late=frozenset({0, 3}),
+            ),
+            PlanStep(gap=1, change=CrashChange(pid=4), late=frozenset()),
+        ),
+    )
+
+
+class TestMinimize:
+    def test_minimized_repro_is_smaller_and_still_violates(
+        self, broken_majority
+    ):
+        plan = padded_violating_plan()
+        predicate = violation_predicate(["broken_majority"])
+        assert predicate(plan)
+
+        result = minimize(plan, predicate)
+
+        assert result.reduced
+        assert result.minimized.cost() < plan.cost()
+        # Still a feasible schedule, and still failing.
+        validate_plan(result.minimized)
+        assert predicate(result.minimized)
+
+    def test_minimized_repro_replays_after_json_round_trip(
+        self, broken_majority
+    ):
+        result = minimize(
+            padded_violating_plan(),
+            violation_predicate(["broken_majority"]),
+        )
+        reloaded = plan_from_json(plan_to_json(result.minimized))
+        report = check_plan(reloaded, ["broken_majority"])
+        assert not report.ok
+
+    def test_result_is_locally_minimal_single_even_split(
+        self, broken_majority
+    ):
+        # The even-split bug needs exactly one change; local minimality
+        # means the shrinker must land on a one-step plan.
+        result = minimize(
+            padded_violating_plan(),
+            violation_predicate(["broken_majority"]),
+        )
+        assert len(result.minimized.steps) == 1
+        step = result.minimized.steps[0]
+        assert step.gap == 0
+        assert step.late == frozenset()
+
+    def test_minimization_is_deterministic(self, broken_majority):
+        predicate = violation_predicate(["broken_majority"])
+        first = minimize(padded_violating_plan(), predicate)
+        second = minimize(padded_violating_plan(), predicate)
+        assert plan_to_json(first.minimized) == plan_to_json(second.minimized)
+
+    def test_fuzz_findings_shrink_end_to_end(self, broken_majority):
+        result = fuzz(
+            FuzzConfig(
+                master_seed=0, schedules=30, algorithms=("broken_majority",)
+            )
+        )
+        assert not result.ok
+        failure = result.failures[0]
+        shrunk = minimize(
+            failure.plan, violation_predicate(["broken_majority"])
+        )
+        assert shrunk.minimized.cost() <= failure.plan.cost()
+        assert not check_plan(shrunk.minimized, ["broken_majority"]).ok
+
+    def test_non_failing_input_is_rejected(self):
+        plan = padded_violating_plan()
+        with pytest.raises(ValueError, match="does not satisfy"):
+            minimize(plan, violation_predicate(["ykd"]))
+
+    def test_max_tests_bounds_work(self, broken_majority):
+        predicate = violation_predicate(["broken_majority"])
+        result = minimize(padded_violating_plan(), predicate, max_tests=3)
+        assert result.tests_run <= 3
+        # Whatever was reached must still fail.
+        assert predicate(result.minimized)

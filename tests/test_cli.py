@@ -113,3 +113,64 @@ class TestSoak:
         out = capsys.readouterr().out
         assert "soak complete" in out
         assert "every invariant intact" in out
+
+
+class TestCheck:
+    def test_fuzz_smoke(self, capsys):
+        assert main(["check", "--schedules", "15", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 15 schedules" in out
+        assert "0 failing" in out
+
+    def test_fuzz_finds_and_shrinks_injected_bug(
+        self, capsys, tmp_path, broken_majority
+    ):
+        assert main([
+            "check", "--schedules", "30", "--seed", "0",
+            "--algorithms", "broken_majority",
+            "--shrink", "--save-repros", str(tmp_path),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "minimized" in out
+        assert "repro written" in out
+        assert list(tmp_path.glob("*.json"))
+
+    def test_replay_matching_expectation(self, capsys, tmp_path):
+        from repro.check import ReproFile, write_repro
+        from repro.check.plan import plan_from_json
+
+        plan = plan_from_json(
+            '{"format": 1, "n_processes": 4, "steps": [{"gap": 0, "late": [],'
+            ' "change": {"kind": "partition", "component": [0, 1, 2, 3],'
+            ' "moved": [1, 2]}}]}'
+        )
+        path = write_repro(tmp_path / "r.json", ReproFile(plan=plan))
+        assert main(["check", "--replay", str(path)]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_replay_unmet_expectation_fails(
+        self, capsys, tmp_path, broken_majority
+    ):
+        from repro.check import ReproFile, write_repro
+        from repro.check.corpus import EXPECT_PASS
+        from tests.test_check_corpus import EVEN_SPLIT
+
+        path = write_repro(
+            tmp_path / "r.json",
+            ReproFile(
+                plan=EVEN_SPLIT,
+                algorithms=("broken_majority",),
+                expect=EXPECT_PASS,
+            ),
+        )
+        assert main(["check", "--replay", str(path)]) == 1
+        assert "DOES NOT match" in capsys.readouterr().out
+
+    def test_corpus_regression_run(self, capsys):
+        assert main(["check", "--corpus", "tests/corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--algorithms", "paxos"])

@@ -21,6 +21,24 @@ class TestDeriveSeed:
     def test_int_and_str_labels_both_work(self):
         assert derive_seed(0, 12, "x") == derive_seed(0, "12", "x")
 
+    def test_no_boundary_shift_collisions(self):
+        # Moving a character across a label boundary must change the
+        # derived stream: ("ab", "c") and ("a", "bc") concatenate to
+        # the same text but are different label paths.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+        assert derive_seed(1, "a", "b", "c") != derive_seed(1, "ab", "c")
+        assert derive_seed(1, "a", "b", "c") != derive_seed(1, "a", "bc")
+
+    def test_empty_label_is_distinct_from_absent_label(self):
+        assert derive_seed(1, "a", "") != derive_seed(1, "a")
+        assert derive_seed(1, "", "a") != derive_seed(1, "a")
+
+    def test_numeric_boundary_shifts_do_not_collide(self):
+        # The same digits split differently — (12, 3) vs (1, 23) —
+        # must yield different streams, for any int/str mix.
+        assert derive_seed(0, 12, 3) != derive_seed(0, 1, 23)
+        assert derive_seed(0, "12", 3) != derive_seed(0, 1, "23")
+
 
 class TestDeriveRng:
     def test_streams_are_reproducible(self):
