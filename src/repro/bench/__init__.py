@@ -1,0 +1,66 @@
+"""``repro.bench`` — the perf-trajectory benchmark subsystem.
+
+Pinned-seed workloads over the simulation hot path, measured and
+recorded as canonical ``BENCH_<scenario>.json`` files at the repository
+root.  Committing the rewritten files after a perf-relevant change is
+how the repo records its throughput trajectory; the harness itself
+flags any >10% drop against the previous file (CI runs the quick
+variant with a looser 25% gate).
+
+Usage::
+
+    repro-experiments bench             # full pinned workloads
+    repro-experiments bench --quick     # CI-sized smoke variant
+    repro-experiments bench campaign    # one scenario only
+
+Every scenario is deterministic, so throughput changes are always code
+changes — and the matching byte-identity tests
+(``tests/test_byte_identity.py``) prove the optimized code still
+executes the identical rounds.
+"""
+
+from repro.bench.harness import (
+    BENCH_FORMAT_VERSION,
+    BENCH_KIND,
+    DEFAULT_REGRESSION_THRESHOLD,
+    BenchComparison,
+    BenchResult,
+    bench_path,
+    compare_to_previous,
+    current_commit,
+    load_bench,
+    measure,
+    peak_rss_kb,
+    result_to_dict,
+    run_bench,
+    write_bench,
+)
+from repro.bench.scenarios import (
+    SCENARIOS,
+    BenchScenario,
+    WorkloadResult,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "BENCH_KIND",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "BenchComparison",
+    "BenchResult",
+    "BenchScenario",
+    "SCENARIOS",
+    "WorkloadResult",
+    "bench_path",
+    "compare_to_previous",
+    "current_commit",
+    "get_scenario",
+    "load_bench",
+    "measure",
+    "peak_rss_kb",
+    "result_to_dict",
+    "run_bench",
+    "scenario_names",
+    "write_bench",
+]

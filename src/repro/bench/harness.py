@@ -1,0 +1,292 @@
+"""Measurement, canonical BENCH files, and the regression diff.
+
+One measurement runs one pinned scenario once and records wall time,
+rounds/sec, peak RSS and the current commit hash.  Results serialize to
+``BENCH_<scenario>.json`` at the repository root with sorted keys, so
+the files diff cleanly commit over commit — that sequence of committed
+files *is* the repo's perf trajectory.
+
+Writing a new result embeds the headline numbers of the file it
+replaces as ``baseline``, and the harness flags a regression when
+rounds/sec drops more than ``regression_threshold`` below that
+baseline (10% by default; CI uses 25% to absorb shared-runner noise).
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.bench.scenarios import BenchScenario, get_scenario
+from repro.errors import BenchError
+
+#: Version stamp of the BENCH JSON layout.
+BENCH_FORMAT_VERSION = 1
+BENCH_KIND = "repro.bench/result"
+
+#: Relative rounds/sec drop (vs the previous file) that fails the run.
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured execution of one scenario."""
+
+    scenario: str
+    quick: bool
+    rounds: int
+    wall_seconds: float
+    rounds_per_second: float
+    peak_rss_kb: int
+    commit: str
+    python: str
+    detail: str = ""
+    repeats: int = 1
+
+
+def current_commit() -> str:
+    """The checked-out commit hash, or ``"unknown"`` outside a repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    hash_text = completed.stdout.strip()
+    return hash_text if completed.returncode == 0 and hash_text else "unknown"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to kilobytes so the recorded trajectory is comparable.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        peak //= 1024
+    return int(peak)
+
+
+def measure(
+    scenario: BenchScenario, quick: bool = False, repeats: int = 1
+) -> BenchResult:
+    """Run one scenario under the timer and collect its metrics.
+
+    With ``repeats > 1`` the workload runs several times and the
+    fastest execution is reported — the standard throughput-benchmark
+    defence against scheduler noise (the workload itself is
+    deterministic, so only the timing varies between repeats).
+    """
+    if repeats < 1:
+        raise BenchError("repeats must be at least 1")
+    best_wall = None
+    workload = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        workload = scenario.run(quick)
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert workload is not None and best_wall is not None
+    if workload.rounds <= 0:
+        raise BenchError(f"scenario {scenario.name!r} executed no rounds")
+    if best_wall <= 0.0:  # pragma: no cover - clock resolution guard
+        best_wall = 1e-9
+    return BenchResult(
+        scenario=scenario.name,
+        quick=quick,
+        rounds=workload.rounds,
+        wall_seconds=round(best_wall, 4),
+        rounds_per_second=round(workload.rounds / best_wall, 1),
+        peak_rss_kb=peak_rss_kb(),
+        commit=current_commit(),
+        python=".".join(str(part) for part in sys.version_info[:3]),
+        detail=workload.detail,
+        repeats=repeats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON files.
+# ----------------------------------------------------------------------
+
+
+def bench_path(output_dir: Path, scenario_name: str) -> Path:
+    """Where ``BENCH_<scenario>.json`` lives for a given root."""
+    return Path(output_dir) / f"BENCH_{scenario_name}.json"
+
+
+def result_to_dict(
+    result: BenchResult, baseline: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """JSON-compatible form of one result, with its predecessor inlined."""
+    data: Dict[str, Any] = {
+        "kind": BENCH_KIND,
+        "format": BENCH_FORMAT_VERSION,
+        "scenario": result.scenario,
+        "quick": result.quick,
+        "rounds": result.rounds,
+        "wall_seconds": result.wall_seconds,
+        "rounds_per_second": result.rounds_per_second,
+        "peak_rss_kb": result.peak_rss_kb,
+        "commit": result.commit,
+        "python": result.python,
+        "detail": result.detail,
+        "repeats": result.repeats,
+        "baseline": None,
+    }
+    if baseline is not None:
+        speedup = None
+        previous_rate = baseline.get("rounds_per_second")
+        if previous_rate:
+            speedup = round(result.rounds_per_second / previous_rate, 2)
+        data["baseline"] = {
+            "commit": baseline.get("commit"),
+            "quick": baseline.get("quick"),
+            "rounds_per_second": previous_rate,
+            "wall_seconds": baseline.get("wall_seconds"),
+            "peak_rss_kb": baseline.get("peak_rss_kb"),
+            "speedup": speedup,
+        }
+    return data
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """Parse one BENCH file, validating the envelope."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BenchError(f"{path}: not valid JSON ({error})") from error
+    if data.get("kind") != BENCH_KIND:
+        raise BenchError(f"{path}: not a bench result (kind={data.get('kind')!r})")
+    return data
+
+
+def write_bench(
+    path: Path, result: BenchResult, baseline: Optional[Mapping[str, Any]]
+) -> Path:
+    """Serialize one result canonically; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(
+        result_to_dict(result, baseline), sort_keys=True, indent=2
+    ) + "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Regression comparison.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """New result vs the previous BENCH file for the same scenario."""
+
+    scenario: str
+    previous_rate: Optional[float]
+    new_rate: float
+    threshold: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.previous_rate:
+            return None
+        return self.new_rate / self.previous_rate
+
+    @property
+    def regressed(self) -> bool:
+        """True when throughput dropped more than the threshold allows."""
+        if not self.previous_rate:
+            return False
+        return self.new_rate < self.previous_rate * (1.0 - self.threshold)
+
+    def describe(self) -> str:
+        """One-line human-readable verdict for the CLI output."""
+        if self.previous_rate is None:
+            return f"{self.scenario}: no previous result — recorded as baseline"
+        verdict = (
+            f"REGRESSION (>{self.threshold:.0%} below baseline)"
+            if self.regressed
+            else "ok"
+        )
+        return (
+            f"{self.scenario}: {self.new_rate:,.0f} rounds/s vs "
+            f"{self.previous_rate:,.0f} baseline "
+            f"({self.speedup:.2f}x) — {verdict}"
+        )
+
+
+def compare_to_previous(
+    result: BenchResult,
+    previous: Optional[Mapping[str, Any]],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """Diff one new result against the previous file's numbers."""
+    previous_rate = None
+    if previous is not None:
+        raw = previous.get("rounds_per_second")
+        if isinstance(raw, (int, float)) and raw > 0:
+            previous_rate = float(raw)
+    return BenchComparison(
+        scenario=result.scenario,
+        previous_rate=previous_rate,
+        new_rate=result.rounds_per_second,
+        threshold=threshold,
+    )
+
+
+# ----------------------------------------------------------------------
+# The bench run driver (what the CLI subcommand calls).
+# ----------------------------------------------------------------------
+
+
+def run_bench(
+    scenario_names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    output_dir: Path = Path("."),
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    write: bool = True,
+    repeats: int = 1,
+    echo=print,
+) -> List[BenchComparison]:
+    """Measure scenarios, diff against the committed files, rewrite them.
+
+    Returns one comparison per scenario; any ``regressed`` comparison
+    should fail the calling process.  With ``write=False`` the committed
+    files are left untouched (compare-only mode).
+    """
+    from repro.bench.scenarios import scenario_names as all_names
+
+    names: Iterable[str] = scenario_names or all_names()
+    output_dir = Path(output_dir)
+    comparisons: List[BenchComparison] = []
+    for name in names:
+        scenario = get_scenario(name)
+        path = bench_path(output_dir, name)
+        previous = load_bench(path) if path.exists() else None
+        result = measure(scenario, quick=quick, repeats=repeats)
+        comparison = compare_to_previous(result, previous, threshold)
+        comparisons.append(comparison)
+        echo(
+            f"{name}: {result.rounds} rounds in {result.wall_seconds:.2f}s "
+            f"-> {result.rounds_per_second:,.0f} rounds/s, "
+            f"peak RSS {result.peak_rss_kb} KB ({result.detail})"
+        )
+        echo("  " + comparison.describe())
+        if write:
+            write_bench(path, result, previous)
+            echo(f"  written: {path}")
+    return comparisons

@@ -1,0 +1,165 @@
+"""Pinned-seed benchmark workloads.
+
+Each scenario is a deterministic workload over the simulation hot path:
+seeds, process counts and schedules are pinned, so two runs of the same
+scenario on the same code execute the identical sequence of rounds and
+differ only in wall time.  That is what makes the recorded
+``BENCH_<scenario>.json`` trajectory meaningful — and it is also why the
+same workloads double as byte-identity subjects (the acceptance
+campaign of ``tests/test_byte_identity.py`` is exactly the ``campaign``
+scenario's workload).
+
+Scenarios report how many driver rounds they executed; the harness
+divides by wall time to get the headline rounds/sec figure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.knowledge import make_state_item, outcome_for
+from repro.core.quorum import is_subquorum
+from repro.core.session import Session, initial_session
+from repro.errors import BenchError
+from repro.net.changes import MergeChange, PartitionChange
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.driver import DriverLoop
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """What one scenario execution did (not how long it took)."""
+
+    rounds: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named, pinned benchmark workload."""
+
+    name: str
+    description: str
+    runner: Callable[[bool], WorkloadResult]
+
+    def run(self, quick: bool = False) -> WorkloadResult:
+        """Execute the workload (``quick`` selects the CI-sized variant)."""
+        return self.runner(quick)
+
+
+# ----------------------------------------------------------------------
+# core_ops: the micro hot path — quorum checks, LEARN evaluation, and
+# repeated 16-process state exchanges through the full driver loop.
+# ----------------------------------------------------------------------
+
+
+def _run_core_ops(quick: bool) -> WorkloadResult:
+    repeats = 40 if quick else 240
+    micro_iterations = 2_000 if quick else 20_000
+
+    # Quorum predicate micro-loop (the innermost decision primitive).
+    x = frozenset(range(0, 48))
+    y = frozenset(range(16, 80))
+    for _ in range(micro_iterations):
+        is_subquorum(x, y)
+
+    # LEARN-rule evaluation micro-loop over a fresh state item each
+    # time, matching how every view change rebuilds the exchange.
+    w = initial_session(range(64))
+    session = Session.of(4, range(16))
+    for _ in range(micro_iterations // 10):
+        state = make_state_item(
+            session_number=5,
+            ambiguous=[Session.of(5, range(32))],
+            last_primary=w,
+            last_formed={q: w for q in range(64)},
+        )
+        outcome_for(state, session)
+
+    # Full driver rounds: a 16-process YKD partition + merge exchange.
+    rounds = 0
+    for _ in range(repeats):
+        driver = DriverLoop("ykd", 16, fault_rng=random.Random(1))
+        whole = driver.topology.components[0]
+        driver.run_round(
+            PartitionChange(component=whole, moved=frozenset({14, 15}))
+        )
+        driver.run_until_quiescent()
+        first, second = driver.topology.components
+        driver.run_round(MergeChange(first=first, second=second))
+        driver.run_until_quiescent()
+        if not driver.primary_exists():
+            raise BenchError("core_ops scenario lost its primary")
+        rounds += driver.round_index
+    return WorkloadResult(
+        rounds=rounds,
+        detail=(
+            f"{repeats} partition+merge exchanges, "
+            f"{micro_iterations} subquorum checks"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# campaign: the macro hot path — a pinned-seed fresh-start campaign of
+# ~10k rounds (the acceptance workload of the throughput overhaul).
+# ----------------------------------------------------------------------
+
+
+def _run_campaign(quick: bool) -> WorkloadResult:
+    config = CaseConfig(
+        algorithm="ykd",
+        n_processes=16,
+        n_changes=6,
+        mean_rounds_between_changes=4.0,
+        runs=40 if quick else 300,
+        master_seed=0,
+    )
+    result = run_case(config)
+    return WorkloadResult(
+        rounds=result.rounds_total,
+        detail=(
+            f"{result.runs} runs, {result.changes_total} changes, "
+            f"availability {result.availability_percent:.1f}%"
+        ),
+    )
+
+
+SCENARIOS: Dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="core_ops",
+            description=(
+                "micro hot path: subquorum checks, LEARN evaluation, "
+                "16-process partition/merge exchanges"
+            ),
+            runner=_run_core_ops,
+        ),
+        BenchScenario(
+            name="campaign",
+            description=(
+                "macro hot path: pinned-seed 16-process YKD campaign "
+                "(~10k rounds at full scale)"
+            ),
+            runner=_run_campaign,
+        ),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All scenario names, in definition order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> BenchScenario:
+    """Look up one scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown bench scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        ) from None

@@ -102,7 +102,8 @@ class PrimaryComponentAlgorithm(ABC):
                     f"message from unknown process {sender}; every view must "
                     "contain only processes from the initial view"
                 )
-            if piggyback.view_seq == self.current_view.seq and sender in self.current_view:
+            view = self.current_view
+            if piggyback.view_seq == view.seq and sender in view.members:
                 self._on_items(sender, piggyback.items)
         return message.stripped()
 

@@ -59,13 +59,51 @@ class StateItem:
 
     @property
     def last_formed_map(self) -> Dict[ProcessId, Session]:
-        return dict(self.last_formed)
+        try:
+            return self._last_formed_map
+        except AttributeError:
+            cached = dict(self.last_formed)
+            object.__setattr__(self, "_last_formed_map", cached)
+            return cached
 
     def formed_evidence(self) -> Set[Session]:
-        """Every session this state proves was successfully formed."""
-        evidence = {self.last_primary}
-        evidence.update(session for _, session in self.last_formed)
-        return evidence
+        """Every session this state proves was successfully formed.
+
+        The set is built once per (immutable) item and memoized; it is
+        built exactly as the per-call version did — ``last_primary``
+        first, then the ``last_formed`` sessions in tuple order — so
+        even its iteration order is unchanged.  Callers must treat the
+        returned set as read-only.
+        """
+        try:
+            return self._formed_evidence
+        except AttributeError:
+            cached = {self.last_primary}
+            cached.update(session for _, session in self.last_formed)
+            object.__setattr__(self, "_formed_evidence", cached)
+            return cached
+
+    def best_formed_by_member(self) -> Dict[ProcessId, Session]:
+        """For each process, the latest formed session here that includes it.
+
+        "Latest" under the total session order, so for any pid the ACCEPT
+        scan ``max(s for s in formed_evidence() if pid in s)`` equals
+        ``best_formed_by_member().get(pid)`` exactly.  Computed once per
+        item — every member of a view runs that scan against every
+        peer's state, so sharing the single map removes the quadratic
+        re-scans.  Read-only, like all memoized views of this item.
+        """
+        try:
+            return self._best_formed_by_member
+        except AttributeError:
+            cached = {}
+            for session in self.formed_evidence():
+                for member in session.members:
+                    current = cached.get(member)
+                    if current is None or session > current:
+                        cached[member] = session
+            object.__setattr__(self, "_best_formed_by_member", cached)
+            return cached
 
 
 def make_state_item(
@@ -88,7 +126,25 @@ def outcome_for(member_state: StateItem, session: Session) -> Outcome:
 
     Evaluates the LEARN rules against one peer's exchanged state.  The
     peer is assumed to be a member of ``session``.
+
+    Both arguments are immutable, so the answer is memoized on the
+    state item (one dict per item, keyed by session): every process of
+    a view evaluates the same (state, session) pairs, which made this
+    the hottest function in campaign profiles.
     """
+    try:
+        memo = member_state._outcome_memo
+    except AttributeError:
+        memo = {}
+        object.__setattr__(member_state, "_outcome_memo", memo)
+    cached = memo.get(session)
+    if cached is None:
+        cached = _evaluate_outcome(member_state, session)
+        memo[session] = cached
+    return cached
+
+
+def _evaluate_outcome(member_state: StateItem, session: Session) -> Outcome:
     if session in member_state.formed_evidence():
         return Outcome.FORMED
     last_formed = member_state.last_formed_map
@@ -149,6 +205,8 @@ class KnowledgeBook:
     the DELETE rule ("no member formed S").  It is private state; it is
     never transmitted.
     """
+
+    __slots__ = ("_owner", "_not_formed", "_formed")
 
     def __init__(self, owner: ProcessId) -> None:
         self._owner = owner

@@ -23,7 +23,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.types import ProcessId, ViewSeq
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Piggyback:
     """The algorithm-owned attachment riding on an application message."""
 
@@ -38,7 +38,7 @@ class Piggyback:
         return len(self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A broadcast message as the application sees it.
 
@@ -46,6 +46,9 @@ class Message:
         payload: the application's own content; opaque to the library.
         piggyback: algorithm attachment, or None.  Applications must
             treat this field as private to the algorithm.
+
+    Slotted because the simulator allocates one per poll and per
+    delivery — millions per campaign.
     """
 
     payload: Any = None
@@ -70,7 +73,13 @@ class Message:
         return Message(payload=self.payload, piggyback=piggyback)
 
     def stripped(self) -> "Message":
-        """A copy of this message with the algorithm attachment removed."""
+        """This message with the algorithm attachment removed.
+
+        Returns ``self`` when there is nothing to strip (the instance
+        is not copied — callers treat the result as read-only).
+        """
+        if self.piggyback is None:
+            return self
         return Message(payload=self.payload, piggyback=None)
 
 

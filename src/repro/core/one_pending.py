@@ -51,9 +51,9 @@ class OnePending(YKD):
         # ACCEPT: adopt the latest formed session that includes us.
         best = self.last_primary
         for state in states.values():
-            for formed in state.formed_evidence():
-                if self.pid in formed and formed > best:
-                    best = formed
+            formed = state.best_formed_by_member().get(self.pid)
+            if formed is not None and formed > best:
+                best = formed
         if best != self.last_primary:
             self.last_primary = best
             for member in best.members:
@@ -92,10 +92,12 @@ class OnePending(YKD):
         # Superseded: a later formed primary containing the owner exists.
         # (Defensive: a live pending session normally precludes the owner
         # joining any later formation, but the rule mirrors DELETE.)
+        # The session order is primarily by number, so the per-member
+        # maximum has the greatest number any matching session carries.
         for state in states.values():
-            for formed in state.formed_evidence():
-                if owner in formed and formed.number > pending.number:
-                    return True
+            formed = state.best_formed_by_member().get(owner)
+            if formed is not None and formed.number > pending.number:
+                return True
         return provably_never_formed(states, pending)
 
     def ambiguous_session_count(self) -> int:

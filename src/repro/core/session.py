@@ -36,20 +36,54 @@ class Session:
     def of(cls, number: int, processes: Iterable[ProcessId]) -> "Session":
         return cls(number=number, members=frozenset(processes))
 
-    # Ordering: by number, then by member tuple for determinism.
+    # Ordering: by number, then by member tuple for determinism.  The
+    # key and the hash are each computed once and memoized — sessions
+    # are immutable and hot (every LEARN evaluation hashes them, every
+    # max-selection compares them), so recomputing ``sorted_members``
+    # per comparison dominated campaign profiles.  Memoized attributes
+    # live in ``__dict__`` outside the declared fields, so the
+    # dataclass-generated ``__eq__`` and ``repr`` are untouched; the
+    # explicit ``__hash__`` computes exactly the value the dataclass
+    # would have (``hash((number, members))``), keeping set iteration
+    # orders identical to the unmemoized implementation.
     def _key(self) -> Tuple[int, Tuple[ProcessId, ...]]:
-        return (self.number, sorted_members(self.members))
+        try:
+            return self._cached_key
+        except AttributeError:
+            key = (self.number, sorted_members(self.members))
+            object.__setattr__(self, "_cached_key", key)
+            return key
+
+    def __hash__(self) -> int:
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash((self.number, self.members))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    # The comparisons short-circuit on the numbers (the primary sort
+    # dimension, and almost always decisive); only equal numbers fall
+    # back to the full member-tuple tie-break.
 
     def __lt__(self, other: "Session") -> bool:
+        if self.number != other.number:
+            return self.number < other.number
         return self._key() < other._key()
 
     def __le__(self, other: "Session") -> bool:
+        if self.number != other.number:
+            return self.number < other.number
         return self._key() <= other._key()
 
     def __gt__(self, other: "Session") -> bool:
+        if self.number != other.number:
+            return self.number > other.number
         return self._key() > other._key()
 
     def __ge__(self, other: "Session") -> bool:
+        if self.number != other.number:
+            return self.number > other.number
         return self._key() >= other._key()
 
     def __contains__(self, pid: ProcessId) -> bool:

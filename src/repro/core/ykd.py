@@ -138,7 +138,9 @@ class YKD(PrimaryComponentAlgorithm):
                 f"state from {sender} arrived after the decision was taken"
             )
         self._states[sender] = item
-        if set(self._states) == self.current_view.members:
+        # Senders are view members (the interface layer discards
+        # cross-view messages), so counting keys IS the set comparison.
+        if len(self._states) == len(self.current_view.members):
             self._all_states_received()
             # Over an asynchronous substrate, peers that completed
             # their exchange earlier may already have sent attempts;
@@ -154,8 +156,15 @@ class YKD(PrimaryComponentAlgorithm):
         if self.optimized:
             self._learn(states)
         self._resolve(states)
-        max_session = max(state.session_number for state in states.values())
-        max_primary = max(state.last_primary for state in states.values())
+        max_session = -1
+        max_primary = None
+        for state in states.values():
+            if state.session_number > max_session:
+                max_session = state.session_number
+            last_primary = state.last_primary
+            if max_primary is None or last_primary > max_primary:
+                max_primary = last_primary
+        assert max_primary is not None  # states is never empty here
         constraints = self._decision_constraints(states, max_primary)
         members = self.current_view.members
         allowed = is_subquorum(members, max_primary.members) and all(
@@ -203,9 +212,9 @@ class YKD(PrimaryComponentAlgorithm):
         """ACCEPT the best formed session, then DELETE settled ones."""
         best = self.last_primary
         for state in states.values():
-            for formed in state.formed_evidence():
-                if self.pid in formed and formed > best:
-                    best = formed
+            formed = state.best_formed_by_member().get(self.pid)
+            if formed is not None and formed > best:
+                best = formed
         if self.knowledge is not None:
             for session in self.ambiguous:
                 if self.knowledge.anyone_formed(session) and session > best:
@@ -255,7 +264,9 @@ class YKD(PrimaryComponentAlgorithm):
                 "decision rule diverged"
             )
         self._attempt_senders.add(sender)
-        if self._attempt_senders == self.current_view.members:
+        # Senders are view members (checked at the interface layer), so
+        # counting them IS the set comparison.
+        if len(self._attempt_senders) == len(self.current_view.members):
             self._form_primary(self._attempt_session)
 
     def _form_primary(self, session: Session) -> None:

@@ -55,3 +55,8 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment spec was requested that does not exist or cannot run."""
+
+
+class BenchError(ReproError):
+    """A benchmark scenario is unknown, misconfigured, or self-checked
+    its workload and found it did not execute as pinned."""

@@ -17,7 +17,12 @@ from repro.sim.explore import (
     explore_all,
 )
 from repro.sim.invariants import InvariantChecker
-from repro.sim.parallel import run_cases_parallel
+from repro.sim.parallel import (
+    merge_case_results,
+    run_case_sharded,
+    run_cases_parallel,
+    shard_configs,
+)
 from repro.sim.rng import derive_rng, derive_seed
 from repro.sim.run import RunConfig, RunResult, build_driver, run_single
 from repro.sim.stats import (
@@ -28,7 +33,13 @@ from repro.sim.stats import (
     MessageSizeCollector,
     RunObserver,
 )
-from repro.sim.trace import TraceRecorder, render_timeline
+from repro.sim.trace import (
+    TraceDigester,
+    TraceRecorder,
+    render_timeline,
+    trace_canonical_json,
+    trace_digest,
+)
 
 __all__ = [
     "AmbiguousSessionCollector",
@@ -47,6 +58,7 @@ __all__ = [
     "RunConfig",
     "RunResult",
     "RunObserver",
+    "TraceDigester",
     "TraceRecorder",
     "build_driver",
     "compare_algorithms",
@@ -58,6 +70,11 @@ __all__ = [
     "explore_all",
     "render_timeline",
     "run_case",
+    "merge_case_results",
+    "run_case_sharded",
     "run_cases_parallel",
+    "shard_configs",
     "run_single",
+    "trace_canonical_json",
+    "trace_digest",
 ]

@@ -94,14 +94,24 @@ class ProcessEndpoint:
     # Application hooks.
 
     def next_application_message(self) -> Message:
-        """The application message to offer this round (default: empty)."""
-        return Message.empty()
+        """The application message to offer this round (default: empty).
+
+        The default returns a shared empty message: the algorithm only
+        reads it (``with_piggyback`` copies), and an empty message is
+        never itself sent, so the instance cannot escape a poll.  Real
+        applications override this and return fresh messages.
+        """
+        return _IDLE_MESSAGE
 
     def on_payload(self, payload: object, sender: ProcessId) -> None:
         """An application payload arrived (default: ignore)."""
 
     def on_view(self, view: View) -> None:
         """The application learned of a view change (default: ignore)."""
+
+
+#: The one empty message the idle application offers on every poll.
+_IDLE_MESSAGE = Message.empty()
 
 
 class DriverLoop:
@@ -131,7 +141,14 @@ class DriverLoop:
         self.fault_rng = fault_rng
         self.change_generator = change_generator or UniformChangeGenerator()
         self.checker = checker or InvariantChecker()
+        #: Fixed at construction — the driver snapshots which observers
+        #: actually override the per-broadcast hook below.
         self.observers: List[RunObserver] = list(observers)
+        self._broadcast_observers: Tuple[RunObserver, ...] = tuple(
+            observer
+            for observer in self.observers
+            if type(observer).on_broadcast is not RunObserver.on_broadcast
+        )
         self.max_quiescence_rounds = max_quiescence_rounds
         #: Probability that an affected process *loses* the current
         #: round's messages when a change lands mid-round.  0 means the
@@ -155,7 +172,7 @@ class DriverLoop:
         self.algorithms: Dict[ProcessId, PrimaryComponentAlgorithm] = {
             pid: endpoint.algorithm for pid, endpoint in self.endpoints.items()
         }
-        self.topology: Topology = Topology.fully_connected(n_processes)
+        self.topology = Topology.fully_connected(n_processes)
         self.view_seq: int = 0
         self.round_index: int = 0
         self.changes_injected: int = 0
@@ -167,6 +184,40 @@ class DriverLoop:
         #: violating run can be turned into an explicit repro plan.
         self._recorded_steps: List[Tuple[int, ConnectivityChange, frozenset]] = []
         self._rounds_since_change: int = 0
+        #: Reused across rounds (cleared, not reallocated); populated in
+        #: ascending pid order, so iterating it IS sender-id order.
+        self._bundles: Dict[ProcessId, Message] = {}
+
+    # ------------------------------------------------------------------
+    # Topology installation.  The poll order (sorted active pids) and
+    # the per-sender delivery order (sorted component members) are
+    # functions of the topology alone, and a topology lives for many
+    # rounds; precomputing them here removes the per-round/per-sender
+    # ``sorted`` calls that dominated campaign profiles.  The orders
+    # are exactly the tuples the per-round sorts produced.
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @topology.setter
+    def topology(self, topology: Topology) -> None:
+        self._topology = topology
+        self._active_order = tuple(sorted(topology.active_processes()))
+        endpoints = self.endpoints
+        delivery: Dict[ProcessId, Tuple[ProcessId, ...]] = {}
+        deliver_calls: Dict[ProcessId, tuple] = {}
+        for component in topology.components:
+            order = tuple(sorted(component))
+            calls = tuple(endpoints[pid].deliver for pid in order)
+            for pid in component:
+                delivery[pid] = order
+                deliver_calls[pid] = calls
+        self._delivery_order = delivery
+        #: Bound ``deliver`` methods in the same recipient order — the
+        #: tight loop for rounds with no mid-round cut and no crash.
+        self._deliver_calls = deliver_calls
 
     # ------------------------------------------------------------------
     # One round.
@@ -175,12 +226,14 @@ class DriverLoop:
     def run_round(self, change: Optional[ConnectivityChange] = None) -> bool:
         """Execute one round; returns True when any message was sent."""
         self.round_index += 1
-        active = self.topology.active_processes()
 
-        # 1. Poll every endpoint (Fig. 2-2's application behaviour).
-        bundles: Dict[ProcessId, Message] = {}
-        for pid in sorted(active):
-            message = self.endpoints[pid].poll()
+        # 1. Poll every endpoint (Fig. 2-2's application behaviour),
+        #    in ascending pid order.
+        bundles = self._bundles
+        bundles.clear()
+        endpoints = self.endpoints
+        for pid in self._active_order:
+            message = endpoints[pid].poll()
             if message is not None:
                 bundles[pid] = message
 
@@ -208,18 +261,29 @@ class DriverLoop:
         else:
             self._rounds_since_change += 1
 
-        # 3. Deliver within the pre-change components, sender id order.
-        for sender in sorted(bundles):
-            message = bundles[sender]
-            component = self.topology.component_of(sender)
-            for observer in self.observers:
-                observer.on_broadcast(self, sender, message)
-            for recipient in sorted(component):
-                if recipient in dead:
-                    continue
-                if recipient != sender and recipient in late:
-                    continue
-                self.endpoints[recipient].deliver(message, sender)
+        # 3. Deliver within the pre-change components, sender id order
+        #    (bundles was filled in ascending pid order).
+        broadcast_observers = self._broadcast_observers
+        if late or dead:
+            delivery_order = self._delivery_order
+            for sender, message in bundles.items():
+                for observer in broadcast_observers:
+                    observer.on_broadcast(self, sender, message)
+                for recipient in delivery_order[sender]:
+                    if recipient in dead:
+                        continue
+                    if recipient != sender and recipient in late:
+                        continue
+                    endpoints[recipient].deliver(message, sender)
+        else:
+            # No mid-round cut: everyone in the sender's component
+            # receives — the overwhelmingly common round shape.
+            deliver_calls = self._deliver_calls
+            for sender, message in bundles.items():
+                for observer in broadcast_observers:
+                    observer.on_broadcast(self, sender, message)
+                for deliver in deliver_calls[sender]:
+                    deliver(message, sender)
 
         # 4. Apply the change and install the new views.
         installed: List[View] = []

@@ -16,6 +16,8 @@ by ``max_events`` so long cascading campaigns cannot exhaust memory.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -264,6 +266,67 @@ class TraceRecorder(RunObserver):
         if bucket:
             assert current_round is not None
             yield current_round, bucket
+
+
+def trace_canonical_json(recorder: TraceRecorder) -> str:
+    """Canonical JSON text of a whole trace (sorted keys, fixed layout).
+
+    The same execution always produces the same bytes, so equality of
+    two canonical texts *is* byte-identity of the two executions as far
+    as the trace can see — rounds, broadcasts, changes, views, primary
+    formations and losses.  ``repro.bench`` and the golden-file
+    regression tests both build on this.
+    """
+    payload = {
+        "kind": "repro.sim/trace",
+        "truncated": recorder.truncated,
+        "events": recorder.to_dicts(),
+    }
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+def _event_line(event: TraceEvent) -> bytes:
+    """One event as a canonical JSON line (sorted keys, newline-framed)."""
+    return json.dumps(event.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def trace_digest(recorder: TraceRecorder) -> str:
+    """SHA-256 hex digest over the canonical per-event JSON stream.
+
+    Digests let large executions (a 10k-round campaign) be pinned in a
+    golden file of a few dozen bytes instead of megabytes of JSON.  The
+    digest is defined over the newline-framed canonical JSON of each
+    event in order, which is exactly what :class:`TraceDigester`
+    computes incrementally — the two always agree on the same run.
+    """
+    sha = hashlib.sha256()
+    for event in recorder.events:
+        sha.update(_event_line(event))
+    return sha.hexdigest()
+
+
+class TraceDigester(TraceRecorder):
+    """A trace observer that hashes events instead of storing them.
+
+    Observes exactly the events a :class:`TraceRecorder` would record,
+    but folds each one into a running SHA-256 the moment it happens, so
+    arbitrarily long campaigns can be digest-pinned in O(1) memory.
+    ``hexdigest()`` equals :func:`trace_digest` of an untruncated
+    recorder observing the same run.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(max_events=1)
+        self._sha = hashlib.sha256()
+        self.event_count = 0
+
+    def _append(self, event: TraceEvent) -> None:
+        self._sha.update(_event_line(event))
+        self.event_count += 1
+
+    def hexdigest(self) -> str:
+        """The digest of everything observed so far."""
+        return self._sha.hexdigest()
 
 
 def render_timeline(recorder: TraceRecorder, max_rounds: int = 200) -> str:

@@ -1,0 +1,189 @@
+"""Tests of the ``repro.bench`` harness and its CLI subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_KIND,
+    BenchResult,
+    bench_path,
+    compare_to_previous,
+    get_scenario,
+    load_bench,
+    measure,
+    result_to_dict,
+    run_bench,
+    scenario_names,
+    write_bench,
+)
+from repro.errors import BenchError
+from repro.experiments.cli import main
+
+
+def make_result(rate: float = 1000.0, scenario: str = "campaign") -> BenchResult:
+    return BenchResult(
+        scenario=scenario,
+        quick=True,
+        rounds=int(rate),
+        wall_seconds=1.0,
+        rounds_per_second=rate,
+        peak_rss_kb=1,
+        commit="deadbeef",
+        python="3.11.0",
+        detail="synthetic",
+    )
+
+
+def test_scenarios_registered():
+    assert scenario_names() == ("core_ops", "campaign")
+    with pytest.raises(BenchError):
+        get_scenario("nope")
+
+
+def test_measure_runs_quick_scenarios():
+    for name in scenario_names():
+        result = measure(get_scenario(name), quick=True)
+        assert result.scenario == name
+        assert result.quick is True
+        assert result.rounds > 0
+        assert result.rounds_per_second > 0
+        assert result.peak_rss_kb > 0
+        assert result.detail
+
+
+def test_quick_workloads_are_deterministic():
+    scenario = get_scenario("campaign")
+    assert scenario.run(quick=True).detail == scenario.run(quick=True).detail
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    result = make_result()
+    path = write_bench(bench_path(tmp_path, "campaign"), result, baseline=None)
+    assert path.name == "BENCH_campaign.json"
+    data = load_bench(path)
+    assert data["kind"] == BENCH_KIND
+    assert data["rounds_per_second"] == 1000.0
+    assert data["baseline"] is None
+    # Canonical form: sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text('{"kind": "something-else"}')
+    with pytest.raises(BenchError):
+        load_bench(path)
+    path.write_text("not json")
+    with pytest.raises(BenchError):
+        load_bench(path)
+
+
+def test_result_embeds_previous_as_baseline():
+    previous = result_to_dict(make_result(rate=500.0))
+    data = result_to_dict(make_result(rate=1500.0), baseline=previous)
+    assert data["baseline"]["rounds_per_second"] == 500.0
+    assert data["baseline"]["speedup"] == 3.0
+
+
+def test_regression_detection_thresholds():
+    previous = result_to_dict(make_result(rate=1000.0))
+    ok = compare_to_previous(make_result(rate=950.0), previous, threshold=0.10)
+    assert not ok.regressed
+    bad = compare_to_previous(make_result(rate=800.0), previous, threshold=0.10)
+    assert bad.regressed
+    assert "REGRESSION" in bad.describe()
+    # A looser gate (the CI smoke setting) tolerates the same drop.
+    loose = compare_to_previous(make_result(rate=800.0), previous, threshold=0.25)
+    assert not loose.regressed
+    first = compare_to_previous(make_result(rate=800.0), None)
+    assert not first.regressed
+    assert "baseline" in first.describe()
+
+
+def test_run_bench_writes_and_diffs(tmp_path):
+    messages = []
+    comparisons = run_bench(
+        scenario_names=["core_ops"],
+        quick=True,
+        output_dir=tmp_path,
+        echo=messages.append,
+    )
+    assert len(comparisons) == 1
+    assert comparisons[0].previous_rate is None
+    first = load_bench(bench_path(tmp_path, "core_ops"))
+    assert first["baseline"] is None
+    # Second run diffs against (and embeds) the first.
+    comparisons = run_bench(
+        scenario_names=["core_ops"],
+        quick=True,
+        output_dir=tmp_path,
+        echo=messages.append,
+    )
+    assert comparisons[0].previous_rate == first["rounds_per_second"]
+    second = load_bench(bench_path(tmp_path, "core_ops"))
+    assert second["baseline"]["rounds_per_second"] == first["rounds_per_second"]
+    assert any("rounds/s" in message for message in messages)
+
+
+def test_run_bench_no_write_leaves_files_alone(tmp_path):
+    result = make_result(rate=10**9, scenario="core_ops")
+    path = write_bench(bench_path(tmp_path, "core_ops"), result, baseline=None)
+    before = path.read_text()
+    comparisons = run_bench(
+        scenario_names=["core_ops"],
+        quick=True,
+        output_dir=tmp_path,
+        write=False,
+        echo=lambda _: None,
+    )
+    assert path.read_text() == before
+    # The synthetic previous rate is absurdly high, so this reports a
+    # regression — which is exactly what --no-write compare mode is for.
+    assert comparisons[0].regressed
+
+
+def test_cli_bench_quick(tmp_path, capsys):
+    code = main(["bench", "core_ops", "--quick", "--output-dir", str(tmp_path)])
+    assert code == 0
+    assert bench_path(tmp_path, "core_ops").exists()
+    out = capsys.readouterr().out
+    assert "core_ops" in out and "rounds/s" in out
+
+
+def test_cli_bench_fails_on_regression(tmp_path, capsys):
+    write_bench(
+        bench_path(tmp_path, "core_ops"),
+        make_result(rate=10**9, scenario="core_ops"),
+        baseline=None,
+    )
+    code = main(
+        ["bench", "core_ops", "--quick", "--no-write", "--output-dir", str(tmp_path)]
+    )
+    assert code == 1
+
+
+def test_cli_bench_unknown_scenario(tmp_path, capsys):
+    code = main(["bench", "nope", "--quick", "--output-dir", str(tmp_path)])
+    assert code == 2
+
+
+def test_committed_bench_files_are_current():
+    """The repo-root BENCH files must cover every scenario, be canonical,
+    and record the full (non-quick) workloads with a >=2x speedup over
+    the pre-overhaul baseline they embed."""
+    root = Path(__file__).resolve().parent.parent
+    for name in scenario_names():
+        path = bench_path(root, name)
+        assert path.exists(), f"missing committed {path.name}"
+        data = load_bench(path)
+        assert data["scenario"] == name
+        assert data["quick"] is False
+        text = path.read_text()
+        assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
+        baseline = data["baseline"]
+        assert baseline is not None, f"{path.name} lacks its pre-overhaul baseline"
+        assert baseline["speedup"] >= 2.0

@@ -1,0 +1,80 @@
+"""The committed ``results/fig4_*.csv`` files regenerate exactly.
+
+The eight availability/ambiguous-session figures committed under
+``results/`` were produced at scale ``small`` with master seed 0.  The
+campaign stack is deterministic, so re-running any figure with the
+same parameters must reproduce its committed CSV byte for byte — this
+is the experiment-level counterpart of the trace byte-identity goldens
+and the final gate on hot-path optimizations: a perf change that
+perturbs a single run's outcome shows up here as a CSV diff.
+
+Regenerating all eight figures takes a few minutes, so the exact
+equality sweep only runs under ``REPRO_TIER2=1``.  A smoke-scale check
+of one fresh and one cascading figure always runs, keeping the
+regeneration path itself exercised in tier 1.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    write_ambiguous_csv,
+    write_availability_csv,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import get_spec
+
+TIER2 = os.environ.get("REPRO_TIER2") == "1"
+
+RESULTS_DIR = Path(__file__).parent.parent / "results"
+
+#: Parameters the committed fig4 CSVs were generated with.
+COMMITTED_SCALE = "small"
+COMMITTED_SEED = 0
+
+FIG4_IDS = tuple(f"fig4_{index}" for index in range(1, 9))
+
+
+def regenerate_csv(experiment_id: str, scale: str, directory: Path) -> Path:
+    """Run one figure and export its CSV the way the CLI does."""
+    result = run_experiment(experiment_id, scale=scale, master_seed=COMMITTED_SEED)
+    spec = get_spec(experiment_id)
+    if spec.kind == "availability":
+        return write_availability_csv(result, directory)
+    return write_ambiguous_csv(result, directory)
+
+
+def test_committed_fig4_csvs_exist() -> None:
+    for experiment_id in FIG4_IDS:
+        path = RESULTS_DIR / f"{experiment_id}.csv"
+        assert path.exists(), f"missing committed CSV {path}"
+        header = path.read_text(encoding="utf-8").splitlines()[0]
+        assert "," in header
+
+
+def test_regeneration_smoke(tmp_path: Path) -> None:
+    """The regeneration path works and is self-consistent at smoke scale."""
+    first = regenerate_csv("fig4_1", "smoke", tmp_path / "a")
+    second = regenerate_csv("fig4_1", "smoke", tmp_path / "b")
+    assert first.read_bytes() == second.read_bytes()
+    header = first.read_text(encoding="utf-8").splitlines()[0]
+    assert header.startswith("mean_rounds_between_changes,")
+
+
+@pytest.mark.skipif(
+    not TIER2,
+    reason="full small-scale regeneration sweep runs under REPRO_TIER2=1",
+)
+@pytest.mark.parametrize("experiment_id", FIG4_IDS)
+def test_fig4_csv_regenerates_exactly(experiment_id: str, tmp_path: Path) -> None:
+    committed = RESULTS_DIR / f"{experiment_id}.csv"
+    regenerated = regenerate_csv(experiment_id, COMMITTED_SCALE, tmp_path)
+    assert regenerated.read_bytes() == committed.read_bytes(), (
+        f"{committed} no longer matches a scale={COMMITTED_SCALE} "
+        f"seed={COMMITTED_SEED} regeneration — either the campaign stack's "
+        "determinism was broken or the committed file is stale"
+    )

@@ -1,0 +1,122 @@
+"""Property tests holding the topology fast path to the validated one.
+
+The transformation methods of :class:`repro.net.topology.Topology`
+build their results through the private trusted constructor, skipping
+``__post_init__``'s revalidation.  These tests generate arbitrary valid
+topologies and arbitrary transformation sequences and assert that the
+fast path is observationally identical to the validated constructor:
+
+* the produced value equals ``Topology(components, crashed)`` built
+  from the same raw data (and therefore would survive revalidation);
+* the memoized queries (``component_of``, ``universe``,
+  ``active_processes``) agree with what the freshly validated value
+  reports;
+* every reachable topology still satisfies the partition invariants
+  (disjoint non-empty components, crashed processes in singletons).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.topology import Topology
+
+MAX_PROCESSES = 12
+
+
+@st.composite
+def topologies(draw):
+    """An arbitrary valid topology over a small process universe."""
+    n = draw(st.integers(min_value=1, max_value=MAX_PROCESSES))
+    pids = list(range(n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    rng.shuffle(pids)
+    n_components = draw(st.integers(min_value=1, max_value=n))
+    cuts = sorted(rng.sample(range(1, n), n_components - 1)) if n_components > 1 else []
+    components = []
+    previous = 0
+    for cut in cuts + [n]:
+        components.append(frozenset(pids[previous:cut]))
+        previous = cut
+    crashed = frozenset(
+        next(iter(c)) for c in components
+        if len(c) == 1 and draw(st.booleans())
+    )
+    return Topology(components=tuple(components), crashed=crashed)
+
+
+def revalidated(topology: Topology) -> Topology:
+    """The same value rebuilt through the fully validated constructor."""
+    return Topology(
+        components=tuple(set(c) for c in topology.components),
+        crashed=set(topology.crashed),
+    )
+
+
+def assert_observationally_equal(fast: Topology, checked: Topology) -> None:
+    assert fast == checked
+    assert fast.components == checked.components
+    assert fast.crashed == checked.crashed
+    assert fast.universe == checked.universe
+    assert fast.active_processes() == checked.active_processes()
+    for pid in fast.universe:
+        assert fast.component_of(pid) == checked.component_of(pid)
+
+
+@given(topologies())
+def test_generated_topologies_expose_consistent_queries(topology):
+    """The memoized queries agree with the raw field definitions."""
+    union = frozenset().union(*topology.components)
+    assert topology.universe == union
+    assert topology.active_processes() == union - topology.crashed
+    for component in topology.components:
+        for pid in component:
+            assert topology.component_of(pid) == component
+
+
+@given(topologies(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_transformations_match_validated_constructor(topology, seed):
+    """A random walk over partition/merge/crash/recover stays identical
+    to revalidating every intermediate result from scratch."""
+    rng = random.Random(seed)
+    for _ in range(6):
+        moves = []
+        splittable = topology.splittable_components()
+        if splittable:
+            moves.append("partition")
+        if len(topology.live_components()) >= 2:
+            moves.append("merge")
+        if topology.crashable_processes():
+            moves.append("crash")
+        if topology.recoverable_processes():
+            moves.append("recover")
+        if not moves:
+            break
+        move = rng.choice(moves)
+        if move == "partition":
+            component = rng.choice(sorted(splittable, key=sorted))
+            members = sorted(component)
+            size = rng.randrange(1, len(members))
+            moved = frozenset(rng.sample(members, size))
+            topology = topology.partition(component, moved)
+        elif move == "merge":
+            first, second = rng.sample(
+                sorted(topology.live_components(), key=sorted), 2
+            )
+            topology = topology.merge(first, second)
+        elif move == "crash":
+            topology = topology.crash(rng.choice(topology.crashable_processes()))
+        else:
+            topology = topology.recover(rng.choice(topology.recoverable_processes()))
+        assert_observationally_equal(topology, revalidated(topology))
+
+
+@given(topologies())
+def test_trusted_constructor_normalizes_like_validated(topology):
+    """``_from_trusted`` produces the canonical component order."""
+    shuffled = tuple(reversed(topology.components))
+    fast = Topology._from_trusted(shuffled, topology.crashed)
+    assert fast.components == topology.components
+    assert fast == revalidated(topology)
