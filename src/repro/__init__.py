@@ -51,6 +51,13 @@ from repro.net import (
     Topology,
     UniformChangeGenerator,
 )
+from repro.obs import (
+    CampaignMetrics,
+    EventBus,
+    MetricsRegistry,
+    PhaseProfiler,
+    Subscriber,
+)
 from repro.sim import (
     CaseConfig,
     CaseResult,
@@ -66,17 +73,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BurstSchedule",
+    "CampaignMetrics",
     "CaseConfig",
     "CaseResult",
     "CrashRecoveryChangeGenerator",
     "DFLS",
     "DeterministicSchedule",
     "DriverLoop",
+    "EventBus",
     "GeometricSchedule",
     "InvariantViolation",
     "MR1p",
     "Message",
+    "MetricsRegistry",
     "OnePending",
+    "PhaseProfiler",
     "PrimaryComponentAlgorithm",
     "ProtocolError",
     "ReproError",
@@ -86,6 +97,7 @@ __all__ = [
     "Session",
     "SimpleMajority",
     "SimulationError",
+    "Subscriber",
     "Topology",
     "TopologyError",
     "UniformChangeGenerator",

@@ -24,8 +24,10 @@ from repro.core.quorum import is_subquorum
 from repro.core.session import Session, initial_session
 from repro.errors import BenchError
 from repro.net.changes import MergeChange, PartitionChange
+from repro.obs import CampaignMetrics, PhaseProfiler
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
+from repro.sim.trace import TraceDigester
 
 
 @dataclass(frozen=True)
@@ -108,8 +110,8 @@ def _run_core_ops(quick: bool) -> WorkloadResult:
 # ----------------------------------------------------------------------
 
 
-def _run_campaign(quick: bool) -> WorkloadResult:
-    config = CaseConfig(
+def _campaign_config(quick: bool) -> CaseConfig:
+    return CaseConfig(
         algorithm="ykd",
         n_processes=16,
         n_changes=6,
@@ -117,11 +119,40 @@ def _run_campaign(quick: bool) -> WorkloadResult:
         runs=40 if quick else 300,
         master_seed=0,
     )
-    result = run_case(config)
+
+
+def _run_campaign(quick: bool) -> WorkloadResult:
+    result = run_case(_campaign_config(quick))
     return WorkloadResult(
         rounds=result.rounds_total,
         detail=(
             f"{result.runs} runs, {result.changes_total} changes, "
+            f"availability {result.availability_percent:.1f}%"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# campaign_obs: the identical campaign workload with the observability
+# layer fully engaged — metrics collection, trace digesting and phase
+# profiling all at once.  Comparing its rounds/sec against ``campaign``
+# prices the observer overhead; the ``campaign`` scenario itself keeps
+# guarding the observer-free fast path.
+# ----------------------------------------------------------------------
+
+
+def _run_campaign_obs(quick: bool) -> WorkloadResult:
+    metrics = CampaignMetrics()
+    digester = TraceDigester()
+    profiler = PhaseProfiler()
+    result = run_case(
+        _campaign_config(quick), observers=[metrics, digester, profiler]
+    )
+    return WorkloadResult(
+        rounds=result.rounds_total,
+        detail=(
+            f"{result.runs} runs, {digester.event_count} trace events, "
+            f"{len(metrics.registry.series())} metric series, "
             f"availability {result.availability_percent:.1f}%"
         ),
     )
@@ -145,6 +176,14 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "(~10k rounds at full scale)"
             ),
             runner=_run_campaign,
+        ),
+        BenchScenario(
+            name="campaign_obs",
+            description=(
+                "the campaign workload with metrics, trace digesting "
+                "and phase profiling attached (observer overhead)"
+            ),
+            runner=_run_campaign_obs,
         ),
     )
 }

@@ -120,7 +120,7 @@ def run_plan(
         algorithm=algorithm,
         n_processes=plan.n_processes,
         fault_rng=derive_rng(0, "check", "replay", algorithm),
-        checker=InvariantChecker(),
+        observers=[InvariantChecker()],
         max_quiescence_rounds=max_quiescence_rounds,
     )
     outcome, detail = OUTCOME_OK, ""

@@ -10,8 +10,9 @@ the next state broadcast (Fig. 4-8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs import MetricsRegistry
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.parallel import run_cases_parallel
 from repro.experiments.spec import ExperimentSpec, Scale
@@ -76,13 +77,15 @@ def run_ambiguous_figure(
     master_seed: int = 0,
     check_invariants: bool = True,
     workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AmbiguousFigure:
     """Regenerate Fig. 4-7 / Fig. 4-8 data at the given scale.
 
     One campaign collects both the stable and the in-progress
     histograms; the two figure specs render different slices of the
     same data, as in the thesis.  ``workers > 1`` spreads the case grid
-    over a process pool.
+    over a process pool.  Passing a ``metrics`` registry collects each
+    case's campaign metrics into it, merged in grid order.
     """
     figure = AmbiguousFigure(spec=spec, scale=scale)
     grid = [
@@ -102,11 +105,14 @@ def run_ambiguous_figure(
             master_seed=master_seed,
             check_invariants=check_invariants,
             collect_ambiguous=True,
+            collect_metrics=metrics is not None,
         )
         for algorithm, n_changes, rate in grid
     ]
     results = run_cases_parallel(configs, workers=workers)
     for (algorithm, n_changes, rate), result in zip(grid, results):
+        if metrics is not None and result.metrics is not None:
+            metrics.merge(result.metrics)
         cell = AmbiguousCell(
             algorithm=algorithm,
             n_changes=n_changes,

@@ -9,8 +9,9 @@ primary component, for the five studied algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs import MetricsRegistry
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.parallel import run_cases_parallel
 from repro.experiments.spec import ExperimentSpec, Scale
@@ -58,13 +59,17 @@ def run_availability_figure(
     master_seed: int = 0,
     check_invariants: bool = True,
     workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AvailabilityFigure:
     """Regenerate one of Figs. 4-1..4-6 at the given scale.
 
     Every algorithm runs against the identical fault sequences (the
     fault RNG label excludes the algorithm name), exactly as the thesis
     did.  ``workers > 1`` spreads the algorithm × rate case grid over a
-    process pool (results are identical to a serial run).
+    process pool (results are identical to a serial run).  Passing a
+    ``metrics`` registry collects campaign metrics for every case into
+    it (merged in grid order, so the registry is identical whatever the
+    worker count).
     """
     figure = AvailabilityFigure(spec=spec, scale=scale)
     grid = [
@@ -82,6 +87,7 @@ def run_availability_figure(
             mode=spec.mode,
             master_seed=master_seed,
             check_invariants=check_invariants,
+            collect_metrics=metrics is not None,
         )
         for algorithm, rate in grid
     ]
@@ -90,4 +96,6 @@ def run_availability_figure(
         figure.series.setdefault(algorithm, []).append(
             (rate, result.availability_percent)
         )
+        if metrics is not None and result.metrics is not None:
+            metrics.merge(result.metrics)
     return figure

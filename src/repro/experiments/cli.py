@@ -6,8 +6,10 @@ Examples::
     repro-experiments run fig4_2 --scale smoke --plot
     repro-experiments run fig4_5 --scale small --seed 7 --csv results/
     repro-experiments all --scale smoke
+    repro-experiments run fig4_2 --scale smoke --metrics-out metrics.jsonl
     repro-experiments compare ykd dfls --changes 6 --rate 2 --runs 300
     repro-experiments trace ykd --processes 5 --changes 3
+    repro-experiments profile ykd --processes 16 --runs 200
     repro-experiments check --schedules 500 --seed 3 --shrink
     repro-experiments check --replay repro.json
     repro-experiments check --corpus tests/corpus
@@ -25,6 +27,14 @@ from typing import List, Optional
 
 from repro.analysis import compare_paired
 from repro.core.registry import algorithm_names
+from repro.obs import (
+    CampaignMetrics,
+    MetricsRegistry,
+    PhaseProfiler,
+    ProgressReporter,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
 from repro.experiments.ambiguous import AmbiguousFigure
 from repro.experiments.availability import AvailabilityFigure
 from repro.experiments.plot import plot_ambiguous, plot_availability
@@ -108,6 +118,34 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--processes", type=int, default=5)
     trace_parser.add_argument("--changes", type=int, default=3)
     trace_parser.add_argument("--seed", type=int, default=0)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one campaign case with per-phase timing, live "
+        "progress and campaign metrics; print the phase table",
+    )
+    profile_parser.add_argument("algorithm", choices=algorithm_names())
+    profile_parser.add_argument("--processes", type=int, default=16)
+    profile_parser.add_argument("--changes", type=int, default=6)
+    profile_parser.add_argument("--rate", type=float, default=2.0)
+    profile_parser.add_argument("--runs", type=int, default=200)
+    profile_parser.add_argument(
+        "--mode", choices=["fresh", "cascading"], default="fresh"
+    )
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument(
+        "--every",
+        type=int,
+        default=25,
+        help="progress reporting interval in runs (default: 25)",
+    )
+    profile_parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the case's metrics (campaign counters plus the "
+        "phase profile) as JSONL, or CSV for a .csv path",
+    )
 
     check_parser = sub.add_parser(
         "check",
@@ -221,6 +259,22 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="process-pool size for the heavy figures (default: 1)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write campaign metrics as JSONL (or CSV for a .csv "
+        "path); campaign-backed experiments only",
+    )
+
+
+def _write_metrics(registry: MetricsRegistry, path: Path) -> None:
+    """Write a registry as JSONL, or CSV when the path says so."""
+    if path.suffix.lower() == ".csv":
+        write_metrics_csv(registry, path)
+    else:
+        write_metrics_jsonl(registry, path)
+    print(f"metrics written: {path} ({len(registry.series())} series)")
 
 
 def _run_one(
@@ -230,10 +284,16 @@ def _run_one(
     csv_dir: Optional[Path],
     plot: bool = False,
     workers: int = 1,
+    metrics_out: Optional[Path] = None,
 ) -> None:
     started = time.time()
+    metrics = MetricsRegistry() if metrics_out is not None else None
     result = run_experiment(
-        experiment_id, scale=scale, master_seed=seed, workers=workers
+        experiment_id,
+        scale=scale,
+        master_seed=seed,
+        workers=workers,
+        metrics=metrics,
     )
     print(render(result))
     if plot and isinstance(result, AvailabilityFigure):
@@ -246,6 +306,14 @@ def _run_one(
     if csv_dir is not None and isinstance(result, AmbiguousFigure):
         path = write_ambiguous_csv(result, csv_dir)
         print(f"csv written: {path}")
+    if metrics is not None:
+        if metrics.series():
+            _write_metrics(metrics, metrics_out)
+        else:
+            print(
+                f"metrics not written: {experiment_id} is not "
+                "campaign-backed"
+            )
     print(f"[{experiment_id} done in {time.time() - started:.1f}s]\n")
 
 
@@ -345,6 +413,40 @@ def _trace(args: argparse.Namespace) -> None:
         f"\noutcome: primary={driver.primary_members()} "
         f"topology={driver.topology.describe()}"
     )
+
+
+def _profile(args: argparse.Namespace) -> int:
+    profiler = PhaseProfiler()
+    reporter = ProgressReporter(every=args.every)
+    collector = CampaignMetrics()
+    case = CaseConfig(
+        algorithm=args.algorithm,
+        n_processes=args.processes,
+        n_changes=args.changes,
+        mean_rounds_between_changes=args.rate,
+        runs=args.runs,
+        mode=args.mode,
+        master_seed=args.seed,
+    )
+    started = time.time()
+    result = run_case(case, observers=[profiler, reporter, collector])
+    elapsed = time.time() - started
+    rate = result.rounds_total / elapsed if elapsed > 0 else 0.0
+    print(
+        f"{args.algorithm}: {result.runs} runs, "
+        f"{result.rounds_total} rounds, "
+        f"{result.changes_total} changes, "
+        f"availability {result.availability_percent:.1f}% "
+        f"({elapsed:.1f}s, {rate:,.0f} rounds/s)\n"
+    )
+    print(profiler.describe())
+    if args.metrics_out is not None:
+        registry = collector.registry
+        profiler.to_registry(
+            registry, algorithm=args.algorithm, mode=args.mode
+        )
+        _write_metrics(registry, args.metrics_out)
+    return 0
 
 
 def _check(args: argparse.Namespace) -> int:
@@ -472,14 +574,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         _run_one(
             args.experiment_id, args.scale, args.seed, args.csv,
-            args.plot, args.workers,
+            args.plot, args.workers, args.metrics_out,
         )
         return 0
     if args.command == "all":
         for spec_id in all_spec_ids():
             _run_one(
                 spec_id, args.scale, args.seed, args.csv,
-                args.plot, args.workers,
+                args.plot, args.workers, args.metrics_out,
             )
         return 0
     if args.command == "compare":
@@ -488,6 +590,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         _trace(args)
         return 0
+    if args.command == "profile":
+        return _profile(args)
     if args.command == "verify":
         return _verify(args)
     if args.command == "soak":

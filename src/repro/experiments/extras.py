@@ -57,8 +57,7 @@ def run_rounds_table(
             n_processes=scale.n_processes,
             fault_rng=fault_rng,
             change_generator=UniformChangeGenerator(),
-            checker=InvariantChecker(),
-            observers=[collector],
+            observers=[InvariantChecker(), collector],
         )
         quiescence_rounds: List[int] = []
         for _ in range(cycles):
@@ -221,7 +220,7 @@ def run_blocking_table(
                 mode="fresh",
                 master_seed=master_seed,
             )
-            run_case(case, extra_observers=[collector])
+            run_case(case, observers=[collector])
             table.rows.append(
                 BlockingRow(
                     algorithm=algorithm,

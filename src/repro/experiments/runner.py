@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import ExperimentError
+from repro.obs import MetricsRegistry
 from repro.experiments.ablation import AblationResult, run_ablation
 from repro.experiments.ambiguous import AmbiguousFigure, run_ambiguous_figure
 from repro.experiments.availability import AvailabilityFigure, run_availability_figure
@@ -32,22 +33,36 @@ def run_experiment(
     scale: Union[str, Scale] = "smoke",
     master_seed: int = 0,
     workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ExperimentResult:
-    """Run one paper artifact's experiment at the given scale."""
+    """Run one paper artifact's experiment at the given scale.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) collects
+    campaign metrics for the campaign-backed kinds (availability and
+    ambiguous figures); other kinds leave it untouched.
+    """
     spec = get_spec(experiment_id)
     if isinstance(scale, str):
         scale = get_scale(scale)
-    return run_experiment_spec(spec, scale, master_seed, workers)
+    return run_experiment_spec(spec, scale, master_seed, workers, metrics)
 
 
 def run_experiment_spec(
-    spec: ExperimentSpec, scale: Scale, master_seed: int = 0, workers: int = 1
+    spec: ExperimentSpec,
+    scale: Scale,
+    master_seed: int = 0,
+    workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ExperimentResult:
     """Dispatch a resolved spec to the runner for its kind."""
     if spec.kind == "availability":
-        return run_availability_figure(spec, scale, master_seed, workers=workers)
+        return run_availability_figure(
+            spec, scale, master_seed, workers=workers, metrics=metrics
+        )
     if spec.kind == "ambiguous":
-        return run_ambiguous_figure(spec, scale, master_seed, workers=workers)
+        return run_ambiguous_figure(
+            spec, scale, master_seed, workers=workers, metrics=metrics
+        )
     if spec.kind == "rounds":
         return run_rounds_table(spec, scale, master_seed)
     if spec.kind == "scaling":

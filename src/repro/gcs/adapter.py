@@ -80,8 +80,9 @@ class PrimaryComponentService:
         n_processes: int,
         check_invariants: bool = True,
         endpoint_factory=ProcessEndpoint,
+        observers=(),
     ) -> None:
-        self.cluster = GCSCluster(n_processes)
+        self.cluster = GCSCluster(n_processes, observers=observers)
         first_view = initial_view(n_processes)
         self.processes: Dict[ProcessId, AlgorithmOnGCS] = {
             pid: AlgorithmOnGCS(

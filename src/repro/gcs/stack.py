@@ -16,9 +16,10 @@ membership protocol over point-to-point packets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.obs import EventBus, Subscriber
 from repro.gcs.membership import (
     Ack,
     AgreedView,
@@ -55,9 +56,21 @@ GCSEvent = Union[ViewInstalled, Delivered]
 
 
 class GCStack:
-    """One process's group communication endpoint."""
+    """One process's group communication endpoint.
 
-    def __init__(self, pid: ProcessId, universe: Members) -> None:
+    ``event_sink``, when given, is called as ``sink(pid, event)`` the
+    moment each :data:`GCSEvent` is raised — in addition to (not
+    instead of) the event being queued for :meth:`poll_events`.  The
+    cluster runtime uses it to publish stack events onto its
+    ``repro.obs`` bus.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        universe: Members,
+        event_sink: Optional[Callable[[ProcessId, "GCSEvent"], None]] = None,
+    ) -> None:
         self.pid = pid
         self.membership = MembershipAgent(pid, universe)
         self.vsync = VSyncLayer(pid)
@@ -65,6 +78,7 @@ class GCStack:
         self.vsync.enter_view(initial.view_id, initial.members)
         self._events: List[GCSEvent] = []
         self._outgoing: List[Tuple[ProcessId, Any]] = []
+        self._event_sink = event_sink
 
     # ------------------------------------------------------------------
     # Application API.
@@ -101,7 +115,7 @@ class GCStack:
             self._note_view_change(before)
         elif isinstance(payload, ViewMessage):
             for sender, delivered in self.vsync.receive(payload):
-                self._events.append(Delivered(sender=sender, payload=delivered))
+                self._emit(Delivered(sender=sender, payload=delivered))
         else:
             raise SimulationError(
                 f"stack received unknown payload {type(payload).__name__}"
@@ -112,12 +126,18 @@ class GCStack:
         outgoing, self._outgoing = self._outgoing, []
         return outgoing
 
+    def _emit(self, event: GCSEvent) -> None:
+        """Queue one event and mirror it to the attached sink, if any."""
+        self._events.append(event)
+        if self._event_sink is not None:
+            self._event_sink(self.pid, event)
+
     def _note_view_change(self, before: AgreedView) -> None:
         current = self.membership.current_view
         if current.view_id == before.view_id:
             return
         buffered = self.vsync.enter_view(current.view_id, current.members)
-        self._events.append(
+        self._emit(
             ViewInstalled(
                 view_id=current.view_id,
                 members=current.members,
@@ -125,20 +145,37 @@ class GCStack:
             )
         )
         for sender, payload in buffered:
-            self._events.append(Delivered(sender=sender, payload=payload))
+            self._emit(Delivered(sender=sender, payload=payload))
 
 
 class GCSCluster:
-    """Lock-step simulation of a whole group communication system."""
+    """Lock-step simulation of a whole group communication system.
 
-    def __init__(self, n_processes: int) -> None:
+    ``observers`` takes any :class:`repro.obs.Subscriber` instances;
+    the cluster publishes ``on_gcs_event(cluster, pid, event)`` the
+    moment any stack raises a view installation or delivery, and
+    ``on_gcs_tick(cluster)`` after each completed tick.
+    """
+
+    def __init__(
+        self, n_processes: int, observers: Iterable[Subscriber] = ()
+    ) -> None:
         if n_processes < 2:
             raise SimulationError("a group needs at least two processes")
         universe = frozenset(range(n_processes))
         self.topology = Topology.fully_connected(n_processes)
         self.network = PacketNetwork(self.topology)
+        self.bus = EventBus(observers)
+        self._tick_hooks = self.bus.hooks("on_gcs_tick")
+        event_hooks = self.bus.hooks("on_gcs_event")
+        sink = None
+        if event_hooks:
+            def sink(pid: ProcessId, event: GCSEvent) -> None:
+                for hook in event_hooks:
+                    hook(self, pid, event)
         self.stacks: Dict[ProcessId, GCStack] = {
-            pid: GCStack(pid, universe) for pid in sorted(universe)
+            pid: GCStack(pid, universe, event_sink=sink)
+            for pid in sorted(universe)
         }
         self.ticks = 0
 
@@ -182,6 +219,8 @@ class GCSCluster:
             for dst, payload in self.stacks[pid].drain_outgoing():
                 self.network.send(pid, dst, payload)
                 moved = True
+        for hook in self._tick_hooks:
+            hook(self)
         return moved
 
     def run_until_stable(self, max_ticks: int = 200) -> int:

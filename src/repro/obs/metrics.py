@@ -1,0 +1,344 @@
+"""Labelled metrics: counters, gauges, histograms, deterministic merge.
+
+A :class:`MetricsRegistry` owns named series, each identified by a
+metric name plus a canonical (sorted) label set — the model of every
+mainstream metrics system, restricted to what a deterministic simulator
+needs:
+
+* **Counter** — monotonically increasing total (runs, rounds, changes);
+* **Gauge** — last-written value (a configuration echo, a final level);
+* **Histogram** — fixed integer-friendly buckets plus count/sum/min/max
+  (per-run round counts, session histograms).
+
+Registries **merge deterministically**: counters and histogram buckets
+add, gauges take the later registry's value when it was ever set, and
+extrema combine.  Merging shard registries in shard order therefore
+reproduces the serial registry exactly — for integer observations the
+equality is bit-for-bit, which is what lets
+``repro.sim.parallel`` guarantee byte-identical metrics output across
+worker counts (see ``tests/test_obs_parallel.py``).  Float observations
+merge exactly too as long as each series is observed within a single
+shard; across shards float sums re-associate and may differ in the last
+ulp — campaign metrics therefore stick to integers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Canonical label form: a sorted tuple of (key, value) string pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets: powers of two up to 4096 ("less than or
+#: equal" upper bounds; observations above the last bound land in the
+#: implicit overflow bucket).  Round counts, change counts and session
+#: counts all fit comfortably.
+DEFAULT_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def canonical_labels(labels: Mapping[str, Any]) -> LabelItems:
+    """The canonical form of a label mapping (sorted, stringified).
+
+    Values are stringified so that a label written as ``runs=40`` and
+    one written as ``runs="40"`` name the same series, and so the
+    canonical JSON export never depends on value types.
+    """
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricSeries:
+    """Base of one named, labelled series inside a registry."""
+
+    kind = "series"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+
+    def merge(self, other: "MetricSeries") -> None:
+        """Fold another series of the same identity into this one."""
+        raise NotImplementedError
+
+    def value_dict(self) -> Dict[str, Any]:
+        """The kind-specific value fields for export."""
+        raise NotImplementedError
+
+    def _check_mergeable(self, other: "MetricSeries") -> None:
+        if type(other) is not type(self) or other.name != self.name or other.labels != self.labels:
+            raise ValueError(
+                f"cannot merge {other.kind} {other.name!r}{dict(other.labels)} "
+                f"into {self.kind} {self.name!r}{dict(self.labels)}"
+            )
+
+
+class Counter(MetricSeries):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def merge(self, other: MetricSeries) -> None:
+        """Counters add."""
+        self._check_mergeable(other)
+        self.value += other.value  # type: ignore[attr-defined]
+
+    def value_dict(self) -> Dict[str, Any]:
+        """Export fields: the running total."""
+        return {"value": self.value}
+
+
+class Gauge(MetricSeries):
+    """A last-written level (not aggregated, just remembered)."""
+
+    kind = "gauge"
+    __slots__ = ("value", "written")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.value: Number = 0
+        self.written = False
+
+    def set(self, value: Number) -> None:
+        """Record the current level."""
+        self.value = value
+        self.written = True
+
+    def merge(self, other: MetricSeries) -> None:
+        """Later registries win: merge order is the serial write order."""
+        self._check_mergeable(other)
+        if other.written:  # type: ignore[attr-defined]
+            self.value = other.value  # type: ignore[attr-defined]
+            self.written = True
+
+    def value_dict(self) -> Dict[str, Any]:
+        """Export fields: the last-written level."""
+        return {"value": self.value, "written": self.written}
+
+
+class Histogram(MetricSeries):
+    """Bucketed distribution with exact count/sum/min/max.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` and
+    ``> bounds[i-1]``; one extra overflow slot counts observations
+    above the last bound.  Bounds are fixed at creation, so histograms
+    from different shards of the same campaign always align and merge
+    by elementwise addition.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, labels: LabelItems, bounds: Tuple[Number, ...]
+    ) -> None:
+        super().__init__(name, labels)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing bounds"
+            )
+        self.bounds = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        slot = len(self.bounds)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = index
+                break
+        self.bucket_counts[slot] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        if not self.count:
+            return float("nan")
+        return self.sum / self.count
+
+    def merge(self, other: MetricSeries) -> None:
+        """Buckets, counts and sums add; extrema combine."""
+        self._check_mergeable(other)
+        assert isinstance(other, Histogram)
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def value_dict(self) -> Dict[str, Any]:
+        """Export fields: bounds, bucket counts, count/sum/min/max."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A set of labelled series with get-or-create accessors.
+
+    Accessors are idempotent: asking twice for the same (name, labels)
+    returns the same series object, so publishers can resolve a series
+    once (outside their hot loop) and mutate it directly.
+    """
+
+    __slots__ = ("_series",)
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, LabelItems], MetricSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors.
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter of this name and label set (created on demand)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge of this name and label set (created on demand)."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[Number, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram of this name and label set (created on demand).
+
+        ``buckets`` only applies on creation; asking again with
+        different bounds for an existing series raises.
+        """
+        key = (name, canonical_labels(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = Histogram(name, key[1], tuple(buckets))
+            self._series[key] = series
+        elif not isinstance(series, Histogram):
+            raise ValueError(
+                f"{name!r}{dict(key[1])} already exists as a {series.kind}"
+            )
+        elif series.bounds != tuple(buckets):
+            raise ValueError(
+                f"histogram {name!r}{dict(key[1])} already exists with "
+                f"bounds {series.bounds}"
+            )
+        return series
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, Any]):
+        key = (name, canonical_labels(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, key[1])
+            self._series[key] = series
+        elif type(series) is not cls:
+            raise ValueError(
+                f"{name!r}{dict(key[1])} already exists as a {series.kind}"
+            )
+        return series
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def series(self) -> List[MetricSeries]:
+        """Every series, sorted by (name, labels) — the canonical order."""
+        return [
+            self._series[key] for key in sorted(self._series)
+        ]
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Optional[MetricSeries]:
+        """The existing series of this identity, or None."""
+        return self._series.get((name, canonical_labels(labels or {})))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterable[MetricSeries]:
+        return iter(self.series())
+
+    # ------------------------------------------------------------------
+    # Merge.
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, series by series.
+
+        Merging shard registries **in shard order** into a fresh
+        registry reproduces the serial registry exactly; see the module
+        docstring for the determinism contract.
+        """
+        for key in sorted(other._series):
+            theirs = other._series[key]
+            mine = self._series.get(key)
+            if mine is None:
+                self._series[key] = _copy_series(theirs)
+            else:
+                mine.merge(theirs)
+
+
+def _copy_series(series: MetricSeries) -> MetricSeries:
+    """A deep, independent copy of one series (for merge-into-fresh)."""
+    if isinstance(series, Counter):
+        copy: MetricSeries = Counter(series.name, series.labels)
+        copy.value = series.value  # type: ignore[attr-defined]
+        return copy
+    if isinstance(series, Gauge):
+        copy = Gauge(series.name, series.labels)
+        copy.value = series.value  # type: ignore[attr-defined]
+        copy.written = series.written  # type: ignore[attr-defined]
+        return copy
+    if isinstance(series, Histogram):
+        copy = Histogram(series.name, series.labels, series.bounds)
+        copy.bucket_counts = list(series.bucket_counts)  # type: ignore[attr-defined]
+        copy.count = series.count  # type: ignore[attr-defined]
+        copy.sum = series.sum  # type: ignore[attr-defined]
+        copy.min = series.min  # type: ignore[attr-defined]
+        copy.max = series.max  # type: ignore[attr-defined]
+        return copy
+    raise TypeError(f"unknown series type {type(series).__name__}")
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Merge many registries (in the given order) into a fresh one."""
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged

@@ -22,12 +22,15 @@ so every algorithm faces the same faults run for run.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InvariantViolation
 from repro.net.changes import UniformChangeGenerator
 from repro.net.schedule import ChangeSchedule, GeometricSchedule
+from repro.obs import CampaignMetrics, MetricsRegistry, Subscriber
 from repro.sim.driver import DriverLoop
 from repro.sim.invariants import InvariantChecker
 from repro.sim.rng import derive_rng
@@ -35,7 +38,6 @@ from repro.sim.stats import (
     AmbiguousSessionCollector,
     AvailabilityCollector,
     MessageSizeCollector,
-    RunObserver,
 )
 
 MODE_FRESH = "fresh"
@@ -63,6 +65,9 @@ class CaseConfig:
     max_quiescence_rounds: int = 400
     collect_ambiguous: bool = False
     collect_message_sizes: bool = False
+    #: Attach a :class:`repro.obs.CampaignMetrics` subscriber and return
+    #: its registry on :attr:`CaseResult.metrics`.
+    collect_metrics: bool = False
     change_generator: Optional[UniformChangeGenerator] = None
     schedule: Optional[ChangeSchedule] = None
     cut_probability: float = 0.5
@@ -115,25 +120,53 @@ class CaseResult:
     #: Piggybacking broadcasts behind ``message_mean_bytes`` (the
     #: weight needed to merge means across shards exactly).
     message_broadcasts: int = 0
+    #: Metrics registry filled during the case, when
+    #: :attr:`CaseConfig.collect_metrics` was set (else ``None``).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def runs(self) -> int:
         return len(self.outcomes)
 
 
-def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) -> CaseResult:
-    """Execute every run of a case and aggregate the statistics."""
+def run_case(
+    config: CaseConfig,
+    observers: Sequence[Subscriber] = (),
+    extra_observers: Optional[Sequence[Subscriber]] = None,
+) -> CaseResult:
+    """Execute every run of a case and aggregate the statistics.
+
+    ``observers`` takes any :class:`repro.obs.Subscriber` instances;
+    they see the case-level hooks (``on_case_start``/``on_case_end``)
+    here and every driver-level event of every run.  ``extra_observers``
+    is the deprecated name for the same parameter.
+    """
+    if extra_observers is not None:
+        warnings.warn(
+            "run_case(extra_observers=...) is deprecated; "
+            "pass observers=[...] instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        observers = [*observers, *extra_observers]
     availability = AvailabilityCollector()
-    observers: List[RunObserver] = [availability]
+    subscribers: List[Subscriber] = [availability]
     ambiguous: Optional[AmbiguousSessionCollector] = None
     sizes: Optional[MessageSizeCollector] = None
+    metrics: Optional[CampaignMetrics] = None
     if config.collect_ambiguous:
         ambiguous = AmbiguousSessionCollector(monitored_pid=0)
-        observers.append(ambiguous)
+        subscribers.append(ambiguous)
     if config.collect_message_sizes:
         sizes = MessageSizeCollector()
-        observers.append(sizes)
-    observers.extend(extra_observers)
+        subscribers.append(sizes)
+    if config.collect_metrics:
+        metrics = CampaignMetrics()
+        subscribers.append(metrics)
+    subscribers.extend(observers)
+
+    for subscriber in subscribers:
+        subscriber.on_case_start(config)
 
     schedule = config.make_schedule()
     rounds_total = 0
@@ -144,14 +177,14 @@ def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) ->
             fault_rng = derive_rng(
                 config.master_seed, *config.case_label(), run_index
             )
-            driver = _build_driver(config, fault_rng, observers)
+            driver = _build_driver(config, fault_rng, subscribers)
             gaps = schedule.draw_gaps(fault_rng, config.n_changes)
             _execute_with_repro(driver, gaps, config, run_index)
             rounds_total += driver.round_index
             changes_total += driver.changes_injected
     else:
         fault_rng = derive_rng(config.master_seed, *config.case_label())
-        driver = _build_driver(config, fault_rng, observers)
+        driver = _build_driver(config, fault_rng, subscribers)
         for run_index in range(config.runs):
             gaps = schedule.draw_gaps(fault_rng, config.n_changes)
             _execute_with_repro(driver, gaps, config, run_index)
@@ -174,6 +207,10 @@ def run_case(config: CaseConfig, extra_observers: Sequence[RunObserver] = ()) ->
         result.message_max_bytes = sizes.max_bytes
         result.message_mean_bytes = sizes.mean_bytes
         result.message_broadcasts = sizes.broadcasts
+    if metrics is not None:
+        result.metrics = metrics.registry
+    for subscriber in subscribers:
+        subscriber.on_case_end(result)
     return result
 
 
@@ -203,15 +240,15 @@ def _execute_with_repro(
 
 
 def _build_driver(
-    config: CaseConfig, fault_rng, observers: Sequence[RunObserver]
+    config: CaseConfig, fault_rng, observers: Sequence[Subscriber]
 ) -> DriverLoop:
+    checker = InvariantChecker(enabled=config.check_invariants)
     return DriverLoop(
         algorithm=config.algorithm,
         n_processes=config.n_processes,
         fault_rng=fault_rng,
         change_generator=config.change_generator,
-        checker=InvariantChecker(enabled=config.check_invariants),
-        observers=observers,
+        observers=[checker, *observers],
         max_quiescence_rounds=config.max_quiescence_rounds,
         cut_probability=config.cut_probability,
     )

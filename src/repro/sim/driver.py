@@ -31,6 +31,7 @@ is stable until the next connectivity change.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interface import PrimaryComponentAlgorithm
@@ -49,8 +50,8 @@ from repro.net.changes import (
     apply_change,
 )
 from repro.net.topology import Topology
+from repro.obs import EventBus, PhaseProfiler, Subscriber
 from repro.sim.invariants import InvariantChecker
-from repro.sim.stats import RunObserver
 from repro.types import Members, ProcessId, sorted_members
 
 
@@ -124,7 +125,7 @@ class DriverLoop:
         fault_rng: random.Random,
         change_generator: Optional[UniformChangeGenerator] = None,
         checker: Optional[InvariantChecker] = None,
-        observers: Sequence[RunObserver] = (),
+        observers: Sequence[Subscriber] = (),
         max_quiescence_rounds: int = 400,
         endpoint_factory=ProcessEndpoint,
         cut_probability: float = 0.5,
@@ -140,15 +141,41 @@ class DriverLoop:
         self.n_processes = n_processes
         self.fault_rng = fault_rng
         self.change_generator = change_generator or UniformChangeGenerator()
-        self.checker = checker or InvariantChecker()
-        #: Fixed at construction — the driver snapshots which observers
-        #: actually override the per-broadcast hook below.
-        self.observers: List[RunObserver] = list(observers)
-        self._broadcast_observers: Tuple[RunObserver, ...] = tuple(
-            observer
-            for observer in self.observers
-            if type(observer).on_broadcast is not RunObserver.on_broadcast
+        # ``observers=[...]`` is the single attachment point for every
+        # repro.obs subscriber.  Two subscriber kinds get special
+        # wiring: the first InvariantChecker becomes ``self.checker``
+        # (its checks run at the exact safety points, before ordinary
+        # hooks), and the first PhaseProfiler receives the per-phase
+        # timing brackets of run_round.
+        subscribers = list(observers)
+        if checker is not None:
+            warnings.warn(
+                "DriverLoop(checker=...) is deprecated; pass the checker "
+                "inside observers=[...] instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            subscribers.insert(0, checker)
+        self.checker = next(
+            (s for s in subscribers if isinstance(s, InvariantChecker)), None
         )
+        if self.checker is None:
+            self.checker = InvariantChecker()
+        else:
+            subscribers.remove(self.checker)
+        self._profiler: Optional[PhaseProfiler] = next(
+            (s for s in subscribers if isinstance(s, PhaseProfiler)), None
+        )
+        #: Dispatch is snapshotted at construction: per hook, the bus
+        #: holds the bound methods of exactly the subscribers that
+        #: override it, so unwatched events cost an empty iteration.
+        self.bus = EventBus(subscribers)
+        self._run_start_hooks = self.bus.hooks("on_run_start")
+        self._round_hooks = self.bus.hooks("on_round")
+        self._change_hooks = self.bus.hooks("on_change")
+        self._broadcast_hooks = self.bus.hooks("on_broadcast")
+        self._quiescence_hooks = self.bus.hooks("on_quiescence")
+        self._run_end_hooks = self.bus.hooks("on_run_end")
         self.max_quiescence_rounds = max_quiescence_rounds
         #: Probability that an affected process *loses* the current
         #: round's messages when a change lands mid-round.  0 means the
@@ -188,6 +215,11 @@ class DriverLoop:
         #: ascending pid order, so iterating it IS sender-id order.
         self._bundles: Dict[ProcessId, Message] = {}
 
+    @property
+    def observers(self) -> List[Subscriber]:
+        """The attached subscribers (excluding the extracted checker)."""
+        return list(self.bus.subscribers)
+
     # ------------------------------------------------------------------
     # Topology installation.  The poll order (sorted active pids) and
     # the per-sender delivery order (sorted component members) are
@@ -224,8 +256,16 @@ class DriverLoop:
     # ------------------------------------------------------------------
 
     def run_round(self, change: Optional[ConnectivityChange] = None) -> bool:
-        """Execute one round; returns True when any message was sent."""
+        """Execute one round; returns True when any message was sent.
+
+        With a :class:`~repro.obs.PhaseProfiler` attached, each phase
+        below is bracketed with wall/CPU timestamps; without one the
+        instrumentation collapses to an ``is None`` test per phase.
+        """
         self.round_index += 1
+        profiler = self._profiler
+        if profiler is not None:
+            wall_mark, cpu_mark = profiler.open_round()
 
         # 1. Poll every endpoint (Fig. 2-2's application behaviour),
         #    in ascending pid order.
@@ -236,6 +276,8 @@ class DriverLoop:
             message = endpoints[pid].poll()
             if message is not None:
                 bundles[pid] = message
+        if profiler is not None:
+            wall_mark, cpu_mark = profiler.lap("poll", wall_mark, cpu_mark)
 
         # 2. Decide who the change cuts off mid-round.
         late: frozenset = frozenset()
@@ -260,15 +302,17 @@ class DriverLoop:
             self._rounds_since_change = 0
         else:
             self._rounds_since_change += 1
+        if profiler is not None:
+            wall_mark, cpu_mark = profiler.lap("cut", wall_mark, cpu_mark)
 
         # 3. Deliver within the pre-change components, sender id order
         #    (bundles was filled in ascending pid order).
-        broadcast_observers = self._broadcast_observers
+        broadcast_hooks = self._broadcast_hooks
         if late or dead:
             delivery_order = self._delivery_order
             for sender, message in bundles.items():
-                for observer in broadcast_observers:
-                    observer.on_broadcast(self, sender, message)
+                for hook in broadcast_hooks:
+                    hook(self, sender, message)
                 for recipient in delivery_order[sender]:
                     if recipient in dead:
                         continue
@@ -280,10 +324,12 @@ class DriverLoop:
             # receives — the overwhelmingly common round shape.
             deliver_calls = self._deliver_calls
             for sender, message in bundles.items():
-                for observer in broadcast_observers:
-                    observer.on_broadcast(self, sender, message)
+                for hook in broadcast_hooks:
+                    hook(self, sender, message)
                 for deliver in deliver_calls[sender]:
                     deliver(message, sender)
+        if profiler is not None:
+            wall_mark, cpu_mark = profiler.lap("deliver", wall_mark, cpu_mark)
 
         # 4. Apply the change and install the new views.
         installed: List[View] = []
@@ -300,13 +346,17 @@ class DriverLoop:
                     if not self.topology.is_crashed(pid):
                         self.endpoints[pid].install_view(view)
         self.views_installed_this_round = tuple(installed)
+        if profiler is not None:
+            wall_mark, cpu_mark = profiler.lap("views", wall_mark, cpu_mark)
 
         if change is not None:
-            for observer in self.observers:
-                observer.on_change(self, change)
+            for hook in self._change_hooks:
+                hook(self, change)
         self.checker.check_round(self.algorithms, self.topology.active_processes())
-        for observer in self.observers:
-            observer.on_round(self)
+        for hook in self._round_hooks:
+            hook(self)
+        if profiler is not None:
+            profiler.lap("observe", wall_mark, cpu_mark)
         return bool(bundles)
 
     @staticmethod
@@ -351,21 +401,32 @@ class DriverLoop:
         the fault RNG and never on the algorithm under test.
         """
         self.reset_schedule_recording()
-        for observer in self.observers:
-            observer.on_run_start(self)
+        for hook in self._run_start_hooks:
+            hook(self)
         for gap in gaps:
             for _ in range(gap):
                 self.run_round(None)
             change = self.change_generator.propose(self.topology, self.fault_rng)
             self.run_round(change)
         self.run_until_quiescent()
+        self._publish_quiescence()
+        for hook in self._run_end_hooks:
+            hook(self)
+
+    def _publish_quiescence(self) -> None:
+        """Safety-check the quiescent state, then notify subscribers.
+
+        The checker's quiescent-agreement check runs first — exactly as
+        it always did — so a violation propagates before any ordinary
+        subscriber observes the (broken) stable state.
+        """
         self.checker.check_quiescent_agreement(
             self.algorithms,
             self.topology.components,
             self.topology.active_processes(),
         )
-        for observer in self.observers:
-            observer.on_run_end(self)
+        for hook in self._quiescence_hooks:
+            hook(self)
 
     # ------------------------------------------------------------------
     # Scripted replay (repro.check and repro.sim.explore).
@@ -409,8 +470,8 @@ class DriverLoop:
         ``repro.sim.explore`` build on.
         """
         self.reset_schedule_recording()
-        for observer in self.observers:
-            observer.on_run_start(self)
+        for hook in self._run_start_hooks:
+            hook(self)
         for gap, change, late in steps:
             for _ in range(gap):
                 self.run_round(None)
@@ -420,13 +481,9 @@ class DriverLoop:
                 self.run_scripted_round(change, late)
         if settle:
             self.run_until_quiescent()
-            self.checker.check_quiescent_agreement(
-                self.algorithms,
-                self.topology.components,
-                self.topology.active_processes(),
-            )
-        for observer in self.observers:
-            observer.on_run_end(self)
+            self._publish_quiescence()
+        for hook in self._run_end_hooks:
+            hook(self)
 
     def recorded_steps(
         self,

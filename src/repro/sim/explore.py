@@ -131,7 +131,7 @@ def explore(
             # stream is labelled so any future sampled decision stays
             # inside the reproducibility discipline.
             fault_rng=derive_rng(0, "explore", algorithm),
-            checker=InvariantChecker(),
+            observers=[InvariantChecker()],
         )
         driver.execute_schedule(steps)
         return driver.primary_exists()

@@ -27,10 +27,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core.interface import PrimaryComponentAlgorithm
 from repro.core.quorum import is_subquorum
 from repro.errors import InvariantViolation
+from repro.obs import Subscriber
 from repro.types import Members, ProcessId, sorted_members
 
 
-class InvariantChecker:
+class InvariantChecker(Subscriber):
     """Accumulating checker, one per simulated system.
 
     ``atomic_views=True`` (the driver's world) assumes every member of
@@ -49,6 +50,13 @@ class InvariantChecker:
     stable points via :meth:`check_stable_primary`.
     """
 
+    #: The checker is an ordinary ``repro.obs`` subscriber: attach it
+    #: through ``observers=[...]`` like any other.  The driver loop
+    #: recognizes the first attached checker and runs its checks at the
+    #: exact safety points (after state settles, before ordinary
+    #: subscriber hooks); anywhere else the plain subscriber hooks
+    #: below provide the same checks.
+
     def __init__(self, enabled: bool = True, atomic_views: bool = True) -> None:
         self.enabled = enabled
         self.atomic_views = atomic_views
@@ -60,6 +68,22 @@ class InvariantChecker:
         #: over the thesis-scale million-change endurance runs).
         self._chain_keys: List[int] = []
         self.rounds_checked = 0
+
+    # ------------------------------------------------------------------
+    # Subscriber hooks (repro.obs): the same checks, event-driven.
+    # ------------------------------------------------------------------
+
+    def on_round(self, driver) -> None:
+        """Run the per-round checks against a driver's current state."""
+        self.check_round(driver.algorithms, driver.topology.active_processes())
+
+    def on_quiescence(self, driver) -> None:
+        """Run the quiescent-agreement check when a run drains."""
+        self.check_quiescent_agreement(
+            driver.algorithms,
+            driver.topology.components,
+            driver.topology.active_processes(),
+        )
 
     # ------------------------------------------------------------------
     # Round-level checks.

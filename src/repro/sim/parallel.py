@@ -36,6 +36,7 @@ from collections import Counter
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import MetricsRegistry, merge_registries
 from repro.sim.campaign import MODE_FRESH, CaseConfig, CaseResult, run_case
 
 
@@ -136,6 +137,15 @@ def merge_case_results(
         message_bits_weighted / message_broadcasts if message_broadcasts else 0.0
     )
     availability = 100.0 * sum(outcomes) / len(outcomes)
+    shard_registries = [
+        result.metrics for result in results if result.metrics is not None
+    ]
+    metrics: Optional[MetricsRegistry] = None
+    if shard_registries:
+        # Shard order == run order, so the merged registry is
+        # bit-identical to the serial case's (all campaign metrics are
+        # integer-valued; see repro.obs.metrics).
+        metrics = merge_registries(shard_registries)
     return CaseResult(
         config=config,
         availability_percent=availability,
@@ -149,6 +159,7 @@ def merge_case_results(
         message_max_bytes=message_max,
         message_mean_bytes=mean_bytes,
         message_broadcasts=message_broadcasts,
+        metrics=metrics,
     )
 
 

@@ -67,8 +67,7 @@ def build_driver(
         n_processes=config.n_processes,
         fault_rng=fault_rng,
         change_generator=config.change_generator,
-        checker=InvariantChecker(enabled=config.check_invariants),
-        observers=observers,
+        observers=[InvariantChecker(enabled=config.check_invariants), *observers],
         max_quiescence_rounds=config.max_quiescence_rounds,
     )
 

@@ -21,28 +21,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.message import Message, estimate_piggyback_size_bits
+from repro.obs import Subscriber
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.driver import DriverLoop
 
 
-class RunObserver:
-    """Base observer; override any subset of the hooks."""
+class RunObserver(Subscriber):
+    """Back-compat name for :class:`repro.obs.Subscriber`.
 
-    def on_run_start(self, driver: "DriverLoop") -> None:
-        """A new run begins (fresh or cascading)."""
-
-    def on_round(self, driver: "DriverLoop") -> None:
-        """A round completed (after deliveries and view installation)."""
-
-    def on_change(self, driver: "DriverLoop", change: Any) -> None:
-        """A connectivity change was injected this round."""
-
-    def on_broadcast(self, driver: "DriverLoop", sender: int, message: Message) -> None:
-        """A process broadcast a message within its component."""
-
-    def on_run_end(self, driver: "DriverLoop") -> None:
-        """The run reached quiescence."""
+    The historical driver-observer base class; it adds nothing to the
+    unified subscriber protocol (deliberately — method identity is how
+    the event bus detects overridden hooks).  New code should subclass
+    :class:`repro.obs.Subscriber` directly.
+    """
 
 
 class AvailabilityCollector(RunObserver):

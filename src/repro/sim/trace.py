@@ -147,6 +147,8 @@ class TraceRecorder(RunObserver):
         self.max_events = max_events
         self.events: List[TraceEvent] = []
         self.truncated = False
+        #: Events that arrived after the cap and were not recorded.
+        self.dropped_events = 0
         self._run_index = 0
         self._live_primary: Optional[Tuple[ProcessId, ...]] = None
 
@@ -230,6 +232,7 @@ class TraceRecorder(RunObserver):
     def _append(self, event: TraceEvent) -> None:
         if len(self.events) >= self.max_events:
             self.truncated = True
+            self.dropped_events += 1
             return
         self.events.append(event)
 
@@ -249,8 +252,25 @@ class TraceRecorder(RunObserver):
         return sorted({e.round_index for e in self.events if isinstance(e, BroadcastEvent)})
 
     def to_dicts(self) -> List[Dict[str, Any]]:
-        """JSON-ready form of the whole trace."""
-        return [event.to_dict() for event in self.events]
+        """JSON-ready form of the whole trace.
+
+        A truncated trace ends with an explicit marker entry carrying
+        the dropped-event count, so capped exports can never be
+        mistaken for complete ones.  Untruncated traces export exactly
+        their events — no marker — which keeps historical golden files
+        byte-stable.
+        """
+        dicts = [event.to_dict() for event in self.events]
+        if self.truncated:
+            dicts.append(
+                {
+                    "kind": "truncation",
+                    "truncated": True,
+                    "dropped_events": self.dropped_events,
+                    "max_events": self.max_events,
+                }
+            )
+        return dicts
 
     def iter_rounds(self) -> Iterator[Tuple[int, List[TraceEvent]]]:
         """Events grouped by round, in order."""
@@ -351,5 +371,8 @@ def render_timeline(recorder: TraceRecorder, max_rounds: int = 200) -> str:
         for event in others:
             lines.append(f"       {event.describe()}")
     if recorder.truncated:
-        lines.append("(trace truncated at max_events)")
+        lines.append(
+            f"(trace truncated at max_events={recorder.max_events}: "
+            f"{recorder.dropped_events} events dropped)"
+        )
     return "\n".join(lines)

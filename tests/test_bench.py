@@ -37,7 +37,7 @@ def make_result(rate: float = 1000.0, scenario: str = "campaign") -> BenchResult
 
 
 def test_scenarios_registered():
-    assert scenario_names() == ("core_ops", "campaign")
+    assert scenario_names() == ("core_ops", "campaign", "campaign_obs")
     with pytest.raises(BenchError):
         get_scenario("nope")
 
@@ -184,6 +184,9 @@ def test_committed_bench_files_are_current():
         assert data["quick"] is False
         text = path.read_text()
         assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
-        baseline = data["baseline"]
-        assert baseline is not None, f"{path.name} lacks its pre-overhaul baseline"
-        assert baseline["speedup"] >= 2.0
+        if name in ("core_ops", "campaign"):
+            # Scenarios that predate the hot-path overhaul embed the
+            # baseline they beat; campaign_obs was added afterwards.
+            baseline = data["baseline"]
+            assert baseline is not None, f"{path.name} lacks its pre-overhaul baseline"
+            assert baseline["speedup"] >= 2.0

@@ -58,7 +58,7 @@ class TestBlockingCollector:
             algorithm="ykd", n_processes=6, n_changes=4,
             mean_rounds_between_changes=1.0, runs=10, mode="cascading",
         )
-        run_case(case, extra_observers=[collector])
+        run_case(case, observers=[collector])
         accounted = (
             len(collector.formed_durations)
             + len(collector.blocked_lifetimes)

@@ -152,7 +152,7 @@ def _campaign_digest(algorithm: str, case: dict) -> str:
     """Stream-digest a pinned-seed fresh campaign for one algorithm."""
     digester = TraceDigester()
     run_case(
-        CaseConfig(algorithm=algorithm, **case), extra_observers=[digester]
+        CaseConfig(algorithm=algorithm, **case), observers=[digester]
     )
     return digester.hexdigest()
 
@@ -218,7 +218,7 @@ class TestDigestConsistency:
         digester = TraceDigester()
         config = CaseConfig(algorithm="ykd", n_processes=6, n_changes=4,
                             runs=5, master_seed=11)
-        run_case(config, extra_observers=[recorder, digester])
+        run_case(config, observers=[recorder, digester])
         assert not recorder.truncated
         assert trace_digest(recorder) == digester.hexdigest()
         assert digester.event_count == len(recorder.events)

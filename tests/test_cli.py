@@ -174,3 +174,60 @@ class TestCheck:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["check", "--algorithms", "paxos"])
+
+
+class TestProfile:
+    def test_profile_smoke(self, capsys):
+        assert main([
+            "profile", "ykd",
+            "--processes", "8", "--changes", "3", "--runs", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        for phase in ("poll", "cut", "deliver", "views", "observe"):
+            assert phase in out
+        assert "us/call" in out
+
+    def test_profile_metrics_out(self, capsys, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        assert main([
+            "profile", "ykd",
+            "--processes", "8", "--changes", "3", "--runs", "20",
+            "--metrics-out", str(path),
+        ]) == 0
+        from repro.obs import load_metrics_jsonl
+
+        registry = load_metrics_jsonl(path)
+        assert registry.get(
+            "profiled_runs", {"algorithm": "ykd", "mode": "fresh"}
+        ).value == 20
+        assert any(s.name == "runs_total" for s in registry.series())
+
+
+class TestMetricsOut:
+    def test_run_with_metrics_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "run", "fig4_1", "--scale", "smoke",
+            "--metrics-out", str(path),
+        ]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        from repro.obs import load_metrics_jsonl
+
+        assert len(load_metrics_jsonl(path)) > 0
+
+    def test_run_with_metrics_csv(self, capsys, tmp_path):
+        path = tmp_path / "metrics.csv"
+        assert main([
+            "run", "fig4_1", "--scale", "smoke",
+            "--metrics-out", str(path),
+        ]) == 0
+        assert path.read_text().startswith("name,type,labels,")
+
+    def test_non_campaign_experiment_reports_no_metrics(self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "run", "tab_rounds", "--scale", "smoke",
+            "--metrics-out", str(path),
+        ]) == 0
+        assert "not campaign-backed" in capsys.readouterr().out
+        assert not path.exists()

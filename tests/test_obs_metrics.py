@@ -1,0 +1,203 @@
+"""Tests for the labelled metrics registry and its deterministic merge."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    CampaignMetrics,
+    MetricsRegistry,
+    canonical_labels,
+    merge_registries,
+)
+from repro.sim.campaign import CaseConfig, run_case
+
+
+class TestLabels:
+    def test_canonical_form_sorts_and_stringifies(self):
+        assert canonical_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_int_and_str_values_name_the_same_series(self):
+        registry = MetricsRegistry()
+        assert registry.counter("runs", n=40) is registry.counter("runs", n="40")
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", a=1, b=2)
+        assert registry.counter("c", b=2, a=1) is first
+
+    def test_same_name_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a=1) is not registry.counter("c", a=2)
+        assert len(registry) == 2
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_tracks_last_write(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert not gauge.written
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+        assert gauge.written
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(2, 4, 8))
+        for value in (1, 2, 3, 9, 100):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 1, 0, 2]  # last = overflow
+        assert histogram.count == 5
+        assert histogram.sum == 115
+        assert histogram.min == 1
+        assert histogram.max == 100
+        assert histogram.mean == 23.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(MetricsRegistry().histogram("h").mean)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(4, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=())
+
+    def test_re_request_with_different_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(2, 4))
+        assert registry.histogram("h", buckets=(2, 4)) is registry.get("h")
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(2, 4, 8))
+
+
+class TestRegistry:
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_series_sorted_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", z=2)
+        registry.counter("a", z=1)
+        identities = [(s.name, s.labels) for s in registry.series()]
+        assert identities == sorted(identities)
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry().get("nope") is None
+
+
+def _filled(scale):
+    """A registry with one series of each kind, scaled by ``scale``."""
+    registry = MetricsRegistry()
+    registry.counter("runs", algorithm="ykd").inc(10 * scale)
+    registry.gauge("level").set(scale)
+    histogram = registry.histogram("rounds", buckets=(2, 8), algorithm="ykd")
+    for value in range(scale):
+        histogram.observe(value)
+    return registry
+
+
+class TestMerge:
+    def test_counters_add(self):
+        merged = merge_registries([_filled(1), _filled(3)])
+        assert merged.get("runs", {"algorithm": "ykd"}).value == 40
+
+    def test_gauges_take_the_later_write(self):
+        merged = merge_registries([_filled(1), _filled(3)])
+        assert merged.get("level").value == 3
+
+    def test_unwritten_gauge_does_not_clobber(self):
+        written = MetricsRegistry()
+        written.gauge("g").set(5)
+        fresh = MetricsRegistry()
+        fresh.gauge("g")
+        written.merge(fresh)
+        assert written.get("g").value == 5
+
+    def test_histograms_add_elementwise(self):
+        merged = merge_registries([_filled(2), _filled(4)])
+        histogram = merged.get("rounds", {"algorithm": "ykd"})
+        assert histogram.count == 6
+        assert histogram.sum == sum(range(2)) + sum(range(4))
+        assert histogram.min == 0
+        assert histogram.max == 3
+
+    def test_merge_into_fresh_copies_deeply(self):
+        source = _filled(2)
+        merged = merge_registries([source])
+        merged.get("runs", {"algorithm": "ykd"}).inc(1)
+        merged.get("rounds", {"algorithm": "ykd"}).observe(1)
+        assert source.get("runs", {"algorithm": "ykd"}).value == 20
+        assert source.get("rounds", {"algorithm": "ykd"}).count == 2
+
+    def test_type_mismatch_rejected(self):
+        counters = MetricsRegistry()
+        counters.counter("x")
+        gauges = MetricsRegistry()
+        gauges.gauge("x")
+        with pytest.raises(ValueError):
+            counters.merge(gauges)
+
+    def test_bound_mismatch_rejected(self):
+        narrow = MetricsRegistry()
+        narrow.histogram("h", buckets=(2,))
+        wide = MetricsRegistry()
+        wide.histogram("h", buckets=(2, 4))
+        with pytest.raises(ValueError):
+            narrow.merge(wide)
+
+    def test_empty_merge_is_identity(self):
+        merged = merge_registries([])
+        assert len(merged) == 0
+
+
+class TestCampaignMetrics:
+    def test_collect_metrics_config_flag(self):
+        config = CaseConfig(
+            algorithm="ykd", n_processes=5, runs=4, collect_metrics=True
+        )
+        result = run_case(config)
+        assert result.metrics is not None
+        labels = {
+            "algorithm": "ykd", "mode": "fresh", "processes": "5",
+            "changes": str(config.n_changes), "rate": str(config.mean_rounds_between_changes),
+        }
+        assert result.metrics.get("runs_total", labels).value == 4
+        assert result.metrics.get("rounds_total", labels).value == result.rounds_total
+
+    def test_metrics_off_by_default(self):
+        config = CaseConfig(algorithm="ykd", n_processes=5, runs=2)
+        assert run_case(config).metrics is None
+
+    def test_standalone_collector_matches_config_flag(self):
+        config = CaseConfig(algorithm="ykd", n_processes=5, runs=4)
+        metrics = CampaignMetrics()
+        run_case(config, observers=[metrics])
+        flagged = run_case(
+            CaseConfig(algorithm="ykd", n_processes=5, runs=4, collect_metrics=True)
+        )
+        from repro.obs import registry_to_jsonl
+
+        assert registry_to_jsonl(metrics.registry) == registry_to_jsonl(
+            flagged.metrics
+        )

@@ -1,0 +1,96 @@
+"""Metrics merge determinism: sharded/parallel campaigns vs serial.
+
+The acceptance criterion for the observability layer: the metrics a
+parallel campaign exports must be byte-identical to the serial export,
+at any worker count.  Shard registries merge in shard order, campaign
+metrics are integer-valued, and the JSONL exporter is canonical — so
+equality here is literal text equality.
+"""
+
+import pytest
+
+from repro.obs import merge_registries, registry_to_jsonl
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.parallel import (
+    merge_case_results,
+    run_case_sharded,
+    run_cases_parallel,
+    shard_configs,
+)
+
+
+def _config(**overrides):
+    base = dict(
+        algorithm="ykd",
+        n_processes=5,
+        n_changes=4,
+        mean_rounds_between_changes=2.0,
+        runs=24,
+        master_seed=11,
+        collect_metrics=True,
+    )
+    base.update(overrides)
+    return CaseConfig(**base)
+
+
+class TestShardedMetrics:
+    def test_in_process_shard_merge_matches_serial(self):
+        config = _config()
+        serial = run_case(config)
+        shards = [run_case(shard) for shard in shard_configs(config, 4)]
+        merged = merge_case_results(config, shards)
+        assert registry_to_jsonl(merged.metrics) == registry_to_jsonl(
+            serial.metrics
+        )
+        assert merged.outcomes == serial.outcomes
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_sharded_jsonl_byte_identical_to_serial(self, workers):
+        config = _config()
+        serial_text = registry_to_jsonl(run_case(config).metrics)
+        sharded = run_case_sharded(config, shards=workers, workers=workers)
+        assert sharded.metrics is not None
+        assert registry_to_jsonl(sharded.metrics) == serial_text
+
+    def test_shard_count_independent(self):
+        config = _config()
+        by_shards = [
+            registry_to_jsonl(
+                merge_case_results(
+                    config,
+                    [run_case(shard) for shard in shard_configs(config, n)],
+                ).metrics
+            )
+            for n in (2, 3, 8)
+        ]
+        assert len(set(by_shards)) == 1
+
+    def test_metrics_absent_when_not_collected(self):
+        config = _config(collect_metrics=False)
+        shards = [run_case(shard) for shard in shard_configs(config, 2)]
+        assert merge_case_results(config, shards).metrics is None
+
+
+class TestParallelCases:
+    def test_case_pool_metrics_match_serial(self):
+        configs = [
+            _config(algorithm=algorithm, master_seed=7)
+            for algorithm in ("ykd", "simple_majority")
+        ]
+        serial = [run_case(config) for config in configs]
+        parallel = run_cases_parallel(configs, workers=2)
+        serial_text = registry_to_jsonl(
+            merge_registries([r.metrics for r in serial])
+        )
+        parallel_text = registry_to_jsonl(
+            merge_registries([r.metrics for r in parallel])
+        )
+        assert parallel_text == serial_text
+
+    def test_cascading_falls_back_but_still_collects(self):
+        config = _config(mode="cascading", runs=6)
+        result = run_case_sharded(config, shards=4, workers=4)
+        serial = run_case(config)
+        assert registry_to_jsonl(result.metrics) == registry_to_jsonl(
+            serial.metrics
+        )

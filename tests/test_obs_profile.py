@@ -1,0 +1,110 @@
+"""Tests for the per-phase profiler and its driver instrumentation."""
+
+from repro.obs import DRIVER_PHASES, PhaseProfiler
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.trace import TraceDigester
+from tests.conftest import make_driver, split
+
+
+def _profiled_run():
+    profiler = PhaseProfiler()
+    driver = make_driver("ykd", 5, observers=[profiler])
+    split(driver, {3, 4})
+    driver.run_until_quiescent()
+    return driver, profiler
+
+
+class TestDriverInstrumentation:
+    def test_all_phases_recorded(self):
+        driver, profiler = _profiled_run()
+        stats = {stat.phase: stat for stat in profiler.stats()}
+        assert set(stats) == set(DRIVER_PHASES)
+        for stat in stats.values():
+            assert stat.calls == driver.round_index
+            assert stat.wall_seconds >= 0.0
+
+    def test_run_and_round_counting(self):
+        profiler = PhaseProfiler()
+        driver = make_driver("ykd", 5, observers=[profiler])
+        driver.execute_run(gaps=[1, 1])
+        assert profiler.runs == 1
+        assert profiler.rounds == driver.round_index
+
+    def test_profiler_does_not_perturb_results(self):
+        config = CaseConfig(algorithm="ykd", n_processes=5, runs=5)
+        bare = run_case(config)
+        profiled = run_case(config, observers=[PhaseProfiler()])
+        assert bare.outcomes == profiled.outcomes
+        assert bare.rounds_total == profiled.rounds_total
+
+    def test_trace_digest_unchanged_with_profiler(self):
+        def digest(observers):
+            digester = TraceDigester()
+            driver = make_driver("ykd", 5, observers=[*observers, digester])
+            split(driver, {3, 4})
+            driver.run_until_quiescent()
+            return digester.hexdigest()
+
+        assert digest([]) == digest([PhaseProfiler()])
+
+    def test_only_first_profiler_gets_phase_brackets(self):
+        first, second = PhaseProfiler(), PhaseProfiler()
+        driver = make_driver("ykd", 5, observers=[first, second])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert first.stats()[0].calls == driver.round_index
+        assert all(stat.calls == 0 for stat in second.stats())
+        # The second still counts runs/rounds through ordinary hooks.
+        assert second.rounds == driver.round_index
+
+
+class TestLapAccounting:
+    def test_laps_tile_the_elapsed_interval(self):
+        profiler = PhaseProfiler()
+        wall, cpu = profiler.open_round()
+        wall, cpu = profiler.lap("poll", wall, cpu)
+        wall, cpu = profiler.lap("deliver", wall, cpu)
+        stats = {stat.phase: stat for stat in profiler.stats()}
+        assert stats["poll"].calls == 1
+        assert stats["deliver"].calls == 1
+        assert profiler.total_wall_seconds >= 0.0
+
+    def test_unknown_phase_created_on_demand(self):
+        profiler = PhaseProfiler()
+        wall, cpu = profiler.open_round()
+        profiler.lap("bespoke", wall, cpu)
+        assert [stat.phase for stat in profiler.stats()][-1] == "bespoke"
+
+
+class TestExports:
+    def test_to_registry_emits_integer_counters(self):
+        _, profiler = _profiled_run()
+        registry = profiler.to_registry(algorithm="ykd")
+        for phase in DRIVER_PHASES:
+            for name in ("phase_wall_us", "phase_cpu_us", "phase_calls"):
+                series = registry.get(
+                    name, {"phase": phase, "algorithm": "ykd"}
+                )
+                assert series is not None
+                assert isinstance(series.value, int)
+        assert registry.get("profiled_rounds", {"algorithm": "ykd"}).value == profiler.rounds
+        assert registry.get("profiled_runs", {"algorithm": "ykd"}).value == profiler.runs
+
+    def test_to_registry_appends_to_existing(self):
+        _, profiler = _profiled_run()
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc(1)
+        returned = profiler.to_registry(registry)
+        assert returned is registry
+        assert registry.get("runs_total").value == 1
+        assert registry.get("profiled_rounds") is not None
+
+    def test_describe_renders_table(self):
+        _, profiler = _profiled_run()
+        text = profiler.describe()
+        assert "phase" in text and "wall s" in text
+        for phase in DRIVER_PHASES:
+            assert phase in text
+        assert "rounds" in text.splitlines()[-1]

@@ -71,6 +71,37 @@ class TestRecording:
         driver.run_until_quiescent()
         assert len(recorder) == 5
         assert recorder.truncated
+        assert recorder.dropped_events > 0
+
+    def test_truncation_surfaces_in_export(self):
+        recorder = TraceRecorder(max_events=5)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        dicts = recorder.to_dicts()
+        assert len(dicts) == 6  # 5 events + the truncation marker
+        marker = dicts[-1]
+        assert marker["kind"] == "truncation"
+        assert marker["truncated"] is True
+        assert marker["dropped_events"] == recorder.dropped_events
+        assert marker["max_events"] == 5
+
+    def test_untruncated_export_has_no_marker(self):
+        recorder = TraceRecorder()
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert recorder.dropped_events == 0
+        assert all(d["kind"] != "truncation" for d in recorder.to_dicts())
+
+    def test_truncation_surfaces_in_timeline(self):
+        recorder = TraceRecorder(max_events=5)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        rendered = render_timeline(recorder)
+        assert "truncated" in rendered
+        assert str(recorder.dropped_events) in rendered
 
     def test_max_events_validation(self):
         with pytest.raises(ValueError):
