@@ -16,17 +16,20 @@ divides by wall time to get the headline rounds/sec figure.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from repro.core.knowledge import make_state_item, outcome_for
 from repro.core.quorum import is_subquorum
+from repro.core.registry import algorithm_names
 from repro.core.session import Session, initial_session
 from repro.errors import BenchError
 from repro.net.changes import MergeChange, PartitionChange
 from repro.obs import CampaignMetrics, PhaseProfiler
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
+from repro.sim.explore import explore, explore_replay
 from repro.sim.trace import TraceDigester
 
 
@@ -158,6 +161,71 @@ def _run_campaign_obs(quick: bool) -> WorkloadResult:
     )
 
 
+# ----------------------------------------------------------------------
+# explore: the bounded model checker — the fork-based explorer against
+# its replay reference on the same bound (recording the speedup), plus
+# the previously infeasible n=4, depth=2 sweep as the headline workload.
+# The work unit is scenarios covered, so the headline figure reads as
+# verified scenarios per second.
+# ----------------------------------------------------------------------
+
+
+def _run_explore(quick: bool) -> WorkloadResult:
+    # Differential cross-check: the fork engine must reproduce the
+    # replay reference exactly.  The quick variant keeps the check on a
+    # small bound so the (deliberately slow) reference engine does not
+    # dominate the timed workload; the full run uses the real bound and
+    # records the measured speedup in the committed trajectory.
+    check_depth = 1 if quick else 2
+    started = time.perf_counter()
+    reference = explore_replay(
+        "ykd", n_processes=3, depth=check_depth, gap_options=(0, 1, 2, 3)
+    )
+    replay_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    forked = explore(
+        "ykd", n_processes=3, depth=check_depth, gap_options=(0, 1, 2, 3)
+    )
+    fork_seconds = time.perf_counter() - started
+    if (reference.scenarios, reference.available, reference.violations) != (
+        forked.scenarios,
+        forked.available,
+        forked.violations,
+    ):
+        raise BenchError(
+            "fork explorer diverged from the replay reference on the "
+            "bench bound"
+        )
+    speedup = replay_seconds / max(fork_seconds, 1e-9)
+
+    # The headline workload: the n=4, depth=2 sweep the replay engine
+    # could never finish in CI time (one algorithm quick, all in full).
+    scenarios = forked.scenarios
+    algorithms = ("ykd",) if quick else algorithm_names()
+    started = time.perf_counter()
+    for algorithm in algorithms:
+        deep = explore(
+            algorithm, n_processes=4, depth=2, gap_options=(0, 1, 2, 3)
+        )
+        if not deep.passed:
+            raise BenchError(
+                f"explore scenario found violations in {algorithm}"
+            )
+        scenarios += deep.scenarios
+    deep_seconds = time.perf_counter() - started
+
+    return WorkloadResult(
+        rounds=scenarios,
+        detail=(
+            f"fork vs replay on ykd n=3 depth={check_depth}: "
+            f"{speedup:.1f}x ({replay_seconds:.2f}s -> {fork_seconds:.2f}s); "
+            f"n=4 depth=2 x{len(algorithms)} algorithms in "
+            f"{deep_seconds:.2f}s"
+        ),
+    )
+
+
 SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -184,6 +252,15 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "and phase profiling attached (observer overhead)"
             ),
             runner=_run_campaign_obs,
+        ),
+        BenchScenario(
+            name="explore",
+            description=(
+                "bounded model checking: fork-based explorer vs its "
+                "replay reference, plus the n=4 depth=2 sweep "
+                "(work unit: scenarios verified)"
+            ),
+            runner=_run_explore,
         ),
     )
 }

@@ -37,6 +37,31 @@ from repro.errors import ProtocolError
 from repro.types import Members, ProcessId
 
 
+def _fork_value(value: Any) -> Any:
+    """A behaviourally independent copy of one state attribute.
+
+    Algorithm state in this package is built exclusively from plain
+    containers (list/dict/set) of immutable values (frozen dataclasses
+    like Session/View/StateItem, frozensets, tuples, scalars), plus the
+    one stateful helper object that exposes its own ``fork()``
+    (:class:`repro.core.knowledge.KnowledgeBook`).  Containers are
+    copied (recursively for list/dict, whose values may themselves be
+    containers — e.g. MR1p's ``Dict[View, Set[ProcessId]]`` vote
+    tally); immutable values are shared, which also preserves their
+    memoized caches.
+    """
+    if isinstance(value, list):
+        return [_fork_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _fork_value(item) for key, item in value.items()}
+    if isinstance(value, set):
+        return set(value)  # elements are immutable throughout the package
+    fork = getattr(value, "fork", None)
+    if fork is not None and callable(fork) and not isinstance(value, type):
+        return fork()
+    return value
+
+
 class PrimaryComponentAlgorithm(ABC):
     """Base class for all primary-component selection algorithms.
 
@@ -158,6 +183,32 @@ class PrimaryComponentAlgorithm(ABC):
     def _queue(self, item: Any) -> None:
         """Queue a protocol item for the next outgoing broadcast."""
         self._outgoing.append(item)
+
+    # ------------------------------------------------------------------
+    # State forking (repro.sim.explore's prefix-sharing model checker).
+    # ------------------------------------------------------------------
+
+    def fork(self) -> "PrimaryComponentAlgorithm":
+        """An independent deep-enough copy of this process's state.
+
+        The clone behaves byte-identically to the original under any
+        subsequent event sequence, and mutating either side never leaks
+        into the other.  ``__init__`` is deliberately bypassed: the
+        clone receives a per-attribute copy of the live ``__dict__``
+        (see :func:`_fork_value`), so mid-protocol state — half-filled
+        exchanges, queued items, pending attempts — survives exactly.
+        This is what lets the exhaustive explorer execute a shared
+        scenario prefix once and branch from it, instead of replaying
+        every prefix from the initial state.
+
+        Subclasses whose state steps outside the plain-containers-of-
+        immutables convention must override this (none currently do).
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__.update(
+            {name: _fork_value(value) for name, value in self.__dict__.items()}
+        )
+        return clone
 
     # ------------------------------------------------------------------
     # Introspection used by the statistics collectors (§4.2).

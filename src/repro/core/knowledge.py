@@ -215,6 +215,21 @@ class KnowledgeBook:
         #: sessions proven formed by someone.
         self._formed: Set[Session] = set()
 
+    def fork(self) -> "KnowledgeBook":
+        """An independent copy carrying the same accumulated facts.
+
+        Sessions are immutable and shared; the fact containers (and the
+        per-session innocent sets, which grow in place as LEARN fires)
+        are copied, so clone and original evolve independently.  Used
+        by :meth:`PrimaryComponentAlgorithm.fork`.
+        """
+        clone = KnowledgeBook(self._owner)
+        clone._not_formed = {
+            session: set(members) for session, members in self._not_formed.items()
+        }
+        clone._formed = set(self._formed)
+        return clone
+
     def open_session(self, session: Session) -> None:
         """Start tracking a session this process has just attempted.
 

@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -102,13 +103,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exhaustively model-check an algorithm over all bounded "
         "fault schedules",
     )
-    verify_parser.add_argument("algorithm", choices=algorithm_names())
+    verify_parser.add_argument(
+        "algorithm", choices=list(algorithm_names()) + ["all"]
+    )
     verify_parser.add_argument("--processes", type=int, default=3)
     verify_parser.add_argument("--depth", type=int, default=2)
     verify_parser.add_argument(
         "--gaps", type=int, nargs="+", default=[0, 1, 2, 3]
     )
     verify_parser.add_argument("--max-scenarios", type=int, default=None)
+    verify_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the top-level frontier across this many processes",
+    )
+    verify_parser.add_argument(
+        "--symmetry", action="store_true",
+        help="collapse first steps that are process relabelings of "
+        "each other (exact counts, representative violations; "
+        "requires --processes 3)",
+    )
+    verify_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the explorer's work accounting (states, dedup "
+        "hits, rounds, fork depth)",
+    )
+    verify_parser.add_argument(
+        "--stats-out", type=Path, default=None, metavar="PATH",
+        help="also write per-algorithm results and stats as JSON",
+    )
 
     trace_parser = sub.add_parser(
         "trace",
@@ -374,29 +396,85 @@ def _soak(args: argparse.Namespace) -> int:
 
 
 def _verify(args: argparse.Namespace) -> int:
-    started = time.time()
-    result = explore(
-        args.algorithm,
-        n_processes=args.processes,
-        depth=args.depth,
-        gap_options=tuple(args.gaps),
-        max_scenarios=args.max_scenarios,
+    if args.symmetry and args.processes != 3:
+        print(
+            "error: --symmetry is only sound with --processes 3 — dynamic "
+            "linear voting's lexical tie-break makes relabeled schedules "
+            "behaviourally inequivalent (see docs/model-checking.md)",
+            file=sys.stderr,
+        )
+        return 2
+    algorithms = (
+        list(algorithm_names()) if args.algorithm == "all" else [args.algorithm]
     )
-    print(
-        f"{args.algorithm}: {result.scenarios} scenarios "
-        f"({args.processes} processes, depth {args.depth}, "
-        f"gaps {list(result.gap_options)}"
-        f"{', truncated' if result.truncated else ''}) "
-        f"in {time.time() - started:.1f}s"
-    )
-    print(f"availability over all scenarios: {result.availability_percent:.1f}%")
-    if result.violations:
-        print("INVARIANT VIOLATIONS FOUND:")
-        for violation in result.violations[:5]:
-            print(f"  {violation}")
-        return 1
-    print("all invariants held in every scenario")
-    return 0
+    exit_code = 0
+    report: dict = {}
+    for algorithm in algorithms:
+        started = time.time()
+        result = explore(
+            algorithm,
+            n_processes=args.processes,
+            depth=args.depth,
+            gap_options=tuple(args.gaps),
+            max_scenarios=args.max_scenarios,
+            symmetry=args.symmetry,
+            workers=args.workers,
+        )
+        elapsed = time.time() - started
+        print(
+            f"{algorithm}: {result.scenarios} scenarios "
+            f"({args.processes} processes, depth {args.depth}, "
+            f"gaps {list(result.gap_options)}"
+            f"{', truncated' if result.truncated else ''}) "
+            f"in {elapsed:.1f}s"
+        )
+        print(
+            "availability over all scenarios: "
+            f"{result.availability_percent:.1f}%"
+        )
+        stats = result.stats
+        if args.stats and stats is not None:
+            print(
+                f"  states={stats.nodes} dedup_hits={stats.dedup_hits} "
+                f"cut_collapsed={stats.cut_collapsed} "
+                f"orbits={stats.orbits}/{stats.first_steps} "
+                f"rounds={stats.rounds} snapshots={stats.snapshots} "
+                f"restores={stats.restores} "
+                f"max_fork_depth={stats.max_fork_depth} "
+                f"workers={stats.workers}"
+            )
+        report[algorithm] = {
+            "scenarios": result.scenarios,
+            "available": result.available,
+            "availability_percent": result.availability_percent,
+            "violations": result.violations,
+            "truncated": result.truncated,
+            "seconds": elapsed,
+            "stats": None if stats is None else stats.to_dict(),
+        }
+        if result.violations:
+            print("INVARIANT VIOLATIONS FOUND:")
+            for violation in result.violations[:5]:
+                print(f"  {violation}")
+            exit_code = 1
+        else:
+            print("all invariants held in every scenario")
+    if args.stats_out is not None:
+        payload = {
+            "kind": "repro.explore/stats",
+            "processes": args.processes,
+            "depth": args.depth,
+            "gaps": list(args.gaps),
+            "symmetry": args.symmetry,
+            "workers": args.workers,
+            "algorithms": report,
+        }
+        args.stats_out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"stats written to {args.stats_out}")
+    return exit_code
 
 
 def _trace(args: argparse.Namespace) -> None:

@@ -21,7 +21,7 @@ how-to, and ``examples/custom_subscriber.py`` for a worked example.
 """
 
 from repro.obs.bus import EventBus, HOOK_NAMES, Subscriber, overrides_hook
-from repro.obs.collect import CampaignMetrics
+from repro.obs.collect import CampaignMetrics, ExploreMetrics
 from repro.obs.export import (
     METRICS_KIND,
     load_metrics_jsonl,
@@ -43,11 +43,13 @@ from repro.obs.metrics import (
     merge_registries,
 )
 from repro.obs.profile import DRIVER_PHASES, PhaseProfiler, PhaseStat
-from repro.obs.progress import ProgressReporter
+from repro.obs.progress import ExploreProgress, ProgressReporter
 
 __all__ = [
     "CampaignMetrics",
     "Counter",
+    "ExploreMetrics",
+    "ExploreProgress",
     "DEFAULT_BUCKETS",
     "DRIVER_PHASES",
     "EventBus",

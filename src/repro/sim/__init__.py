@@ -8,13 +8,15 @@ from repro.sim.campaign import (
     compare_algorithms,
     run_case,
 )
-from repro.sim.driver import DriverLoop, ProcessEndpoint
+from repro.sim.driver import DriverLoop, DriverSnapshot, ProcessEndpoint
 from repro.sim.explore import (
     ExplorationResult,
+    ExploreStats,
     enumerate_changes,
     enumerate_cuts,
     explore,
     explore_all,
+    explore_replay,
 )
 from repro.sim.invariants import InvariantChecker
 from repro.sim.parallel import (
@@ -24,6 +26,12 @@ from repro.sim.parallel import (
     shard_configs,
 )
 from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.statehash import (
+    canonical_driver_state,
+    state_digest,
+    state_fingerprint,
+    symmetric_fingerprint,
+)
 from repro.sim.run import RunConfig, RunResult, build_driver, run_single
 from repro.sim.stats import (
     AmbiguousSessionCollector,
@@ -48,7 +56,9 @@ __all__ = [
     "CaseConfig",
     "CaseResult",
     "DriverLoop",
+    "DriverSnapshot",
     "ExplorationResult",
+    "ExploreStats",
     "FormationTimeCollector",
     "InvariantChecker",
     "MODE_CASCADING",
@@ -61,6 +71,7 @@ __all__ = [
     "TraceDigester",
     "TraceRecorder",
     "build_driver",
+    "canonical_driver_state",
     "compare_algorithms",
     "derive_rng",
     "derive_seed",
@@ -68,7 +79,11 @@ __all__ = [
     "enumerate_cuts",
     "explore",
     "explore_all",
+    "explore_replay",
     "render_timeline",
+    "state_digest",
+    "state_fingerprint",
+    "symmetric_fingerprint",
     "run_case",
     "merge_case_results",
     "run_case_sharded",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import random
 import warnings
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interface import PrimaryComponentAlgorithm
@@ -113,6 +114,31 @@ class ProcessEndpoint:
 
 #: The one empty message the idle application offers on every poll.
 _IDLE_MESSAGE = Message.empty()
+
+
+@dataclass(frozen=True)
+class DriverSnapshot:
+    """A point-in-time capture of one :class:`DriverLoop`'s state.
+
+    Holds everything that determines future behaviour — topology, view
+    sequence, per-process algorithm clones, the checker's accumulated
+    chain, the fault RNG state — plus the bookkeeping counters needed
+    to resume reporting (round index, recorded schedule).  The stored
+    algorithm clones are never handed out directly: :meth:`DriverLoop.restore`
+    re-forks them, so one snapshot supports any number of restores (the
+    exhaustive explorer restores each snapshot once per branch).
+    """
+
+    topology: Topology
+    view_seq: int
+    round_index: int
+    changes_injected: int
+    views_installed_this_round: Tuple[View, ...]
+    recorded_steps: Tuple[Tuple[int, ConnectivityChange, frozenset], ...]
+    rounds_since_change: int
+    fault_rng_state: object
+    algorithms: Dict[ProcessId, PrimaryComponentAlgorithm]
+    checker_state: tuple
 
 
 class DriverLoop:
@@ -504,6 +530,66 @@ class DriverLoop:
         """Start a new recorded schedule (called at each run start)."""
         self._recorded_steps.clear()
         self._rounds_since_change = 0
+
+    # ------------------------------------------------------------------
+    # State forking (repro.sim.explore's prefix-sharing model checker).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> DriverSnapshot:
+        """Capture the complete behavioural state of this system.
+
+        Restoring the snapshot (any number of times) resumes execution
+        byte-identically: every subsequent round produces the same
+        messages, views, primaries and invariant verdicts the original
+        execution would have.  Algorithm state is captured by
+        :meth:`~repro.core.interface.PrimaryComponentAlgorithm.fork`,
+        the checker's accumulated chain by
+        :meth:`~repro.sim.invariants.InvariantChecker.snapshot_state`.
+        Observer-side state (traces, metrics) is deliberately *not*
+        captured — observers watch one linear execution; forking
+        explorers emit their own progress events instead.
+        """
+        return DriverSnapshot(
+            topology=self._topology,
+            view_seq=self.view_seq,
+            round_index=self.round_index,
+            changes_injected=self.changes_injected,
+            views_installed_this_round=self.views_installed_this_round,
+            recorded_steps=tuple(self._recorded_steps),
+            rounds_since_change=self._rounds_since_change,
+            fault_rng_state=self.fault_rng.getstate(),
+            algorithms={
+                pid: endpoint.algorithm.fork()
+                for pid, endpoint in self.endpoints.items()
+            },
+            checker_state=self.checker.snapshot_state(),
+        )
+
+    def restore(self, snapshot: DriverSnapshot) -> None:
+        """Rewind this system to a previously captured snapshot.
+
+        The endpoint objects persist (their identities anchor the
+        precomputed delivery fast path); each one receives a fresh fork
+        of the stored algorithm clone, so the snapshot itself stays
+        pristine and can be restored again later.
+        """
+        for pid, stored in snapshot.algorithms.items():
+            self.endpoints[pid].algorithm = stored.fork()
+        self.algorithms = {
+            pid: endpoint.algorithm for pid, endpoint in self.endpoints.items()
+        }
+        # Through the setter: recomputes poll/delivery orders against
+        # the persistent endpoint objects.
+        self.topology = snapshot.topology
+        self.view_seq = snapshot.view_seq
+        self.round_index = snapshot.round_index
+        self.changes_injected = snapshot.changes_injected
+        self.views_installed_this_round = snapshot.views_installed_this_round
+        self._recorded_steps = list(snapshot.recorded_steps)
+        self._rounds_since_change = snapshot.rounds_since_change
+        self.fault_rng.setstate(snapshot.fault_rng_state)
+        self.checker.restore_state(snapshot.checker_state)
+        self._bundles = {}
 
     # ------------------------------------------------------------------
     # Queries.

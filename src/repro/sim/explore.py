@@ -18,25 +18,64 @@ checker, so a single call proves (for that bound) that no reachable
 interleaving violates safety — the exhaustive complement to the thesis'
 1.3-million-random-changes trial.
 
-Scenario counts grow as roughly ``(changes × cuts × gaps)^depth``; with
-3 processes and depth 2 that is a few thousand runs (fast), with 4
-processes and depth 2 tens of thousands (seconds), so bounds are
-explicit and :class:`ExplorationResult` reports exactly what was
-covered.
+Two engines implement the same enumeration:
+
+* :func:`explore` — **prefix-sharing DFS with driver state forking**.
+  A shared scenario prefix executes once; each branch restores a
+  :class:`~repro.sim.driver.DriverSnapshot` instead of replaying from
+  the initial state.  Canonical state hashing
+  (:mod:`repro.sim.statehash`) deduplicates converged states, silent
+  change rounds collapse the whole cut enumeration at once, optional
+  process-relabeling symmetry reduction collapses isomorphic schedules
+  (three-process bounds only — dynamic linear voting's exact-half
+  tie-break makes relabeled schedules inequivalent in general, see
+  :func:`explore`), and the top-level frontier can shard across worker
+  processes.  The
+  result (scenarios, availability, violations, truncation) is
+  **identical** to the replay engine's on the same bound — the
+  differential test suite enforces this.
+* :func:`explore_replay` — the original replay-per-scenario engine,
+  kept verbatim as the reference implementation the fork engine is
+  verified against.
+
+Scenario counts grow as roughly ``(changes × cuts × gaps)^depth``;
+prefix sharing plus deduplication is what makes ``n_processes=4,
+depth=2`` (hundreds of thousands of replayed rounds) routine.  See
+``docs/model-checking.md`` for the soundness argument.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import InvariantViolation
-from repro.net.changes import ConnectivityChange, MergeChange, PartitionChange
+from repro.net.changes import (
+    ConnectivityChange,
+    MergeChange,
+    PartitionChange,
+    affected_processes,
+    apply_change,
+)
 from repro.net.topology import Topology
-from repro.sim.driver import DriverLoop
+from repro.obs import EventBus, Subscriber
+from repro.sim.driver import DriverLoop, DriverSnapshot
 from repro.sim.invariants import InvariantChecker
 from repro.sim.rng import derive_rng
+from repro.sim.statehash import (
+    canonical_first_step,
+    state_fingerprint,
+)
 from repro.types import Members
 
 
@@ -74,6 +113,53 @@ def enumerate_cuts(affected: Members) -> Iterator[FrozenSet[int]]:
 
 
 @dataclass
+class ExploreStats:
+    """How the fork-based explorer spent its work (all counts exact).
+
+    ``first_steps`` is the size of the top-level frontier before
+    symmetry reduction, ``orbits`` after it (equal when symmetry is
+    off).  ``nodes`` counts distinct subtree evaluations (states
+    visited), ``leaves`` complete scenarios actually settled;
+    ``dedup_hits`` subtrees answered from the canonical-state memo and
+    ``cut_collapsed`` subtrees skipped because a silent change round
+    makes every late-set equivalent.  ``rounds`` is the total driver
+    rounds executed — the direct measure of work the replay engine
+    would have multiplied.
+    """
+
+    first_steps: int = 0
+    orbits: int = 0
+    nodes: int = 0
+    leaves: int = 0
+    dedup_hits: int = 0
+    dedup_entries: int = 0
+    cut_collapsed: int = 0
+    snapshots: int = 0
+    restores: int = 0
+    rounds: int = 0
+    max_fork_depth: int = 0
+    workers: int = 1
+
+    def merge(self, other: "ExploreStats") -> None:
+        """Fold another shard's counters into this one (sums and maxima)."""
+        self.first_steps = max(self.first_steps, other.first_steps)
+        self.orbits = max(self.orbits, other.orbits)
+        self.nodes += other.nodes
+        self.leaves += other.leaves
+        self.dedup_hits += other.dedup_hits
+        self.dedup_entries += other.dedup_entries
+        self.cut_collapsed += other.cut_collapsed
+        self.snapshots += other.snapshots
+        self.restores += other.restores
+        self.rounds += other.rounds
+        self.max_fork_depth = max(self.max_fork_depth, other.max_fork_depth)
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-compatible form (the CLI's ``--stats-out`` artifact)."""
+        return asdict(self)
+
+
+@dataclass
 class ExplorationResult:
     """What the exhaustive exploration covered and found."""
 
@@ -85,6 +171,9 @@ class ExplorationResult:
     available: int = 0
     violations: List[str] = field(default_factory=list)
     truncated: bool = False
+    #: Work accounting of the fork-based engine (None for the replay
+    #: reference engine, which has nothing interesting to report).
+    stats: Optional[ExploreStats] = None
 
     @property
     def availability_percent(self) -> float:
@@ -97,7 +186,14 @@ class ExplorationResult:
         return not self.violations and self.scenarios > 0
 
 
-def explore(
+def _describe_step(
+    gap: int, change: ConnectivityChange, late: FrozenSet[int]
+) -> str:
+    """One step exactly as violation reports have always rendered it."""
+    return f"gap={gap} {change.describe()} late={sorted(late)}"
+
+
+def explore_replay(
     algorithm: str,
     n_processes: int = 3,
     depth: int = 2,
@@ -105,13 +201,15 @@ def explore(
     max_scenarios: Optional[int] = None,
     stop_on_violation: bool = True,
 ) -> ExplorationResult:
-    """Exhaustively check one algorithm over all bounded fault schedules.
+    """The reference engine: replay every complete scenario from scratch.
 
     Runs depth-first: a scenario is a sequence of ``depth`` steps, each
     a (quiet gap, connectivity change, late-set) triple, followed by
-    quiescence.  Because driver state cannot be forked cheaply, each
-    complete scenario replays from the initial state — wasteful in
-    theory, simple and allocation-friendly in practice at these sizes.
+    quiescence.  Each complete scenario replays from the initial state
+    through a fresh driver — wasteful (the same prefix re-executes once
+    per extension) but straightforwardly correct, which is exactly why
+    it is kept: the fork-based :func:`explore` is differentially tested
+    against it on every registered algorithm.
     """
     if depth < 1:
         raise ValueError("depth must be at least 1")
@@ -147,8 +245,6 @@ def explore(
             return
         for gap in gap_options:
             for change in enumerate_changes(topology):
-                from repro.net.changes import affected_processes, apply_change
-
                 affected = affected_processes(change, topology)
                 next_topology = apply_change(topology, change)
                 for late in enumerate_cuts(affected):
@@ -169,12 +265,630 @@ def explore(
                 result.available += 1
         except InvariantViolation as violation:
             description = "; ".join(
-                f"gap={gap} {change.describe()} late={sorted(late)}"
+                _describe_step(gap, change, late)
                 for gap, change, late in scenario
             )
             result.violations.append(f"{description}: {violation}")
             if stop_on_violation:
                 break
+    return result
+
+
+class _RoundCounter(Subscriber):
+    """Counts driver rounds for :class:`ExploreStats` and the bench."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+
+    def on_round(self, driver) -> None:
+        self.rounds += 1
+
+
+class _Abort(Exception):
+    """Internal: unwind the DFS on truncation or stop-on-violation."""
+
+
+class _Explorer:
+    """One fork-based exploration: a DFS over driver snapshots.
+
+    Owns a single driver whose state is snapshotted at every branch
+    point and restored per branch; complete scenarios settle at the
+    leaves.  Mirrors the replay engine's enumeration order exactly —
+    ``for gap → for change → for late``, depth-first — so scenario
+    counts, availability, violation lists and truncation semantics
+    coincide with :func:`explore_replay` on every bound.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        n_processes: int,
+        depth: int,
+        gap_options: Tuple[int, ...],
+        max_scenarios: Optional[int],
+        stop_on_violation: bool,
+        symmetry: bool,
+        observers: Sequence[Subscriber] = (),
+        progress_every: int = 2000,
+    ) -> None:
+        self.algorithm = algorithm
+        self.n_processes = n_processes
+        self.depth = depth
+        self.gap_options = gap_options
+        self.max_scenarios = max_scenarios
+        self.stop_on_violation = stop_on_violation
+        self.symmetry = symmetry
+        self.progress_every = progress_every
+        self.result = ExplorationResult(
+            algorithm=algorithm,
+            n_processes=n_processes,
+            depth=depth,
+            gap_options=gap_options,
+            stats=ExploreStats(),
+        )
+        self.stats = self.result.stats
+        #: Structured violation records: (per-step descriptions, text).
+        #: ``result.violations`` holds the same entries rendered.
+        self.records: List[Tuple[Tuple[str, ...], str]] = []
+        self._steps_desc: List[str] = []
+        #: Exact-state memo: (remaining, fingerprint) -> per-unit
+        #: (scenarios, available, violation suffixes).  Disabled when
+        #: ``max_scenarios`` is set — exact truncation semantics need
+        #: every scenario enumerated individually.
+        self._memo: Optional[Dict[tuple, tuple]] = (
+            {} if max_scenarios is None else None
+        )
+        self._mult = 1
+        self._last_progress = 0
+        self._counter = _RoundCounter()
+        bus = EventBus(list(observers))
+        self._start_hooks = bus.hooks("on_explore_start")
+        self._progress_hooks = bus.hooks("on_explore_progress")
+        self._end_hooks = bus.hooks("on_explore_end")
+        self.driver = DriverLoop(
+            algorithm=algorithm,
+            n_processes=n_processes,
+            # Never consumed — all cuts are explicit (see explore_replay).
+            fault_rng=derive_rng(0, "explore", algorithm),
+            observers=[InvariantChecker(), self._counter],
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points.
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Serial exploration of the whole bound (no symmetry/sharding)."""
+        for hook in self._start_hooks:
+            hook(self.result)
+        try:
+            self._subtree(self.depth)
+        except _Abort:
+            pass
+        self._finish()
+
+    def root_entries(self) -> List[Tuple[int, ConnectivityChange, FrozenSet[int], int]]:
+        """The top-level frontier: (gap, change, late, multiplicity).
+
+        In enumeration order.  With symmetry on (n=3 only — see
+        :func:`explore`), isomorphic first steps (equal
+        :func:`~repro.sim.statehash.canonical_first_step` keys)
+        collapse onto their first representative, which carries the
+        orbit size as its multiplicity.
+        """
+        topology = Topology.fully_connected(self.n_processes)
+        flat: List[Tuple[int, ConnectivityChange, FrozenSet[int]]] = []
+        for gap in self.gap_options:
+            for change in enumerate_changes(topology):
+                affected = affected_processes(change, topology)
+                for late in enumerate_cuts(affected):
+                    flat.append((gap, change, late))
+        self.stats.first_steps = len(flat)
+        if not self.symmetry:
+            self.stats.orbits = len(flat)
+            return [(gap, change, late, 1) for gap, change, late in flat]
+        counts: Dict[tuple, int] = {}
+        representatives: List[
+            Tuple[tuple, Tuple[int, ConnectivityChange, FrozenSet[int]]]
+        ] = []
+        for step in flat:
+            key = canonical_first_step(self.n_processes, *step)
+            if key not in counts:
+                counts[key] = 0
+                representatives.append((key, step))
+            counts[key] += 1
+        self.stats.orbits = len(representatives)
+        return [
+            (step[0], step[1], step[2], counts[key])
+            for key, step in representatives
+        ]
+
+    def run_entries(
+        self,
+        entries: Sequence[Tuple[int, ConnectivityChange, FrozenSet[int], int]],
+    ) -> None:
+        """Explore an explicit slice of the top-level frontier.
+
+        Used by the symmetry-reduced and sharded paths; the serial
+        non-symmetric path takes :meth:`run` instead (same semantics,
+        plus silent-round cut collapsing at the root).
+        """
+        for hook in self._start_hooks:
+            hook(self.result)
+        driver = self.driver
+        base = driver.snapshot()
+        self.stats.snapshots += 1
+        try:
+            gap_snaps, gap_violation = self._gap_states(base)
+            for gap, change, late, mult in entries:
+                self._mult = mult
+                self._steps_desc.append(_describe_step(gap, change, late))
+                try:
+                    if gap_violation is not None and gap >= gap_violation[0]:
+                        next_topology = apply_change(base.topology, change)
+                        self._violating_suffixes(
+                            next_topology, self.depth - 1, gap_violation[1]
+                        )
+                        continue
+                    snap = gap_snaps[gap]
+                    driver.restore(snap)
+                    self.stats.restores += 1
+                    try:
+                        driver.run_scripted_round(change, late)
+                    except InvariantViolation as violation:
+                        next_topology = apply_change(snap.topology, change)
+                        self._violating_suffixes(
+                            next_topology, self.depth - 1, str(violation)
+                        )
+                    else:
+                        self._subtree(self.depth - 1)
+                finally:
+                    self._steps_desc.pop()
+        except _Abort:
+            pass
+        self._finish()
+
+    def _finish(self) -> None:
+        self.stats.rounds = self._counter.rounds
+        for hook in self._end_hooks:
+            hook(self.result)
+
+    # ------------------------------------------------------------------
+    # The DFS.
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self) -> tuple:
+        # Always the exact fingerprint: the memo may only merge states
+        # that are *identical*, never merely isomorphic — the exact-half
+        # tie-break of dynamic linear voting (repro.core.quorum) gives
+        # process ids real behavioural meaning, so relabeling-isomorphic
+        # states can have different futures.
+        return state_fingerprint(self.driver)
+
+    def _subtree(self, remaining: int) -> None:
+        """Explore every scenario suffix from the driver's current state."""
+        depth_now = len(self._steps_desc)
+        if depth_now > self.stats.max_fork_depth:
+            self.stats.max_fork_depth = depth_now
+        key = None
+        if self._memo is not None:
+            key = (remaining, self._fingerprint())
+            entry = self._memo.get(key)
+            if entry is not None:
+                self.stats.dedup_hits += 1
+                per_scenarios, per_available, suffixes = entry
+                self.result.scenarios += per_scenarios * self._mult
+                self.result.available += per_available * self._mult
+                prefix = tuple(self._steps_desc)
+                for suffix, text in suffixes:
+                    self._add_record(prefix + suffix, text)
+                self._progress()
+                return
+        self.stats.nodes += 1
+        mark_s = self.result.scenarios
+        mark_a = self.result.available
+        mark_r = len(self.records)
+        if remaining == 0:
+            self._leaf()
+        else:
+            self._enumerate(remaining)
+        if self._memo is not None:
+            suffixes = tuple(
+                (descs[depth_now:], text)
+                for descs, text in self.records[mark_r:]
+            )
+            self._memo[key] = (
+                (self.result.scenarios - mark_s) // self._mult,
+                (self.result.available - mark_a) // self._mult,
+                suffixes,
+            )
+            self.stats.dedup_entries += 1
+
+    def _leaf(self) -> None:
+        """A complete scenario: settle to quiescence and classify it."""
+        if (
+            self.max_scenarios is not None
+            and self.result.scenarios >= self.max_scenarios
+        ):
+            self.result.truncated = True
+            raise _Abort
+        self.result.scenarios += self._mult
+        self.stats.leaves += 1
+        try:
+            self.driver.run_until_quiescent()
+            self.driver._publish_quiescence()
+            if self.driver.primary_exists():
+                self.result.available += self._mult
+        except InvariantViolation as violation:
+            self._add_record(tuple(self._steps_desc), str(violation))
+        self._progress()
+
+    def _enumerate(self, remaining: int) -> None:
+        """One DFS level: for gap → for change → for late, forking."""
+        driver = self.driver
+        base = driver.snapshot()
+        self.stats.snapshots += 1
+        gap_snaps, gap_violation = self._gap_states(base)
+        for gap in self.gap_options:
+            if gap_violation is not None and gap >= gap_violation[0]:
+                self._violating_gap(base.topology, gap, gap_violation[1], remaining)
+                continue
+            snap = gap_snaps[gap]
+            topology = snap.topology
+            for change in enumerate_changes(topology):
+                affected = affected_processes(change, topology)
+                next_topology = apply_change(topology, change)
+                #: Once a silent change round proves every late-set
+                #: equivalent, the remaining cuts reuse this delta.
+                collapsed: Optional[Tuple[int, int]] = None
+                first_cut = True
+                for late in enumerate_cuts(affected):
+                    if collapsed is not None:
+                        self.result.scenarios += collapsed[0]
+                        self.result.available += collapsed[1]
+                        self.stats.cut_collapsed += 1
+                        self._progress()
+                        continue
+                    self._steps_desc.append(_describe_step(gap, change, late))
+                    try:
+                        driver.restore(snap)
+                        self.stats.restores += 1
+                        mark_s = self.result.scenarios
+                        mark_a = self.result.available
+                        mark_r = len(self.records)
+                        try:
+                            sent = driver.run_scripted_round(change, late)
+                        except InvariantViolation as violation:
+                            self._violating_suffixes(
+                                next_topology, remaining - 1, str(violation)
+                            )
+                        else:
+                            self._subtree(remaining - 1)
+                            # A silent round means no in-flight message
+                            # existed for the cut to destroy: every
+                            # late-set reaches this exact state, so the
+                            # whole cut loop shares one subtree.  (Only
+                            # when exact per-scenario truncation is not
+                            # in play, and never across violations —
+                            # their reports embed the late-set.)
+                            if (
+                                first_cut
+                                and not sent
+                                and self.max_scenarios is None
+                                and len(self.records) == mark_r
+                            ):
+                                collapsed = (
+                                    self.result.scenarios - mark_s,
+                                    self.result.available - mark_a,
+                                )
+                    finally:
+                        self._steps_desc.pop()
+                    first_cut = False
+
+    def _gap_states(
+        self, base: DriverSnapshot
+    ) -> Tuple[Dict[int, DriverSnapshot], Optional[Tuple[int, str]]]:
+        """Snapshot the state after each configured quiet gap.
+
+        Quiet rounds run once, incrementally in ascending gap order —
+        this is the prefix sharing at the gap level.  If quiet round
+        ``q`` raises an invariant violation, every gap ``>= q``
+        deterministically replays into the same violation; the second
+        return value carries ``(q, text)`` and those gaps get no
+        snapshot.
+        """
+        snaps: Dict[int, DriverSnapshot] = {}
+        violation: Optional[Tuple[int, str]] = None
+        executed = 0
+        for gap in sorted(set(self.gap_options)):
+            if violation is None:
+                while executed < gap:
+                    try:
+                        self.driver.run_round(None)
+                    except InvariantViolation as raised:
+                        violation = (executed + 1, str(raised))
+                        break
+                    executed += 1
+            if violation is None or gap < violation[0]:
+                if gap == 0:
+                    snaps[gap] = base
+                else:
+                    snaps[gap] = self.driver.snapshot()
+                    self.stats.snapshots += 1
+        return snaps, violation
+
+    # ------------------------------------------------------------------
+    # Violation propagation along shared prefixes.
+    # ------------------------------------------------------------------
+
+    def _violating_gap(
+        self, topology: Topology, gap: int, text: str, remaining: int
+    ) -> None:
+        """All steps under a gap whose quiet rounds already violated."""
+        for change in enumerate_changes(topology):
+            affected = affected_processes(change, topology)
+            next_topology = apply_change(topology, change)
+            for late in enumerate_cuts(affected):
+                self._steps_desc.append(_describe_step(gap, change, late))
+                try:
+                    self._violating_suffixes(next_topology, remaining - 1, text)
+                finally:
+                    self._steps_desc.pop()
+
+    def _violating_suffixes(
+        self, topology: Topology, remaining: int, text: str
+    ) -> None:
+        """Record every scenario extending an already-violated prefix.
+
+        The prefix rounds are deterministic, so each extension's replay
+        (which is what the reference engine runs) raises the identical
+        violation before its suffix steps ever execute; the suffixes
+        are therefore enumerated abstractly — topology only, no
+        simulation — in exactly the reference enumeration order.
+        """
+        for suffix in self._abstract_suffixes(topology, remaining):
+            if (
+                self.max_scenarios is not None
+                and self.result.scenarios >= self.max_scenarios
+            ):
+                self.result.truncated = True
+                raise _Abort
+            self.result.scenarios += self._mult
+            self._add_record(tuple(self._steps_desc) + suffix, text)
+            self._progress()
+
+    def _abstract_suffixes(
+        self, topology: Topology, remaining: int
+    ) -> Iterator[Tuple[str, ...]]:
+        if remaining == 0:
+            yield ()
+            return
+        for gap in self.gap_options:
+            for change in enumerate_changes(topology):
+                affected = affected_processes(change, topology)
+                next_topology = apply_change(topology, change)
+                for late in enumerate_cuts(affected):
+                    head = _describe_step(gap, change, late)
+                    for rest in self._abstract_suffixes(
+                        next_topology, remaining - 1
+                    ):
+                        yield (head,) + rest
+
+    # ------------------------------------------------------------------
+    # Bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _add_record(self, descs: Tuple[str, ...], text: str) -> None:
+        self.records.append((descs, text))
+        self.result.violations.append("; ".join(descs) + f": {text}")
+        if self.stop_on_violation:
+            raise _Abort
+
+    def _progress(self) -> None:
+        if not self._progress_hooks:
+            return
+        if self.result.scenarios - self._last_progress < self.progress_every:
+            return
+        self._last_progress = self.result.scenarios
+        self.stats.rounds = self._counter.rounds
+        for hook in self._progress_hooks:
+            hook(self.result, self.stats)
+
+
+def _shard_ranges(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous [start, end) frontier slices, sizes differing by ≤ 1."""
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    ranges: List[Tuple[int, int]] = []
+    offset = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append((offset, offset + size))
+        offset += size
+    return ranges
+
+
+def _explore_shard(
+    payload: Tuple[int, str, int, int, Tuple[int, ...], bool, bool, int, int],
+) -> Tuple[int, Tuple[int, int, List[Tuple[Tuple[str, ...], str]], ExploreStats]]:
+    """Process-pool worker: explore one contiguous frontier slice.
+
+    The frontier is recomputed in the worker (it is a pure function of
+    the bound), so only the slice indices cross the process boundary.
+    """
+    (
+        index,
+        algorithm,
+        n_processes,
+        depth,
+        gap_options,
+        stop_on_violation,
+        symmetry,
+        start,
+        end,
+    ) = payload
+    explorer = _Explorer(
+        algorithm=algorithm,
+        n_processes=n_processes,
+        depth=depth,
+        gap_options=gap_options,
+        max_scenarios=None,
+        stop_on_violation=stop_on_violation,
+        symmetry=symmetry,
+    )
+    entries = explorer.root_entries()
+    explorer.run_entries(entries[start:end])
+    return index, (
+        explorer.result.scenarios,
+        explorer.result.available,
+        explorer.records,
+        explorer.stats,
+    )
+
+
+def explore(
+    algorithm: str,
+    n_processes: int = 3,
+    depth: int = 2,
+    gap_options: Sequence[int] = (0, 1, 2),
+    max_scenarios: Optional[int] = None,
+    stop_on_violation: bool = True,
+    symmetry: bool = False,
+    workers: int = 1,
+    observers: Sequence[Subscriber] = (),
+    progress_every: int = 2000,
+) -> ExplorationResult:
+    """Exhaustively check one algorithm over all bounded fault schedules.
+
+    The fork-based engine: shared scenario prefixes execute once (via
+    :meth:`DriverLoop.snapshot` / :meth:`~DriverLoop.restore`),
+    converged states are deduplicated by canonical hashing, and silent
+    change rounds collapse their whole cut enumeration.  Scenario
+    counts, availability, the violation list and truncation semantics
+    are identical to :func:`explore_replay` on the same bound.
+
+    ``symmetry=True`` additionally collapses first steps that are
+    process-relabelings of each other, multiplying each representative
+    subtree by its orbit size: scenario/availability counts stay exact,
+    while the violation list keeps one representative per orbit (the
+    relabeled twins add no information).  It is accepted only for
+    ``n_processes=3``: dynamic linear voting breaks exact-half quorum
+    ties in favour of the lexically smallest member
+    (:func:`repro.core.quorum.is_subquorum`), so relabeled schedules
+    are *not* behaviourally equivalent in general — orbit counting is
+    differentially verified exact at n=3 (through depth 3), while at
+    n=4 depth=2 the representative (which always contains process 0)
+    wins more ties and overcounts availability.  ``workers > 1`` shards the
+    top-level frontier across a process pool with a deterministic
+    merge.  ``observers`` receive ``on_explore_start`` /
+    ``on_explore_progress`` / ``on_explore_end`` events; progress fires
+    about every ``progress_every`` scenarios, and only in serial mode —
+    worker processes cannot share a subscriber.
+
+    Restrictions: ``max_scenarios`` (exact truncation) requires the
+    plain enumeration, so it forces serial execution and rejects
+    ``symmetry=True``.  With ``stop_on_violation`` and ``symmetry``
+    together, a violating bound stops at the first representative, so
+    counts cover only the orbits explored up to that point.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if max_scenarios is not None and symmetry:
+        raise ValueError(
+            "max_scenarios needs exact per-scenario truncation, which "
+            "symmetry reduction cannot provide; use symmetry=False"
+        )
+    if symmetry and n_processes != 3:
+        raise ValueError(
+            "symmetry reduction is only sound for n_processes=3: dynamic "
+            "linear voting breaks exact-half quorum ties in favour of the "
+            "lexically smallest member (repro.core.quorum.is_subquorum), "
+            "so relabeled schedules are not behaviourally equivalent in "
+            "general.  Orbit counting is differentially verified exact at "
+            "n=3 through depth 3; at n=4 depth=2 it overcounts "
+            "availability (ykd over gaps 0-1: 12992 vs the true 12352).  "
+            "Use symmetry=False for other system sizes."
+        )
+    gap_options = tuple(gap_options)
+    if max_scenarios is not None:
+        workers = 1
+
+    if workers == 1:
+        explorer = _Explorer(
+            algorithm=algorithm,
+            n_processes=n_processes,
+            depth=depth,
+            gap_options=gap_options,
+            max_scenarios=max_scenarios,
+            stop_on_violation=stop_on_violation,
+            symmetry=symmetry,
+            observers=observers,
+            progress_every=progress_every,
+        )
+        if symmetry:
+            explorer.run_entries(explorer.root_entries())
+        else:
+            explorer.root_entries()  # frontier accounting only
+            explorer.run()
+        explorer.stats.workers = 1
+        return explorer.result
+
+    # Sharded: split the top-level frontier into contiguous slices and
+    # merge in slice order — concatenating the slices reproduces the
+    # serial enumeration order exactly.
+    planner = _Explorer(
+        algorithm=algorithm,
+        n_processes=n_processes,
+        depth=depth,
+        gap_options=gap_options,
+        max_scenarios=None,
+        stop_on_violation=stop_on_violation,
+        symmetry=symmetry,
+        observers=observers,
+    )
+    for hook in planner._start_hooks:
+        hook(planner.result)
+    entries = planner.root_entries()
+    ranges = _shard_ranges(len(entries), workers)
+    payloads = [
+        (
+            index,
+            algorithm,
+            n_processes,
+            depth,
+            gap_options,
+            stop_on_violation,
+            symmetry,
+            start,
+            end,
+        )
+        for index, (start, end) in enumerate(ranges)
+    ]
+    shards: Dict[int, tuple] = {}
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=len(payloads)) as pool:
+        for index, shard in pool.imap_unordered(_explore_shard, payloads):
+            shards[index] = shard
+    result = planner.result
+    stats = planner.stats
+    for index in range(len(payloads)):
+        scenarios, available, records, shard_stats = shards[index]
+        result.scenarios += scenarios
+        result.available += available
+        stats.merge(shard_stats)
+        for descs, text in records:
+            result.violations.append("; ".join(descs) + f": {text}")
+        if records and stop_on_violation:
+            # The serial run would have stopped inside this slice:
+            # everything up to here matches it exactly; later slices
+            # would never have run.
+            break
+    stats.rounds += planner._counter.rounds
+    stats.workers = len(payloads)
+    for hook in planner._end_hooks:
+        hook(result)
     return result
 
 
@@ -184,6 +898,8 @@ def explore_all(
     depth: int = 2,
     gap_options: Sequence[int] = (0, 1, 2),
     max_scenarios: Optional[int] = None,
+    symmetry: bool = False,
+    workers: int = 1,
 ) -> Dict[str, ExplorationResult]:
     """Run the exhaustive exploration for several algorithms."""
     return {
@@ -193,6 +909,8 @@ def explore_all(
             depth=depth,
             gap_options=gap_options,
             max_scenarios=max_scenarios,
+            symmetry=symmetry,
+            workers=workers,
         )
         for algorithm in algorithms
     }

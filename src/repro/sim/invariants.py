@@ -70,6 +70,30 @@ class InvariantChecker(Subscriber):
         self.rounds_checked = 0
 
     # ------------------------------------------------------------------
+    # State snapshot/restore (driver forking, repro.sim.explore).
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> Tuple[Dict[int, Members], List[int], int]:
+        """Capture the accumulated chain so a fork can rewind to it.
+
+        The checker accumulates formed-primary evidence *across* rounds;
+        a forked exploration branch must therefore resume from exactly
+        the chain its prefix built (a fresh checker would weaken the
+        chain check, a fully accumulated one would cross-contaminate
+        sibling branches).  Members values are immutable and shared.
+        """
+        return (dict(self._chain), list(self._chain_keys), self.rounds_checked)
+
+    def restore_state(
+        self, state: Tuple[Dict[int, Members], List[int], int]
+    ) -> None:
+        """Rewind to a chain previously captured by :meth:`snapshot_state`."""
+        chain, chain_keys, rounds_checked = state
+        self._chain = dict(chain)
+        self._chain_keys = list(chain_keys)
+        self.rounds_checked = rounds_checked
+
+    # ------------------------------------------------------------------
     # Subscriber hooks (repro.obs): the same checks, event-driven.
     # ------------------------------------------------------------------
 

@@ -1,0 +1,433 @@
+"""Driver snapshot/restore and canonical state hashing, property-tested.
+
+The fork-based explorer is sound only if two primitives are exact:
+
+* **snapshot/restore** — restoring a :class:`DriverSnapshot` and
+  re-running the same suffix must reproduce the continuation
+  *byte-identically*: same trace events, same final canonical state.
+  Checked here over fuzzer-generated schedules (reusing
+  ``repro.check``'s plan machinery), including mid-exchange snapshot
+  points, crashes in the schedule, and every registered algorithm.
+* **canonical hashing** — the encoding must be *structurally*
+  relabeling-equivariant: pushing a permutation through an already
+  built encoding (an independent reference relabeler over the tagged
+  tuples, defined here) must equal what the encoder produces when
+  handed the mapping directly.  Full *execution* equivariance is
+  deliberately not claimed: dynamic linear voting breaks exact-half
+  quorum ties in favour of the lexically smallest member
+  (``repro.core.quorum.is_subquorum``), so a relabeled schedule can
+  genuinely diverge — a pinned regression below demonstrates it, and
+  it is why ``explore(symmetry=True)`` is gated to three processes.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.check.fuzzer import FuzzConfig, generate_plan
+from repro.check.plan import driver_steps
+from repro.core.registry import algorithm_names
+from repro.net.changes import (
+    CrashChange,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+)
+from repro.sim.driver import DriverLoop
+from repro.sim.invariants import InvariantChecker
+from repro.sim.rng import derive_rng
+from repro.sim.statehash import (
+    canonical_driver_state,
+    normalize_view_seqs,
+    state_digest,
+    state_fingerprint,
+    symmetric_fingerprint,
+)
+from repro.sim.trace import TraceRecorder
+
+#: Plan generator shared by all properties: small systems (snapshot
+#: space is about state shape, not scale), crashes included so the
+#: fork path copies crashed-process state too.
+PLANS = FuzzConfig(master_seed=7, min_processes=3, max_processes=5)
+
+ALGORITHMS = sorted(algorithm_names())
+
+
+def build_driver(algorithm, n_processes, recorder=None):
+    """A schedule-driven driver with checker (and optional recorder)."""
+    observers = [InvariantChecker()]
+    if recorder is not None:
+        observers.append(recorder)
+    return DriverLoop(
+        algorithm=algorithm,
+        n_processes=n_processes,
+        fault_rng=derive_rng(0, "snapshot-test", algorithm),
+        observers=observers,
+    )
+
+
+def run_steps(driver, steps):
+    """Replay (gap, change, late) triples without settling."""
+    for gap, change, late in steps:
+        for _ in range(gap):
+            driver.run_round(None)
+        driver.run_scripted_round(change, late)
+
+
+def event_dicts(events):
+    """Trace events as comparable primitives."""
+    return [event.to_dict() for event in events]
+
+
+class TestSnapshotRestore:
+    """Continuations after restore are byte-identical to the original."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(index=st.integers(min_value=0, max_value=40), data=st.data())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_continuation_is_byte_identical(self, algorithm, index, data):
+        plan = generate_plan(PLANS, index)
+        steps = driver_steps(plan)
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(steps)), label="split"
+        )
+        recorder = TraceRecorder()
+        driver = build_driver(algorithm, plan.n_processes, recorder)
+
+        run_steps(driver, steps[:split])
+        snap = driver.snapshot()
+        at_snapshot = state_fingerprint(driver)
+        mark = len(recorder.events)
+        # The recorder is an external observer: restore() rewinds the
+        # driver, not subscribers.  Its only cross-event state is the
+        # primary-transition tracker, rewound here alongside.
+        live_at_snapshot = recorder._live_primary
+
+        # First continuation: finish the schedule and settle.
+        run_steps(driver, steps[split:])
+        driver.run_until_quiescent()
+        first_events = event_dicts(recorder.events[mark:])
+        first_state = state_fingerprint(driver)
+        first_digest = state_digest(driver)
+
+        # Rewind.  The restored state must hash identically to the
+        # moment the snapshot was taken.
+        driver.restore(snap)
+        recorder._live_primary = live_at_snapshot
+        assert state_fingerprint(driver) == at_snapshot
+
+        # Second continuation: identical suffix, identical everything.
+        mark = len(recorder.events)
+        run_steps(driver, steps[split:])
+        driver.run_until_quiescent()
+        second_events = event_dicts(recorder.events[mark:])
+        assert second_events == first_events
+        assert state_fingerprint(driver) == first_state
+        assert state_digest(driver) == first_digest
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_snapshot_is_immutable_under_continuation(self, algorithm):
+        # The snapshot must be a deep-enough fork: running 20 more
+        # rounds (partition + merge + settle) must not bleed into it.
+        driver = build_driver(algorithm, 4)
+        whole = driver.topology.components[0]
+        driver.run_scripted_round(
+            PartitionChange(component=whole, moved=frozenset({3})),
+            frozenset(),
+        )
+        snap = driver.snapshot()
+        before = state_fingerprint(driver)
+        first, second = driver.topology.components
+        driver.run_scripted_round(
+            MergeChange(first=first, second=second), frozenset({3})
+        )
+        driver.run_until_quiescent()
+        assert state_fingerprint(driver) != before  # state really moved
+        driver.restore(snap)
+        assert state_fingerprint(driver) == before
+
+    def test_restore_rewinds_checker_chain(self):
+        # The invariant checker accumulates the formed-primary chain;
+        # a fork must resume from exactly the prefix's chain.
+        driver = build_driver("ykd", 4)
+        driver.run_until_quiescent()
+        snap = driver.snapshot()
+        chain_at_snap = driver.checker.formed_chain
+        whole = driver.topology.components[0]
+        driver.run_scripted_round(
+            PartitionChange(component=whole, moved=frozenset({2, 3})),
+            frozenset(),
+        )
+        driver.run_until_quiescent()
+        assert driver.checker.formed_chain != chain_at_snap
+        driver.restore(snap)
+        assert driver.checker.formed_chain == chain_at_snap
+
+
+def relabel_members(members, mapping):
+    """A member set through a process-id permutation."""
+    return frozenset(mapping[pid] for pid in members)
+
+
+def relabel_change(change, mapping):
+    """A connectivity change through a process-id permutation."""
+    if isinstance(change, PartitionChange):
+        return PartitionChange(
+            component=relabel_members(change.component, mapping),
+            moved=relabel_members(change.moved, mapping),
+        )
+    if isinstance(change, MergeChange):
+        return MergeChange(
+            first=relabel_members(change.first, mapping),
+            second=relabel_members(change.second, mapping),
+        )
+    if isinstance(change, CrashChange):
+        return CrashChange(pid=mapping[change.pid])
+    if isinstance(change, RecoverChange):
+        return RecoverChange(pid=mapping[change.pid])
+    raise TypeError(type(change).__name__)
+
+
+#: Dataclass/algorithm attribute names that hold a bare process id —
+#: mirrors the encoder's pid-position knowledge, independently.
+_PID_FIELDS = ("pid", "sender", "owner")
+
+
+def relabel_encoding(node, mapping):
+    """Reference relabeler: push a permutation through a built encoding.
+
+    Independently re-implements, purely on the tagged tuples, what
+    passing ``mapping`` into the encoder is specified to do: remap
+    every pid-bearing position and re-sort every container the encoder
+    keeps sorted.  Keyed only on node tags, so an encoder rule that
+    forgets to remap or re-sort shows up as a mismatch — and unknown
+    tags fail loudly rather than passing through unrelabeled.
+    """
+
+    def pids(tup):
+        return tuple(sorted(mapping[pid] for pid in tup))
+
+    def rec(child):
+        return relabel_encoding(child, mapping)
+
+    if not isinstance(node, tuple):
+        return node
+    tag = node[0] if node else None
+    if tag == "pids":
+        return ("pids", pids(node[1]))
+    if tag == "session":
+        return ("session", node[1], pids(node[2]))
+    if tag == "view":
+        return ("view", node[1], pids(node[2]))
+    if tag == "stateitem":
+        return (
+            "stateitem",
+            node[1],
+            tuple(rec(v) for v in node[2]),
+            rec(node[3]),
+            tuple(sorted((mapping[p], rec(v)) for p, v in node[4])),
+        )
+    if tag == "knowledge":
+        return (
+            "knowledge",
+            mapping[node[1]],
+            tuple(
+                sorted(
+                    ((rec(s), pids(members)) for s, members in node[2]),
+                    key=repr,
+                )
+            ),
+            tuple(sorted((rec(s) for s in node[3]), key=repr)),
+        )
+    if tag == "pidmap":
+        return (
+            "pidmap",
+            tuple(sorted((mapping[k], rec(v)) for k, v in node[1])),
+        )
+    if tag == "set":
+        return ("set", tuple(sorted((rec(v) for v in node[1]), key=repr)))
+    if tag == "map":
+        return (
+            "map",
+            tuple(
+                sorted(
+                    ((rec(k), rec(v)) for k, v in node[1]),
+                    key=lambda pair: repr(pair[0]),
+                )
+            ),
+        )
+    if tag == "seq":
+        return ("seq", tuple(rec(v) for v in node[1]))
+    if tag == "dc":
+        return (
+            "dc",
+            node[1],
+            tuple(
+                (
+                    name,
+                    mapping[value]
+                    if name in _PID_FIELDS and isinstance(value, int)
+                    else rec(value),
+                )
+                for name, value in node[2]
+            ),
+        )
+    if tag == "algorithm":
+        encoded = []
+        for name, value in node[2]:
+            if name == "pid":
+                encoded.append((name, mapping[value]))
+            elif name in ("_early_attempts", "_early_confirms"):
+                encoded.append(
+                    (name, tuple((mapping[p], rec(v)) for p, v in value))
+                )
+            else:
+                encoded.append((name, rec(value)))
+        return ("algorithm", node[1], tuple(encoded))
+    if tag == "topology":
+        return (
+            "topology",
+            tuple(sorted(pids(component) for component in node[1])),
+            pids(node[2]),
+        )
+    if tag == "chain":
+        return (
+            "chain",
+            tuple(sorted((key, pids(members)) for key, members in node[1])),
+        )
+    if tag == "driver":
+        return (
+            "driver",
+            rec(node[1]),
+            node[2],
+            tuple(sorted((mapping[pid], rec(alg)) for pid, alg in node[3])),
+            rec(node[4]),
+        )
+    raise AssertionError(f"unknown encoding node tag: {tag!r}")
+
+
+class TestCanonicalHashing:
+    """Structural relabeling equivariance, and its documented limit."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(
+        index=st.integers(min_value=0, max_value=40),
+        permutation_index=st.integers(min_value=1, max_value=119),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_relabeling_round_trip(self, algorithm, index, permutation_index):
+        # For any reachable state (mid-schedule volatile state AND the
+        # settled end state) and any permutation: relabeling the built
+        # encoding with the independent walker equals asking the
+        # encoder to relabel — every pid position is remapped, every
+        # sorted container re-sorted, nothing forgotten.
+        plan = generate_plan(PLANS, index)
+        steps = driver_steps(plan)
+        n = plan.n_processes
+        permutations = list(itertools.permutations(range(n)))
+        mapping = dict(
+            zip(range(n), permutations[permutation_index % len(permutations)])
+        )
+        identity = {pid: pid for pid in range(n)}
+
+        driver = build_driver(algorithm, n)
+        run_steps(driver, steps)
+        mid = canonical_driver_state(driver)
+        assert relabel_encoding(mid, mapping) == canonical_driver_state(
+            driver, mapping
+        )
+        assert relabel_encoding(mid, identity) == mid
+
+        driver.run_until_quiescent()
+        settled = canonical_driver_state(driver)
+        assert relabel_encoding(settled, mapping) == canonical_driver_state(
+            driver, mapping
+        )
+
+    def test_linear_voting_tie_break_defeats_relabeling(self):
+        # Why full *execution* equivariance is not claimed (and why
+        # explore()'s symmetry mode is gated to n=3 first-step orbits):
+        # dynamic linear voting breaks the exact-half quorum tie in
+        # favour of the lexically smallest member, so under the swap
+        # 1<->2 process 1 wins the {1}|{2} split in BOTH tellings.
+        # The twin's final state is therefore NOT the relabeling of
+        # the original's, even after the view-seq quotient.
+        mapping = {0: 0, 1: 2, 2: 1}
+        first = PartitionChange(
+            component=frozenset({0, 1, 2}), moved=frozenset({0})
+        )
+        second = PartitionChange(
+            component=frozenset({1, 2}), moved=frozenset({1})
+        )
+        drivers = {}
+        for name, relabel in (("original", None), ("twin", mapping)):
+            driver = build_driver("ykd", 3)
+            driver.run_until_quiescent()
+            for change in (first, second):
+                if relabel is not None:
+                    change = relabel_change(change, relabel)
+                driver.run_scripted_round(change, frozenset())
+                driver.run_until_quiescent()
+            drivers[name] = driver
+        # The tie fires when {1, 2} splits into singletons: only the
+        # half holding the lexically smallest member may form, so
+        # process 1 ends as the surviving primary in both executions.
+        for driver in drivers.values():
+            assert driver.checker.formed_chain[-1][1] == frozenset({1})
+        # Hence the relabeled encoding (which predicts process 2 as
+        # the twin's survivor) cannot match the twin's actual state.
+        assert normalize_view_seqs(
+            canonical_driver_state(drivers["original"], mapping)
+        ) != normalize_view_seqs(canonical_driver_state(drivers["twin"]))
+
+    def test_plain_fingerprints_distinguish_relabeled_twins(self):
+        # Generic sanity: a nontrivial relabeling changes the plain
+        # fingerprint (here: which process is isolated) even though the
+        # symmetric one collapses it.
+        mapping = {0: 2, 1: 1, 2: 0}
+        a = build_driver("ykd", 3)
+        whole = a.topology.components[0]
+        a.run_scripted_round(
+            PartitionChange(component=whole, moved=frozenset({2})),
+            frozenset(),
+        )
+        b = build_driver("ykd", 3)
+        b.run_scripted_round(
+            relabel_change(
+                PartitionChange(component=whole, moved=frozenset({2})),
+                mapping,
+            ),
+            frozenset(),
+        )
+        assert state_fingerprint(a) != state_fingerprint(b)
+        assert symmetric_fingerprint(a) == symmetric_fingerprint(b)
+
+    def test_fingerprint_excludes_bookkeeping(self):
+        # Quiet rounds at quiescence advance counters but not
+        # behaviour; the fingerprint must not move.
+        driver = build_driver("ykd", 3)
+        driver.run_until_quiescent()
+        before = state_fingerprint(driver)
+        driver.run_round(None)
+        driver.run_round(None)
+        assert state_fingerprint(driver) == before
+
+    def test_unknown_state_raises(self):
+        # The encoder must fail loudly on types it has no rule for —
+        # silent mis-encoding would corrupt the explorer's dedup memo.
+        from repro.sim.statehash import encode_value
+
+        class Opaque:
+            """A type the canonical encoder has no rule for."""
+
+        with pytest.raises(TypeError):
+            encode_value(Opaque(), lambda pid: pid)
