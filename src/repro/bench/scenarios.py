@@ -162,6 +162,36 @@ def _run_campaign_obs(quick: bool) -> WorkloadResult:
 
 
 # ----------------------------------------------------------------------
+# campaign_causal: the identical campaign workload with the causal
+# forensics layer engaged — live span reconstruction plus the metrics
+# fold.  Comparing its rounds/sec against ``campaign_obs`` prices the
+# explanation on top of plain observability; against ``campaign``, the
+# full cost of explaining every lost round.
+# ----------------------------------------------------------------------
+
+
+def _run_campaign_causal(quick: bool) -> WorkloadResult:
+    from repro.obs.causal import CausalMetrics, CausalObserver
+
+    causal = CausalObserver()
+    metrics = CausalMetrics()
+    result = run_case(_campaign_config(quick), observers=[causal, metrics])
+    spans = causal.finalize()
+    blamed = sum(spans.blame_totals().values())
+    if blamed != spans.nonprimary_rounds:
+        raise BenchError("campaign_causal blame does not cover lost rounds")
+    return WorkloadResult(
+        rounds=result.rounds_total,
+        detail=(
+            f"{result.runs} runs, {len(spans.attempts)} attempts, "
+            f"{blamed} rounds blamed, "
+            f"{len(metrics.registry.series())} metric series, "
+            f"availability {result.availability_percent:.1f}%"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # explore: the bounded model checker — the fork-based explorer against
 # its replay reference on the same bound (recording the speedup), plus
 # the previously infeasible n=4, depth=2 sweep as the headline workload.
@@ -252,6 +282,14 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "and phase profiling attached (observer overhead)"
             ),
             runner=_run_campaign_obs,
+        ),
+        BenchScenario(
+            name="campaign_causal",
+            description=(
+                "the campaign workload with causal span reconstruction "
+                "and blame metrics attached (forensics overhead)"
+            ),
+            runner=_run_campaign_causal,
         ),
         BenchScenario(
             name="explore",

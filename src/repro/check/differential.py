@@ -56,6 +56,11 @@ class AlgorithmVerdict:
     available: Optional[bool] = None
     final_components: Components = ()
     chain: Chain = ()
+    #: Non-primary rounds by blame category (nonzero entries only,
+    #: sorted), reconstructed live by ``repro.obs.causal`` during the
+    #: replay — the span-level explanation a failing schedule carries
+    #: into its repro file.
+    blame: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -65,7 +70,11 @@ class AlgorithmVerdict:
         """One line for failure reports."""
         if self.ok:
             return f"{self.algorithm}: ok (available={self.available})"
-        return f"{self.algorithm}: {self.outcome} — {self.detail}"
+        line = f"{self.algorithm}: {self.outcome} — {self.detail}"
+        if self.blame:
+            breakdown = ", ".join(f"{k}={v}" for k, v in self.blame)
+            line += f" [lost rounds: {breakdown}]"
+        return line
 
 
 @dataclass
@@ -116,11 +125,14 @@ def run_plan(
     late-set is explicit — so the verdict is a pure function of
     (plan, algorithm).
     """
+    from repro.obs.causal import CausalObserver
+
+    causal = CausalObserver()
     driver = DriverLoop(
         algorithm=algorithm,
         n_processes=plan.n_processes,
         fault_rng=derive_rng(0, "check", "replay", algorithm),
-        observers=[InvariantChecker()],
+        observers=[InvariantChecker(), causal],
         max_quiescence_rounds=max_quiescence_rounds,
     )
     outcome, detail = OUTCOME_OK, ""
@@ -135,6 +147,7 @@ def run_plan(
         outcome, detail = OUTCOME_VIOLATION, str(violation)
     except SimulationError as error:
         outcome, detail = OUTCOME_LIVELOCK, str(error)
+    blame_totals = causal.finalize().blame_totals()
     return AlgorithmVerdict(
         algorithm=algorithm,
         outcome=outcome,
@@ -144,6 +157,11 @@ def run_plan(
         chain=tuple(
             (order_key, tuple(sorted(members)))
             for order_key, members in driver.checker.formed_chain
+        ),
+        blame=tuple(
+            (category, count)
+            for category, count in sorted(blame_totals.items())
+            if count
         ),
     )
 

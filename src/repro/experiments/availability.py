@@ -9,6 +9,7 @@ primary component, for the five studied algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import MetricsRegistry
@@ -60,6 +61,8 @@ def run_availability_figure(
     check_invariants: bool = True,
     workers: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[Path] = None,
+    spans_dir: Optional[Path] = None,
 ) -> AvailabilityFigure:
     """Regenerate one of Figs. 4-1..4-6 at the given scale.
 
@@ -69,7 +72,11 @@ def run_availability_figure(
     process pool (results are identical to a serial run).  Passing a
     ``metrics`` registry collects campaign metrics for every case into
     it (merged in grid order, so the registry is identical whatever the
-    worker count).
+    worker count).  ``trace_dir``/``spans_dir`` write one canonical
+    JSONL artifact per case (the full event trace, resp. the
+    reconstructed causal spans); recording observers cannot cross
+    process boundaries, so either directory forces the serial path
+    regardless of ``workers``.
     """
     figure = AvailabilityFigure(spec=spec, scale=scale)
     grid = [
@@ -91,7 +98,15 @@ def run_availability_figure(
         )
         for algorithm, rate in grid
     ]
-    results = run_cases_parallel(configs, workers=workers)
+    if trace_dir is None and spans_dir is None:
+        results = run_cases_parallel(configs, workers=workers)
+    else:
+        results = [
+            _run_case_recorded(
+                spec, config, algorithm, rate, trace_dir, spans_dir
+            )
+            for (algorithm, rate), config in zip(grid, configs)
+        ]
     for (algorithm, rate), result in zip(grid, results):
         figure.series.setdefault(algorithm, []).append(
             (rate, result.availability_percent)
@@ -99,3 +114,34 @@ def run_availability_figure(
         if metrics is not None and result.metrics is not None:
             metrics.merge(result.metrics)
     return figure
+
+
+def _run_case_recorded(
+    spec: ExperimentSpec,
+    config: CaseConfig,
+    algorithm: str,
+    rate: float,
+    trace_dir: Optional[Path],
+    spans_dir: Optional[Path],
+):
+    """One case with trace/span recording, written as per-case JSONL."""
+    from repro.obs.causal import CausalObserver, write_spans_jsonl
+    from repro.sim.trace import TraceRecorder, write_trace_jsonl
+
+    observers = []
+    recorder = causal = None
+    if trace_dir is not None:
+        recorder = TraceRecorder(max_events=1_000_000)
+        observers.append(recorder)
+    if spans_dir is not None:
+        causal = CausalObserver()
+        observers.append(causal)
+    result = run_case(config, observers=observers)
+    stem = f"{spec.experiment_id}_{algorithm}_rate{rate:g}"
+    if recorder is not None:
+        write_trace_jsonl(recorder, Path(trace_dir) / f"{stem}.trace.jsonl")
+    if causal is not None:
+        write_spans_jsonl(
+            causal.finalize(), Path(spans_dir) / f"{stem}.spans.jsonl"
+        )
+    return result

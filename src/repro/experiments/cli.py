@@ -13,6 +13,9 @@ Examples::
     repro-experiments check --schedules 500 --seed 3 --shrink
     repro-experiments check --replay repro.json
     repro-experiments check --corpus tests/corpus
+    repro-experiments explain ykd --changes 4 --runs 50 --timeline
+    repro-experiments explain ykd --replay repro.json --html report.html
+    repro-experiments explain --replay case.trace.jsonl
     repro-experiments bench
     repro-experiments bench campaign --quick --max-regression 0.25
 """
@@ -212,6 +215,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the (minimized) failing schedules as repro files",
     )
 
+    explain_parser = sub.add_parser(
+        "explain",
+        help="availability forensics: run a case (or replay a trace / "
+        "repro plan) and explain every round without a primary",
+    )
+    explain_parser.add_argument(
+        "algorithm",
+        nargs="?",
+        choices=algorithm_names(),
+        default=None,
+        help="algorithm to run (optional with --replay)",
+    )
+    explain_parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="explain a recorded artifact instead of running: a trace "
+        "JSONL (from --trace-out) or a repro.check repro/plan JSON",
+    )
+    explain_parser.add_argument("--processes", type=int, default=8)
+    explain_parser.add_argument("--changes", type=int, default=4)
+    explain_parser.add_argument("--rate", type=float, default=4.0)
+    explain_parser.add_argument("--runs", type=int, default=50)
+    explain_parser.add_argument(
+        "--mode", choices=["fresh", "cascading"], default="fresh"
+    )
+    explain_parser.add_argument("--seed", type=int, default=0)
+    explain_parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also print the event timeline with attempt spans woven in",
+    )
+    explain_parser.add_argument(
+        "--html",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the self-contained HTML forensics report",
+    )
+    explain_parser.add_argument(
+        "--spans-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the reconstructed spans as canonical JSONL",
+    )
+    explain_parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the recorded trace as canonical JSONL",
+    )
+
     bench_parser = sub.add_parser(
         "bench",
         help="run the pinned-seed throughput benchmarks and record "
@@ -288,6 +346,22 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="write campaign metrics as JSONL (or CSV for a .csv "
         "path); campaign-backed experiments only",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one canonical trace JSONL per case (availability "
+        "figures only; forces serial execution)",
+    )
+    parser.add_argument(
+        "--spans-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one causal-span JSONL per case (availability "
+        "figures only; forces serial execution)",
+    )
 
 
 def _write_metrics(registry: MetricsRegistry, path: Path) -> None:
@@ -307,6 +381,8 @@ def _run_one(
     plot: bool = False,
     workers: int = 1,
     metrics_out: Optional[Path] = None,
+    trace_dir: Optional[Path] = None,
+    spans_dir: Optional[Path] = None,
 ) -> None:
     started = time.time()
     metrics = MetricsRegistry() if metrics_out is not None else None
@@ -316,8 +392,23 @@ def _run_one(
         master_seed=seed,
         workers=workers,
         metrics=metrics,
+        trace_dir=trace_dir,
+        spans_dir=spans_dir,
     )
     print(render(result))
+    if trace_dir is not None or spans_dir is not None:
+        if isinstance(result, AvailabilityFigure):
+            for label, directory in (
+                ("traces", trace_dir), ("spans", spans_dir)
+            ):
+                if directory is not None:
+                    count = len(list(Path(directory).glob(f"{experiment_id}_*.jsonl")))
+                    print(f"{label} written: {directory} ({count} files)")
+        else:
+            print(
+                f"traces/spans not written: {experiment_id} is not an "
+                "availability figure"
+            )
     if plot and isinstance(result, AvailabilityFigure):
         print(plot_availability(result))
     if plot and isinstance(result, AmbiguousFigure):
@@ -451,11 +542,22 @@ def _verify(args: argparse.Namespace) -> int:
             "truncated": result.truncated,
             "seconds": elapsed,
             "stats": None if stats is None else stats.to_dict(),
+            "counterexamples": [
+                example.to_dict() for example in result.counterexamples
+            ],
         }
         if result.violations:
             print("INVARIANT VIOLATIONS FOUND:")
             for violation in result.violations[:5]:
                 print(f"  {violation}")
+            for example in result.counterexamples[:5]:
+                breakdown = ", ".join(
+                    f"{category}={count}" for category, count in example.blame
+                )
+                print(
+                    f"  counterexample ({len(example.plan_steps)} steps): "
+                    f"lost rounds on the way — {breakdown or 'none'}"
+                )
             exit_code = 1
         else:
             print("all invariants held in every scenario")
@@ -527,12 +629,148 @@ def _profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain(args: argparse.Namespace) -> int:
+    """Availability forensics: spans + blame for a case or an artifact."""
+    from repro.obs.causal import (
+        CausalObserver,
+        render_forensics_report,
+        spans_from_recorder,
+        write_html_report,
+        write_spans_jsonl,
+    )
+    from repro.sim.trace import write_trace_jsonl
+
+    if args.replay is not None:
+        loaded = _load_replay_artifact(args)
+        if loaded is None:
+            return 2
+        recorder, labels = loaded
+    elif args.algorithm is None:
+        print(
+            "error: explain needs an algorithm to run, or --replay",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        recorder = TraceRecorder(max_events=1_000_000)
+        causal = CausalObserver()
+        case = CaseConfig(
+            algorithm=args.algorithm,
+            n_processes=args.processes,
+            n_changes=args.changes,
+            mean_rounds_between_changes=args.rate,
+            runs=args.runs,
+            mode=args.mode,
+            master_seed=args.seed,
+        )
+        result = run_case(case, observers=[recorder, causal])
+        labels = {
+            "algorithm": args.algorithm,
+            "mode": args.mode,
+            "processes": args.processes,
+            "changes": args.changes,
+            "rate": f"{args.rate:g}",
+            "runs": args.runs,
+            "seed": args.seed,
+        }
+        print(
+            f"{args.algorithm}: {result.runs} runs, availability "
+            f"{result.availability_percent:.1f}%\n"
+        )
+    spans = spans_from_recorder(recorder)
+    print(render_forensics_report(spans, labels))
+    if args.timeline:
+        print()
+        print(render_timeline(recorder, spans=spans.attempts))
+    if args.html is not None:
+        timeline = render_timeline(recorder, spans=spans.attempts)
+        path = write_html_report(
+            spans, args.html, labels=labels, timeline=timeline
+        )
+        print(f"\nhtml report written: {path}")
+    if args.spans_out is not None:
+        path = write_spans_jsonl(spans, args.spans_out)
+        print(f"spans written: {path}")
+    if args.trace_out is not None:
+        path = write_trace_jsonl(recorder, args.trace_out)
+        print(f"trace written: {path}")
+    return 0
+
+
+def _load_replay_artifact(args: argparse.Namespace):
+    """Load ``explain --replay``'s input: a trace JSONL or a repro plan.
+
+    Returns ``(recorder, labels)`` — the trace either parsed directly
+    or re-recorded by replaying the plan — or None after printing an
+    error.
+    """
+    from repro.check import PlanError, load_repro
+    from repro.check.plan import driver_steps
+    from repro.errors import InvariantViolation, SimulationError
+    from repro.sim.trace import recorder_from_events
+
+    try:
+        text = args.replay.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"error: cannot read {args.replay}: {error}", file=sys.stderr)
+        return None
+    first = next((line for line in text.splitlines() if line.strip()), "")
+    try:
+        head = json.loads(first)
+    except json.JSONDecodeError:
+        head = None
+    if isinstance(head, dict) and "plan" not in head:
+        # One event object per line: a canonical trace JSONL.
+        from repro.sim.trace import events_from_jsonl
+
+        try:
+            events, truncated = events_from_jsonl(text)
+        except ValueError as error:
+            print(f"error: bad trace: {error}", file=sys.stderr)
+            return None
+        return (
+            recorder_from_events(events, truncated),
+            {"replay": str(args.replay)},
+        )
+    try:
+        repro = load_repro(args.replay)
+    except (OSError, PlanError, ValueError) as error:
+        print(
+            f"error: {args.replay} is neither a trace JSONL nor a "
+            f"repro file: {error}",
+            file=sys.stderr,
+        )
+        return None
+    algorithm = args.algorithm
+    if algorithm is None:
+        candidates = repro.algorithms or tuple(algorithm_names())
+        algorithm = sorted(candidates)[0]
+    recorder = TraceRecorder(max_events=1_000_000)
+    driver = DriverLoop(
+        algorithm=algorithm,
+        n_processes=repro.plan.n_processes,
+        fault_rng=derive_rng(0, "explain", "replay", algorithm),
+        observers=[recorder],
+    )
+    try:
+        driver.execute_schedule(driver_steps(repro.plan))
+    except (InvariantViolation, SimulationError) as error:
+        print(f"replay stopped early: {error}\n")
+    labels = {
+        "algorithm": algorithm,
+        "processes": repro.plan.n_processes,
+        "replay": str(args.replay),
+    }
+    return recorder, labels
+
+
 def _check(args: argparse.Namespace) -> int:
     from repro.check import (
         EXPECT_VIOLATION,
         FuzzConfig,
         PlanError,
         ReproFile,
+        check_plan,
         fuzz,
         load_repro,
         minimize,
@@ -590,17 +828,29 @@ def _check(args: argparse.Namespace) -> int:
                 f"({shrunk.tests_run} replays): {plan.describe()}"
             )
         if args.save_repros is not None:
+            # Replay the plan being saved (post-shrink) so the repro
+            # carries the span-level explanation of *this* schedule.
+            saved_report = check_plan(plan, result.algorithms)
+            explanations = "; ".join(
+                f"{verdict.algorithm} lost rounds: "
+                + ", ".join(f"{k}={v}" for k, v in verdict.blame)
+                for verdict in saved_report.failures
+                if verdict.blame
+            )
+            note = (
+                f"found by fuzzer seed={args.seed} "
+                f"schedule={failure.index}; flip expect to 'pass' "
+                "once the underlying bug is fixed"
+            )
+            if explanations:
+                note += f" [{explanations}]"
             path = write_repro(
                 args.save_repros / f"seed{args.seed}_schedule{failure.index}.json",
                 ReproFile(
                     plan=plan,
                     algorithms=result.algorithms,
                     expect=EXPECT_VIOLATION,
-                    note=(
-                        f"found by fuzzer seed={args.seed} "
-                        f"schedule={failure.index}; flip expect to 'pass' "
-                        "once the underlying bug is fixed"
-                    ),
+                    note=note,
                 ),
             )
             print(f"repro written: {path}")
@@ -653,6 +903,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_one(
             args.experiment_id, args.scale, args.seed, args.csv,
             args.plot, args.workers, args.metrics_out,
+            args.trace_out, args.spans_out,
         )
         return 0
     if args.command == "all":
@@ -660,6 +911,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_one(
                 spec_id, args.scale, args.seed, args.csv,
                 args.plot, args.workers, args.metrics_out,
+                args.trace_out, args.spans_out,
             )
         return 0
     if args.command == "compare":
@@ -676,6 +928,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _soak(args)
     if args.command == "check":
         return _check(args)
+    if args.command == "explain":
+        return _explain(args)
     if args.command == "bench":
         return _bench(args)
     return 2  # pragma: no cover - argparse guards commands

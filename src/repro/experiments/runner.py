@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.errors import ExperimentError
@@ -34,17 +35,25 @@ def run_experiment(
     master_seed: int = 0,
     workers: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[Path] = None,
+    spans_dir: Optional[Path] = None,
 ) -> ExperimentResult:
     """Run one paper artifact's experiment at the given scale.
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) collects
     campaign metrics for the campaign-backed kinds (availability and
-    ambiguous figures); other kinds leave it untouched.
+    ambiguous figures); other kinds leave it untouched.  ``trace_dir``
+    and ``spans_dir`` write per-case canonical trace/span JSONL for the
+    availability figures (see
+    :func:`~repro.experiments.availability.run_availability_figure`);
+    other kinds ignore them.
     """
     spec = get_spec(experiment_id)
     if isinstance(scale, str):
         scale = get_scale(scale)
-    return run_experiment_spec(spec, scale, master_seed, workers, metrics)
+    return run_experiment_spec(
+        spec, scale, master_seed, workers, metrics, trace_dir, spans_dir
+    )
 
 
 def run_experiment_spec(
@@ -53,11 +62,19 @@ def run_experiment_spec(
     master_seed: int = 0,
     workers: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    trace_dir: Optional[Path] = None,
+    spans_dir: Optional[Path] = None,
 ) -> ExperimentResult:
     """Dispatch a resolved spec to the runner for its kind."""
     if spec.kind == "availability":
         return run_availability_figure(
-            spec, scale, master_seed, workers=workers, metrics=metrics
+            spec,
+            scale,
+            master_seed,
+            workers=workers,
+            metrics=metrics,
+            trace_dir=trace_dir,
+            spans_dir=spans_dir,
         )
     if spec.kind == "ambiguous":
         return run_ambiguous_figure(

@@ -21,6 +21,12 @@ how-to, and ``examples/custom_subscriber.py`` for a worked example.
 """
 
 from repro.obs.bus import EventBus, HOOK_NAMES, Subscriber, overrides_hook
+from repro.obs.canonical import (
+    canonical_digest,
+    canonical_json,
+    canonical_jsonl,
+    canonical_line,
+)
 from repro.obs.collect import CampaignMetrics, ExploreMetrics
 from repro.obs.export import (
     METRICS_KIND,
@@ -45,6 +51,47 @@ from repro.obs.metrics import (
 from repro.obs.profile import DRIVER_PHASES, PhaseProfiler, PhaseStat
 from repro.obs.progress import ExploreProgress, ProgressReporter
 
+#: Names re-exported lazily from ``repro.obs.causal``.  The causal
+#: package's live observer subclasses the trace recorder, so importing
+#: it here eagerly would close an import cycle
+#: (``repro.sim.stats`` → ``repro.obs`` → causal → ``repro.sim.trace``
+#: → ``repro.sim.stats``); PEP 562 lazy loading breaks it while keeping
+#: ``from repro.obs import CausalObserver`` working.
+_CAUSAL_EXPORTS = frozenset(
+    {
+        "ATTEMPT_OUTCOMES",
+        "AttemptSpan",
+        "BLAME_CATEGORIES",
+        "CausalLink",
+        "CausalMetrics",
+        "CausalObserver",
+        "GCSViewSpans",
+        "PrimarySpan",
+        "ViewSpan",
+        "RunSpan",
+        "SpanBuilder",
+        "SpanIndex",
+        "SpanSet",
+        "render_forensics_report",
+        "render_html_report",
+        "spans_from_events",
+        "spans_from_jsonl",
+        "spans_from_recorder",
+        "spans_to_jsonl",
+        "write_html_report",
+        "write_spans_jsonl",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CAUSAL_EXPORTS:
+        from repro.obs import causal
+
+        return getattr(causal, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CampaignMetrics",
     "Counter",
@@ -63,7 +110,11 @@ __all__ = [
     "PhaseStat",
     "ProgressReporter",
     "Subscriber",
+    "canonical_digest",
+    "canonical_json",
+    "canonical_jsonl",
     "canonical_labels",
+    "canonical_line",
     "load_metrics_jsonl",
     "merge_registries",
     "overrides_hook",
@@ -73,4 +124,5 @@ __all__ = [
     "series_to_dict",
     "write_metrics_csv",
     "write_metrics_jsonl",
+    *sorted(_CAUSAL_EXPORTS),
 ]

@@ -1,0 +1,53 @@
+"""The one canonical JSON line encoder.
+
+Every byte-pinned artifact in the project — trace digests and golden
+files (``repro.sim.trace``), metrics JSONL (``repro.obs.export``),
+span JSONL (``repro.obs.causal``) — frames its records the same way:
+one JSON object per line, keys sorted, default separators, a single
+trailing newline.  That framing used to be spelled out independently
+at each site; this module is the single definition, and
+``tests/test_canonical.py`` pins the exact bytes so no call site can
+drift without tripping a golden.
+
+The encoding is deliberately the plain ``json.dumps(obj,
+sort_keys=True)`` form (ASCII-safe escapes, ``", "``/``": "``
+separators): that is what every historical golden file and committed
+trace digest was produced with, so adopting the shared encoder is a
+pure refactor — byte-for-byte identical output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+
+def canonical_json(obj: Any) -> str:
+    """One object as canonical JSON text (sorted keys, no newline)."""
+    return json.dumps(obj, sort_keys=True)
+
+
+def canonical_line(obj: Any) -> bytes:
+    """One object as a canonical newline-framed JSON line (bytes)."""
+    return canonical_json(obj).encode("utf-8") + b"\n"
+
+
+def canonical_jsonl(objs: Iterable[Any]) -> str:
+    """Many objects as canonical JSON lines (empty input → empty text)."""
+    lines = [canonical_json(obj) for obj in objs]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def canonical_digest(objs: Iterable[Any]) -> str:
+    """SHA-256 hex digest over the canonical line stream of ``objs``.
+
+    Folding :func:`canonical_line` of each object into one running
+    SHA-256 — the exact computation ``trace_digest`` and
+    :class:`~repro.sim.trace.TraceDigester` perform, available to any
+    other stream that wants digest pinning.
+    """
+    sha = hashlib.sha256()
+    for obj in objs:
+        sha.update(canonical_line(obj))
+    return sha.hexdigest()

@@ -1,0 +1,180 @@
+"""SpanIndex: composable queries over a reconstructed span set.
+
+Each filter returns a *new* index over the narrowed span set, so
+queries compose left to right::
+
+    index = SpanIndex(spans, labels={"algorithm": "ykd"})
+    costly = (
+        index.attempts_with(outcome="interrupted")
+             .interrupted_by("partition")
+             .in_rounds(0, 500)
+    )
+    costly.outcome_counts()   # {"interrupted": ...}
+
+Filters never mutate; the underlying spans are frozen dataclasses.
+Run- and round-scoped filters narrow runs/primaries consistently with
+the attempts, so aggregate queries on a filtered index stay coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.obs.causal.spans import (
+    AttemptSpan,
+    PrimarySpan,
+    RunSpan,
+    SpanSet,
+)
+
+
+class SpanIndex:
+    """An immutable, filterable view over one :class:`SpanSet`."""
+
+    __slots__ = ("spans", "labels")
+
+    def __init__(
+        self,
+        spans: SpanSet,
+        labels: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.spans = spans
+        self.labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (labels or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+
+    @property
+    def attempts(self) -> Tuple[AttemptSpan, ...]:
+        return self.spans.attempts
+
+    @property
+    def primaries(self) -> Tuple[PrimarySpan, ...]:
+        return self.spans.primaries
+
+    @property
+    def runs(self) -> Tuple[RunSpan, ...]:
+        return self.spans.runs
+
+    def __len__(self) -> int:
+        return len(self.spans.attempts)
+
+    # ------------------------------------------------------------------
+    # Composable filters (each returns a new index).
+    # ------------------------------------------------------------------
+
+    def _narrowed(
+        self,
+        attempts: Iterable[AttemptSpan],
+        primaries: Optional[Iterable[PrimarySpan]] = None,
+        runs: Optional[Iterable[RunSpan]] = None,
+    ) -> "SpanIndex":
+        spans = replace(
+            self.spans,
+            attempts=tuple(attempts),
+            primaries=(
+                self.spans.primaries
+                if primaries is None
+                else tuple(primaries)
+            ),
+            runs=self.spans.runs if runs is None else tuple(runs),
+        )
+        return SpanIndex(spans, self.labels)
+
+    def attempts_with(
+        self,
+        outcome: Optional[str] = None,
+        min_message_rounds: Optional[int] = None,
+        involving: Optional[int] = None,
+    ) -> "SpanIndex":
+        """Narrow attempts by outcome, activity, or membership."""
+        selected = self.spans.attempts
+        if outcome is not None:
+            selected = tuple(s for s in selected if s.outcome == outcome)
+        if min_message_rounds is not None:
+            selected = tuple(
+                s for s in selected if s.message_rounds >= min_message_rounds
+            )
+        if involving is not None:
+            selected = tuple(s for s in selected if involving in s.members)
+        return self._narrowed(selected)
+
+    def interrupted_by(self, *kinds: str) -> "SpanIndex":
+        """Attempts interrupted by one of the given change kinds."""
+        wanted = set(kinds)
+        return self._narrowed(
+            s for s in self.spans.attempts if s.interrupted_by in wanted
+        )
+
+    def in_run(self, *run_indices: int) -> "SpanIndex":
+        """All spans belonging to the given runs."""
+        wanted = set(run_indices)
+        return self._narrowed(
+            (s for s in self.spans.attempts if s.run_index in wanted),
+            (s for s in self.spans.primaries if s.run_index in wanted),
+            (s for s in self.spans.runs if s.run_index in wanted),
+        )
+
+    def in_rounds(self, first: int, last: int) -> "SpanIndex":
+        """Attempts/primaries overlapping the round interval [first, last]."""
+
+        def overlaps(open_round: int, close_round: Optional[int]) -> bool:
+            end = close_round if close_round is not None else open_round
+            return open_round <= last and end >= first
+
+        return self._narrowed(
+            (
+                s
+                for s in self.spans.attempts
+                if overlaps(s.open_round, s.close_round)
+            ),
+            (
+                s
+                for s in self.spans.primaries
+                if overlaps(s.formed_round, s.lost_round)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates over the current view.
+    # ------------------------------------------------------------------
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Attempt count per outcome over the current view."""
+        counts: Dict[str, int] = {}
+        for span in self.spans.attempts:
+            counts[span.outcome] = counts.get(span.outcome, 0) + 1
+        return counts
+
+    def interruption_counts(self) -> Dict[str, int]:
+        """Interrupted-attempt count per change kind over the view."""
+        counts: Dict[str, int] = {}
+        for span in self.spans.attempts:
+            if span.interrupted_by is not None:
+                counts[span.interrupted_by] = (
+                    counts.get(span.interrupted_by, 0) + 1
+                )
+        return counts
+
+    def blame_totals(self) -> Dict[str, int]:
+        """Lost rounds per blame category over the view's runs."""
+        return self.spans.blame_totals()
+
+    def describe(self) -> str:
+        """One line: view size and outcome mix."""
+        outcomes = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(self.outcome_counts().items())
+        )
+        label = " ".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        prefix = f"[{label}] " if label else ""
+        return (
+            f"{prefix}{len(self.spans.attempts)} attempts, "
+            f"{len(self.spans.primaries)} primaries, "
+            f"{len(self.spans.runs)} runs"
+            + (f" ({outcomes})" if outcomes else "")
+        )

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from repro.obs.canonical import canonical_jsonl
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -46,12 +47,15 @@ def series_to_dict(series: MetricSeries) -> Dict[str, Any]:
 
 
 def registry_to_jsonl(registry: MetricsRegistry) -> str:
-    """The whole registry as canonical JSON lines (sorted keys/series)."""
-    lines = [
-        json.dumps(series_to_dict(series), sort_keys=True)
-        for series in registry.series()
-    ]
-    return "\n".join(lines) + ("\n" if lines else "")
+    """The whole registry as canonical JSON lines (sorted keys/series).
+
+    Framed by the shared :mod:`repro.obs.canonical` encoder — the same
+    one the trace and span exporters use — so all three line formats
+    are pinned by one definition (and one golden test).
+    """
+    return canonical_jsonl(
+        series_to_dict(series) for series in registry.series()
+    )
 
 
 def write_metrics_jsonl(

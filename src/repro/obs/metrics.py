@@ -178,6 +178,57 @@ class Histogram(MetricSeries):
             return float("nan")
         return self.sum / self.count
 
+    def percentile(self, q: Number) -> Optional[Number]:
+        """The q-th percentile of the bucketed distribution (exact rule).
+
+        Deterministic, integer-only semantics against the recorded
+        buckets: the rank is ``ceil(q/100 × count)`` (at least 1), and
+        the result is the upper bound of the bucket holding that rank —
+        the smallest recorded bound with at least ``rank`` observations
+        at or below it.  Three refinements make the edges exact: ``q =
+        0`` returns the recorded minimum, a rank landing in the
+        overflow bucket returns the recorded maximum (the only exact
+        value known above the last bound), and a bucket bound above
+        the recorded maximum clamps to it (the distribution provably
+        never reaches the bound).  Empty histograms return ``None``.
+
+        The same histogram always yields the same percentile whatever
+        shard order produced it, because merge adds buckets elementwise.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+        if not self.count:
+            return None
+        if q == 0:
+            return self.min
+        rank = -((-q * self.count) // 100)  # ceil(q*count/100), ints only
+        if rank < 1:
+            rank = 1
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    bound = self.bounds[index]
+                    if self.max is not None and self.max < bound:
+                        return self.max
+                    return bound
+                return self.max  # overflow bucket: max is exact
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def summary(self) -> Dict[str, Any]:
+        """Count/sum/min/max/mean plus the p50/p90/p99 percentiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": None if not self.count else self.sum / self.count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
     def merge(self, other: MetricSeries) -> None:
         """Buckets, counts and sums add; extrema combine."""
         self._check_mergeable(other)

@@ -159,6 +159,72 @@ class ExploreStats:
         return asdict(self)
 
 
+@dataclass(frozen=True)
+class Counterexample:
+    """One violating schedule, captured live with its causal explanation.
+
+    ``plan_steps`` is the realized (gap, change, late) schedule from the
+    pristine initial state up to and including the violating step —
+    directly replayable through :meth:`DriverLoop.execute_schedule` or
+    convertible to a ``repro.check`` plan via ``plan_from_recorded``.
+    ``blame`` is the non-primary-round breakdown of that replay as
+    reconstructed by :mod:`repro.obs.causal` (nonzero categories only,
+    sorted), so every counterexample answers not just *that* the bound
+    was violated but what the availability picture looked like on the
+    way there.
+    """
+
+    algorithm: str
+    n_processes: int
+    steps: Tuple[str, ...]
+    violation: str
+    plan_steps: Tuple[Tuple[int, ConnectivityChange, FrozenSet[int]], ...]
+    blame: Tuple[Tuple[str, int], ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (the CLI's ``--stats-out`` artifact)."""
+        return {
+            "algorithm": self.algorithm,
+            "n_processes": self.n_processes,
+            "steps": list(self.steps),
+            "violation": self.violation,
+            "blame": {category: count for category, count in self.blame},
+        }
+
+
+def _blame_for_steps(
+    algorithm: str,
+    n_processes: int,
+    steps: Sequence[Tuple[int, ConnectivityChange, FrozenSet[int]]],
+) -> Tuple[Tuple[str, int], ...]:
+    """Replay a recorded schedule under causal observation.
+
+    The replay raises the same violation the exploration hit (the
+    schedule is deterministic); the span builder's state up to that
+    point is exactly the explanation we want.
+    """
+    from repro.errors import SimulationError
+    from repro.obs.causal import CausalObserver
+
+    causal = CausalObserver()
+    driver = DriverLoop(
+        algorithm=algorithm,
+        n_processes=n_processes,
+        fault_rng=derive_rng(0, "explore", "blame", algorithm),
+        observers=[InvariantChecker(), causal],
+    )
+    try:
+        driver.execute_schedule(steps)
+    except (InvariantViolation, SimulationError):
+        pass
+    totals = causal.finalize().blame_totals()
+    return tuple(
+        (category, count)
+        for category, count in sorted(totals.items())
+        if count
+    )
+
+
 @dataclass
 class ExplorationResult:
     """What the exhaustive exploration covered and found."""
@@ -174,6 +240,10 @@ class ExplorationResult:
     #: Work accounting of the fork-based engine (None for the replay
     #: reference engine, which has nothing interesting to report).
     stats: Optional[ExploreStats] = None
+    #: Structured counterexamples with causal blame, one per *live*
+    #: violation site (abstractly-propagated twins share their
+    #: originating entry; the replay engine does not fill this).
+    counterexamples: List[Counterexample] = field(default_factory=list)
 
     @property
     def availability_percent(self) -> float:
@@ -286,6 +356,12 @@ class _RoundCounter(Subscriber):
 
 class _Abort(Exception):
     """Internal: unwind the DFS on truncation or stop-on-violation."""
+
+
+#: Ceiling on causal replays per exploration: each counterexample costs
+#: one schedule replay, and a badly broken algorithm can violate on
+#: thousands of schedules — the first few explain the bug.
+MAX_COUNTEREXAMPLES = 25
 
 
 class _Explorer:
@@ -436,6 +512,7 @@ class _Explorer:
                     try:
                         driver.run_scripted_round(change, late)
                     except InvariantViolation as violation:
+                        self._capture_counterexample(str(violation))
                         next_topology = apply_change(snap.topology, change)
                         self._violating_suffixes(
                             next_topology, self.depth - 1, str(violation)
@@ -520,6 +597,7 @@ class _Explorer:
             if self.driver.primary_exists():
                 self.result.available += self._mult
         except InvariantViolation as violation:
+            self._capture_counterexample(str(violation))
             self._add_record(tuple(self._steps_desc), str(violation))
         self._progress()
 
@@ -559,6 +637,7 @@ class _Explorer:
                         try:
                             sent = driver.run_scripted_round(change, late)
                         except InvariantViolation as violation:
+                            self._capture_counterexample(str(violation))
                             self._violating_suffixes(
                                 next_topology, remaining - 1, str(violation)
                             )
@@ -607,6 +686,7 @@ class _Explorer:
                         self.driver.run_round(None)
                     except InvariantViolation as raised:
                         violation = (executed + 1, str(raised))
+                        self._capture_counterexample(str(raised))
                         break
                     executed += 1
             if violation is None or gap < violation[0]:
@@ -684,6 +764,35 @@ class _Explorer:
         if self.stop_on_violation:
             raise _Abort
 
+    def _capture_counterexample(self, text: str) -> None:
+        """Snapshot the live violating schedule and attribute its blame.
+
+        Called at the moment a violation is raised by the *live* driver
+        (leaf settling, a scripted change round, or a quiet gap round),
+        while ``recorded_steps`` still holds the realized schedule from
+        the pristine initial state.  Abstractly-propagated twins of the
+        same violation reuse this entry — their replays fail at the
+        identical prefix, so the explanation is the same.
+        """
+        if len(self.result.counterexamples) >= MAX_COUNTEREXAMPLES:
+            return
+        plan_steps = tuple(
+            (gap, change, frozenset(late))
+            for gap, change, late in self.driver.recorded_steps()
+        )
+        self.result.counterexamples.append(
+            Counterexample(
+                algorithm=self.algorithm,
+                n_processes=self.n_processes,
+                steps=tuple(self._steps_desc),
+                violation=text,
+                plan_steps=plan_steps,
+                blame=_blame_for_steps(
+                    self.algorithm, self.n_processes, plan_steps
+                ),
+            )
+        )
+
     def _progress(self) -> None:
         if not self._progress_hooks:
             return
@@ -710,7 +819,16 @@ def _shard_ranges(total: int, shards: int) -> List[Tuple[int, int]]:
 
 def _explore_shard(
     payload: Tuple[int, str, int, int, Tuple[int, ...], bool, bool, int, int],
-) -> Tuple[int, Tuple[int, int, List[Tuple[Tuple[str, ...], str]], ExploreStats]]:
+) -> Tuple[
+    int,
+    Tuple[
+        int,
+        int,
+        List[Tuple[Tuple[str, ...], str]],
+        ExploreStats,
+        List[Counterexample],
+    ],
+]:
     """Process-pool worker: explore one contiguous frontier slice.
 
     The frontier is recomputed in the worker (it is a pure function of
@@ -743,6 +861,7 @@ def _explore_shard(
         explorer.result.available,
         explorer.records,
         explorer.stats,
+        explorer.result.counterexamples,
     )
 
 
@@ -874,10 +993,12 @@ def explore(
     result = planner.result
     stats = planner.stats
     for index in range(len(payloads)):
-        scenarios, available, records, shard_stats = shards[index]
+        scenarios, available, records, shard_stats, examples = shards[index]
         result.scenarios += scenarios
         result.available += available
         stats.merge(shard_stats)
+        room = MAX_COUNTEREXAMPLES - len(result.counterexamples)
+        result.counterexamples.extend(examples[:room])
         for descs, text in records:
             result.violations.append("; ".join(descs) + f": {text}")
         if records and stop_on_violation:

@@ -89,6 +89,17 @@ def shard_configs(config: CaseConfig, shards: int) -> List[CaseConfig]:
         raise ValueError("need at least one shard")
     if config.mode != MODE_FRESH:
         raise ValueError("only fresh-start cases can be sharded")
+    if config.collect_causal:
+        # The trace stream a causal reconstruction consumes only emits
+        # primary events on *change*, so consecutive fresh runs are not
+        # independent: the first run of a shard would see a different
+        # event stream than it does mid-sequence.  Causal collection
+        # parallelizes at case granularity (run_cases_parallel), where
+        # every case's stream is complete.
+        raise ValueError(
+            "collect_causal cases cannot be run-sharded — parallelize "
+            "them at case granularity with run_cases_parallel"
+        )
     shards = min(shards, config.runs)
     base, extra = divmod(config.runs, shards)
     configs: List[CaseConfig] = []

@@ -19,9 +19,22 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.message import Message
+from repro.obs.canonical import canonical_jsonl, canonical_line
 from repro.sim.stats import RunObserver
 from repro.types import ProcessId, sorted_members
 
@@ -136,6 +149,70 @@ class RunBoundaryEvent(TraceEvent):
             "boundary": self.boundary,
             "available": self.available,
         }
+
+
+#: kind string → event class, the inverse of :attr:`TraceEvent.kind`.
+_EVENT_TYPES: Dict[str, type] = {
+    "broadcast": BroadcastEvent,
+    "change": ChangeEvent,
+    "view": ViewEvent,
+    "primaryformed": PrimaryFormedEvent,
+    "primarylost": PrimaryLostEvent,
+    "runboundary": RunBoundaryEvent,
+}
+
+
+def event_from_dict(data: Mapping[str, Any]) -> TraceEvent:
+    """Rebuild one :class:`TraceEvent` from its :meth:`~TraceEvent.to_dict` form.
+
+    The exact inverse of the export encoding:
+    ``event_from_dict(e.to_dict()).to_dict() == e.to_dict()`` for every
+    event kind (property-tested), which is what lets recorded traces be
+    replayed offline — through the span reconstructor, the timeline
+    renderer, or a fresh digest — from nothing but their JSONL.
+    """
+    kind = data.get("kind")
+    round_index = int(data["round"])
+    if kind == "broadcast":
+        return BroadcastEvent(
+            round_index=round_index,
+            sender=int(data["sender"]),
+            items=tuple(str(item) for item in data["items"]),
+        )
+    if kind == "change":
+        return ChangeEvent(
+            round_index=round_index,
+            description=str(data["change"]),
+            components_after=tuple(
+                tuple(int(p) for p in component)
+                for component in data["components_after"]
+            ),
+        )
+    if kind == "view":
+        return ViewEvent(
+            round_index=round_index,
+            view_seq=int(data["view_seq"]),
+            members=tuple(int(p) for p in data["members"]),
+        )
+    if kind == "primaryformed":
+        return PrimaryFormedEvent(
+            round_index=round_index,
+            members=tuple(int(p) for p in data["members"]),
+        )
+    if kind == "primarylost":
+        return PrimaryLostEvent(
+            round_index=round_index,
+            members=tuple(int(p) for p in data["members"]),
+        )
+    if kind == "runboundary":
+        available = data.get("available")
+        return RunBoundaryEvent(
+            round_index=round_index,
+            run_index=int(data["run_index"]),
+            boundary=str(data["boundary"]),
+            available=None if available is None else bool(available),
+        )
+    raise ValueError(f"unknown trace event kind {kind!r}")
 
 
 class TraceRecorder(RunObserver):
@@ -306,8 +383,13 @@ def trace_canonical_json(recorder: TraceRecorder) -> str:
 
 
 def _event_line(event: TraceEvent) -> bytes:
-    """One event as a canonical JSON line (sorted keys, newline-framed)."""
-    return json.dumps(event.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
+    """One event as a canonical JSON line (sorted keys, newline-framed).
+
+    Delegates to the shared :mod:`repro.obs.canonical` encoder — the
+    same framing the metrics and span exporters use — so every golden
+    digest in the repo is defined by one encoder.
+    """
+    return canonical_line(event.to_dict())
 
 
 def trace_digest(recorder: TraceRecorder) -> str:
@@ -323,6 +405,74 @@ def trace_digest(recorder: TraceRecorder) -> str:
     for event in recorder.events:
         sha.update(_event_line(event))
     return sha.hexdigest()
+
+
+def trace_to_jsonl(recorder: TraceRecorder) -> str:
+    """The whole trace as canonical JSON lines (one event per line).
+
+    Same per-event bytes as the digest stream, newline-framed by the
+    shared :func:`repro.obs.canonical.canonical_jsonl` encoder.  A
+    truncated trace ends with the explicit ``truncation`` marker line
+    from :meth:`TraceRecorder.to_dicts`, so capped exports stay honest.
+    """
+    return canonical_jsonl(recorder.to_dicts())
+
+
+def events_from_jsonl(text: str) -> Tuple[List[TraceEvent], bool]:
+    """Parse trace JSONL back into events.
+
+    Returns ``(events, truncated)`` — ``truncated`` is True when the
+    text ends with a ``truncation`` marker line (which is consumed, not
+    returned as an event).
+    """
+    events: List[TraceEvent] = []
+    truncated = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"trace line {line_number}: not valid JSON ({error})"
+            ) from error
+        if data.get("kind") == "truncation":
+            truncated = True
+            continue
+        events.append(event_from_dict(data))
+    return events, truncated
+
+
+def write_trace_jsonl(
+    recorder: TraceRecorder, path: Union[str, Path]
+) -> Path:
+    """Write the canonical trace JSONL; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_jsonl(recorder), encoding="utf-8")
+    return path
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> Tuple[List[TraceEvent], bool]:
+    """Read one trace JSONL file back into ``(events, truncated)``."""
+    return events_from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+def recorder_from_events(
+    events: Iterable[TraceEvent], truncated: bool = False
+) -> TraceRecorder:
+    """A recorder pre-filled with existing events (offline replay).
+
+    Gives loaded traces access to every recorder-based consumer —
+    :func:`render_timeline`, :func:`trace_digest`,
+    :func:`~repro.obs.causal.spans_from_recorder` — without having
+    observed a live driver.
+    """
+    recorder = TraceRecorder()
+    recorder.events = list(events)
+    recorder.max_events = max(recorder.max_events, len(recorder.events))
+    recorder.truncated = truncated
+    return recorder
 
 
 class TraceDigester(TraceRecorder):
@@ -349,13 +499,42 @@ class TraceDigester(TraceRecorder):
         return self._sha.hexdigest()
 
 
-def render_timeline(recorder: TraceRecorder, max_rounds: int = 200) -> str:
-    """A compact human-readable timeline of a trace."""
+def render_timeline(
+    recorder: TraceRecorder,
+    max_rounds: int = 200,
+    spans: Optional[Iterable[Any]] = None,
+) -> str:
+    """A compact human-readable timeline of a trace.
+
+    ``spans`` takes attempt spans (any objects with ``members``,
+    ``open_round``, ``close_round`` and ``outcome`` — see
+    :class:`repro.obs.causal.AttemptSpan`) and weaves their open/close
+    marks into the matching round rows, so the timeline shows not just
+    what happened but which agreement attempt it belonged to.
+
+    Truncation is marked explicitly at both levels: a display cut at
+    ``max_rounds`` appends an elision line counting the rounds and
+    events not rendered, and a recording cut at the recorder's
+    ``max_events`` appends the dropped-event line — both can appear.
+    """
+    opened: Dict[int, List[Any]] = {}
+    closed: Dict[int, List[Any]] = {}
+    if spans is not None:
+        for span in spans:
+            opened.setdefault(span.open_round, []).append(span)
+            if span.close_round is not None:
+                closed.setdefault(span.close_round, []).append(span)
     lines: List[str] = []
     shown = 0
-    for round_index, events in recorder.iter_rounds():
+    rounds = recorder.iter_rounds()
+    for round_index, events in rounds:
         if shown >= max_rounds:
-            lines.append(f"... ({len(recorder.events)} events total)")
+            omitted = 1 + sum(1 for _ in rounds)
+            lines.append(
+                f"... (timeline cut at max_rounds={max_rounds}: "
+                f"{omitted} more rounds omitted, "
+                f"{len(recorder.events)} events total)"
+            )
             break
         shown += 1
         lines.append(f"r{round_index:>4}:")
@@ -370,6 +549,12 @@ def render_timeline(recorder: TraceRecorder, max_rounds: int = 200) -> str:
             lines.append(f"       sends: {senders}{suffix}")
         for event in others:
             lines.append(f"       {event.describe()}")
+        for span in opened.get(round_index, ()):
+            inner = ",".join(map(str, span.members))
+            lines.append(f"       ├─ attempt {{{inner}}} opens")
+        for span in closed.get(round_index, ()):
+            inner = ",".join(map(str, span.members))
+            lines.append(f"       └─ attempt {{{inner}}}: {span.outcome}")
     if recorder.truncated:
         lines.append(
             f"(trace truncated at max_events={recorder.max_events}: "

@@ -1,0 +1,105 @@
+"""Byte-pinning tests for the shared canonical line encoder.
+
+Every byte-stable artifact of the project — trace JSONL and digests,
+metrics JSONL, span JSONL — is framed by ``repro.obs.canonical``.
+These tests pin the exact bytes of that framing (golden literals, not
+round-trips) and then verify each artifact family actually goes
+through it, so no exporter can drift from the committed golden files
+without tripping here first.
+"""
+
+import hashlib
+import json
+
+from repro.obs import registry_to_jsonl
+from repro.obs.canonical import (
+    canonical_digest,
+    canonical_json,
+    canonical_jsonl,
+    canonical_line,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder, trace_digest, trace_to_jsonl
+
+from tests.conftest import make_driver, split
+
+#: Golden inputs — exercised exactly as committed; do not regenerate.
+GOLDEN_OBJS = [
+    {"b": 1, "a": [1, 2], "z": None},
+    {"kind": "x", "text": "café", "ok": True},
+]
+GOLDEN_LINES = [
+    '{"a": [1, 2], "b": 1, "z": null}',
+    '{"kind": "x", "ok": true, "text": "caf\\u00e9"}',
+]
+GOLDEN_DIGEST = (
+    "4da738cd29406814733b3efe4c65b1877a7aad2e42c3d787969d5b1211daea8e"
+)
+
+
+class TestGoldenBytes:
+    def test_canonical_json_exact_bytes(self):
+        assert [canonical_json(obj) for obj in GOLDEN_OBJS] == GOLDEN_LINES
+
+    def test_keys_sorted_and_ascii_escaped(self):
+        line = canonical_json(GOLDEN_OBJS[1])
+        assert line.index('"kind"') < line.index('"ok"') < line.index('"text"')
+        assert "\\u00e9" in line and "é" not in line
+
+    def test_canonical_line_is_newline_framed_bytes(self):
+        assert canonical_line(GOLDEN_OBJS[0]) == (
+            GOLDEN_LINES[0].encode("utf-8") + b"\n"
+        )
+
+    def test_canonical_jsonl_exact_text(self):
+        assert canonical_jsonl(GOLDEN_OBJS) == "\n".join(GOLDEN_LINES) + "\n"
+
+    def test_canonical_jsonl_empty_input(self):
+        assert canonical_jsonl([]) == ""
+
+    def test_canonical_digest_pinned(self):
+        assert canonical_digest(GOLDEN_OBJS) == GOLDEN_DIGEST
+
+    def test_digest_is_sha256_of_line_stream(self):
+        stream = b"".join(canonical_line(obj) for obj in GOLDEN_OBJS)
+        assert canonical_digest(GOLDEN_OBJS) == hashlib.sha256(
+            stream
+        ).hexdigest()
+
+
+class TestAllExportersShareTheEncoder:
+    """Each artifact family's lines are exactly the canonical framing."""
+
+    def _recorded(self):
+        recorder = TraceRecorder()
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        return recorder
+
+    def test_trace_jsonl_lines_are_canonical(self):
+        text = trace_to_jsonl(self._recorded())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line == canonical_json(json.loads(line))
+
+    def test_trace_digest_is_canonical_digest_of_events(self):
+        recorder = self._recorded()
+        assert trace_digest(recorder) == canonical_digest(recorder.to_dicts())
+
+    def test_metrics_jsonl_lines_are_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("rounds_total", algorithm="ykd").value = 7
+        registry.histogram("extent", buckets=(1, 2)).observe(3)
+        text = registry_to_jsonl(registry)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line == canonical_json(json.loads(line))
+
+    def test_span_jsonl_lines_are_canonical(self):
+        from repro.obs.causal import spans_from_recorder, spans_to_jsonl
+
+        text = spans_to_jsonl(spans_from_recorder(self._recorded()))
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line == canonical_json(json.loads(line))

@@ -1,0 +1,544 @@
+"""Tests for causal attempt tracing and availability forensics.
+
+The two load-bearing contracts of ``repro.obs.causal``:
+
+* **live == offline, byte-identical** — reconstructing spans while the
+  run executes (:class:`CausalObserver` on the event bus) and
+  reconstructing them afterwards from the recorded trace (or its
+  JSONL) must produce byte-identical span exports.  The two paths
+  share the builder, so this differential pins the *recording
+  pipeline*: every event the builder needs must reach the recorder,
+  in order, with faithful dicts.
+* **blame is a partition** — every round of a measured run without a
+  live primary lands in exactly one blame category, verified against
+  an independent per-round count taken straight off the driver.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.check.corpus import load_repro
+from repro.check.differential import check_plan, run_plan
+from repro.check.plan import driver_steps
+from repro.errors import InvariantViolation, SimulationError
+from repro.obs import merge_registries, registry_to_jsonl
+from repro.obs.bus import Subscriber
+from repro.obs.causal import (
+    ATTEMPT_OUTCOMES,
+    BLAME_CATEGORIES,
+    CausalMetrics,
+    CausalObserver,
+    SpanIndex,
+    spans_from_jsonl,
+    spans_from_recorder,
+    spans_to_jsonl,
+)
+from repro.sim.campaign import CaseConfig, run_case
+from repro.sim.driver import DriverLoop
+from repro.sim.explore import explore
+from repro.sim.parallel import run_cases_parallel, shard_configs
+from repro.sim.rng import derive_rng
+from repro.sim.trace import TraceRecorder, trace_to_jsonl
+
+from tests.conftest import heal, make_driver, split
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _case(**overrides) -> CaseConfig:
+    base = dict(
+        algorithm="ykd",
+        n_processes=6,
+        n_changes=4,
+        mean_rounds_between_changes=3.0,
+        runs=12,
+        master_seed=3,
+    )
+    base.update(overrides)
+    return CaseConfig(**base)
+
+
+def _run_with_both(config: CaseConfig):
+    """One case observed live and recorded, returning (live, recorder)."""
+    recorder = TraceRecorder(max_events=1_000_000)
+    live = CausalObserver()
+    run_case(config, observers=[recorder, live])
+    return live, recorder
+
+
+# ----------------------------------------------------------------------
+# Live vs offline differential.
+# ----------------------------------------------------------------------
+
+
+class TestLiveOfflineIdentity:
+    def test_scripted_driver_byte_identical(self):
+        recorder = TraceRecorder()
+        live = CausalObserver()
+        driver = make_driver("ykd", 5, observers=[recorder, live])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        split(driver, {2})
+        driver.run_until_quiescent()
+        heal(driver)
+        offline = spans_from_recorder(recorder)
+        assert spans_to_jsonl(live.finalize()) == spans_to_jsonl(offline)
+
+    @pytest.mark.parametrize("mode", ["fresh", "cascading"])
+    @pytest.mark.parametrize("algorithm", ["ykd", "simple_majority"])
+    def test_campaign_byte_identical(self, algorithm, mode):
+        live, recorder = _run_with_both(_case(algorithm=algorithm, mode=mode))
+        offline = spans_from_recorder(recorder)
+        assert spans_to_jsonl(live.finalize()) == spans_to_jsonl(offline)
+
+    def test_jsonl_round_trip_byte_identical(self):
+        live, recorder = _run_with_both(_case())
+        from_text = spans_from_jsonl(trace_to_jsonl(recorder))
+        assert spans_to_jsonl(from_text) == spans_to_jsonl(live.finalize())
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_corpus_plans_byte_identical(self, path):
+        plan = load_repro(path).plan
+        for algorithm in ("ykd", "simple_majority"):
+            recorder = TraceRecorder(max_events=1_000_000)
+            live = CausalObserver()
+            driver = DriverLoop(
+                algorithm=algorithm,
+                n_processes=plan.n_processes,
+                fault_rng=derive_rng(0, "causal", "corpus", algorithm),
+                observers=[recorder, live],
+            )
+            try:
+                driver.execute_schedule(driver_steps(plan))
+            except (InvariantViolation, SimulationError):
+                pass
+            assert spans_to_jsonl(live.finalize()) == spans_to_jsonl(
+                spans_from_recorder(recorder)
+            ), f"{path.stem}/{algorithm}"
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        algorithm=st.sampled_from(["ykd", "simple_majority", "dfls"]),
+        mode=st.sampled_from(["fresh", "cascading"]),
+        n_processes=st.integers(min_value=3, max_value=7),
+        n_changes=st.integers(min_value=1, max_value=4),
+        runs=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_random_campaigns_byte_identical(
+        self, algorithm, mode, n_processes, n_changes, runs, seed
+    ):
+        live, recorder = _run_with_both(
+            _case(
+                algorithm=algorithm,
+                mode=mode,
+                n_processes=n_processes,
+                n_changes=n_changes,
+                runs=runs,
+                master_seed=seed,
+            )
+        )
+        offline = spans_from_recorder(recorder)
+        assert spans_to_jsonl(live.finalize()) == spans_to_jsonl(offline)
+
+    def test_truncated_trace_marks_span_set(self):
+        recorder = TraceRecorder(max_events=5)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        assert spans_from_recorder(recorder).truncated
+
+
+# ----------------------------------------------------------------------
+# Blame accounting (the acceptance criterion).
+# ----------------------------------------------------------------------
+
+
+class _RoundLedger(Subscriber):
+    """Independent per-round primary count straight off the driver."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.primary = 0
+        self._in_run = False
+
+    def on_run_start(self, driver) -> None:
+        self._in_run = True
+
+    def on_run_end(self, driver) -> None:
+        self._in_run = False
+
+    def on_round(self, driver) -> None:
+        if not self._in_run:
+            return
+        self.total += 1
+        if driver.primary_exists():
+            self.primary += 1
+
+
+class TestBlameAccounting:
+    @pytest.mark.parametrize("mode", ["fresh", "cascading"])
+    @pytest.mark.parametrize("algorithm", ["ykd", "simple_majority"])
+    def test_every_nonprimary_round_blamed_exactly_once(
+        self, algorithm, mode
+    ):
+        ledger = _RoundLedger()
+        causal = CausalObserver()
+        run_case(_case(algorithm=algorithm, mode=mode), observers=[ledger, causal])
+        spans = causal.finalize()
+        assert spans.total_rounds == ledger.total
+        assert spans.primary_rounds == ledger.primary
+        blamed = sum(spans.blame_totals().values())
+        assert blamed == spans.nonprimary_rounds
+        assert blamed == ledger.total - ledger.primary
+
+    def test_per_run_blame_sums_to_nonprimary_rounds(self):
+        causal = CausalObserver()
+        run_case(_case(runs=20), observers=[causal])
+        for run in causal.finalize().runs:
+            assert tuple(c for c, _ in run.blame) == BLAME_CATEGORIES
+            assert sum(n for _, n in run.blame) == run.nonprimary_rounds
+
+    def test_blame_categories_are_closed(self):
+        causal = CausalObserver()
+        run_case(_case(mode="cascading", runs=20), observers=[causal])
+        totals = causal.finalize().blame_totals()
+        assert set(totals) == set(BLAME_CATEGORIES)
+
+
+# ----------------------------------------------------------------------
+# Span-model invariants.
+# ----------------------------------------------------------------------
+
+
+class TestSpanInvariants:
+    @pytest.fixture(scope="class")
+    def spans(self):
+        causal = CausalObserver()
+        run_case(
+            _case(mode="cascading", runs=25, n_changes=5), observers=[causal]
+        )
+        return causal.finalize()
+
+    def test_attempt_outcomes_and_causes(self, spans):
+        assert spans.attempts
+        for span in spans.attempts:
+            assert span.outcome in ATTEMPT_OUTCOMES
+            assert span.members == tuple(sorted(span.members))
+            if span.outcome == "interrupted":
+                assert span.interrupted_by is not None
+                assert span.closed_by is not None
+                assert span.closed_by.kind == "change"
+            if span.outcome == "resolved":
+                assert span.closed_by is not None
+                assert span.closed_by.kind == "primaryformed"
+            if span.close_round is not None:
+                assert span.close_round >= span.open_round
+
+    def test_causal_links_dereference_into_the_trace(self):
+        recorder = TraceRecorder(max_events=1_000_000)
+        causal = CausalObserver()
+        run_case(_case(), observers=[recorder, causal])
+        events = recorder.events
+        for span in causal.finalize().attempts:
+            for link in (span.opened_by, *span.advanced_by, span.closed_by):
+                if link is None:
+                    continue
+                event = events[link.index]
+                assert event.kind == link.kind
+                assert event.round_index == link.round_index
+
+    def test_primary_spans_tile_the_primary_rounds(self, spans):
+        for span in spans.primaries:
+            if span.lost_round is not None:
+                assert span.lost_round >= span.formed_round
+            assert span.outcome in ("lost", "survived")
+
+    def test_span_dicts_are_json_ready(self, spans):
+        payload = json.dumps(spans.to_dicts())
+        assert '"span": "attempt"' in payload
+        assert '"span": "run"' in payload
+
+
+# ----------------------------------------------------------------------
+# Metrics folding and parallel determinism.
+# ----------------------------------------------------------------------
+
+
+class TestCausalMetrics:
+    def test_registry_matches_span_aggregates(self):
+        causal = CausalMetrics()
+        witness = CausalObserver()
+        run_case(_case(), observers=[causal, witness])
+        spans = witness.finalize()
+        lines = registry_to_jsonl(causal.registry)
+        blame = {
+            record["labels"]["category"]: record["value"]
+            for record in map(json.loads, lines.splitlines())
+            if record["name"] == "blame_rounds_total"
+        }
+        assert blame == spans.blame_totals()
+        outcomes = {
+            record["labels"]["outcome"]: record["value"]
+            for record in map(json.loads, lines.splitlines())
+            if record["name"] == "attempts_total"
+        }
+        assert outcomes == spans.outcome_counts()
+
+    def test_collect_causal_fills_case_metrics(self):
+        result = run_case(_case(collect_causal=True))
+        assert result.metrics is not None
+        names = {series.name for series in result.metrics.series()}
+        assert "blame_rounds_total" in names
+
+    def test_collect_causal_shares_registry_with_metrics(self):
+        result = run_case(_case(collect_metrics=True, collect_causal=True))
+        names = {series.name for series in result.metrics.series()}
+        assert "blame_rounds_total" in names  # causal series
+        assert "runs_total" in names  # campaign series, same registry
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_parallel_causal_registries_byte_identical(self, workers):
+        configs = [
+            _case(algorithm=algorithm, collect_causal=True)
+            for algorithm in ("ykd", "simple_majority", "dfls")
+        ]
+        serial = merge_registries(
+            [run_case(config).metrics for config in configs]
+        )
+        parallel = merge_registries(
+            [
+                result.metrics
+                for result in run_cases_parallel(configs, workers=workers)
+            ]
+        )
+        assert registry_to_jsonl(parallel) == registry_to_jsonl(serial)
+
+    def test_run_sharding_rejects_causal_collection(self):
+        # Fresh-run ranges are not independent for the causal stream
+        # (the recorder emits primary events on change only), so the
+        # sharding layer refuses rather than merging subtly different
+        # histograms.
+        with pytest.raises(ValueError, match="case granularity"):
+            shard_configs(_case(runs=24, collect_causal=True), 4)
+
+
+# ----------------------------------------------------------------------
+# SpanIndex queries.
+# ----------------------------------------------------------------------
+
+
+class TestSpanIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        causal = CausalObserver()
+        run_case(
+            _case(mode="cascading", runs=25, n_changes=5), observers=[causal]
+        )
+        return SpanIndex(causal.finalize(), labels={"algorithm": "ykd"})
+
+    def test_outcome_filter(self, index):
+        resolved = index.attempts_with(outcome="resolved")
+        assert len(resolved) == index.outcome_counts().get("resolved", 0)
+        assert all(s.outcome == "resolved" for s in resolved.attempts)
+
+    def test_filters_compose(self, index):
+        narrowed = index.attempts_with(min_message_rounds=1).attempts_with(
+            involving=0
+        )
+        for span in narrowed.attempts:
+            assert span.message_rounds >= 1
+            assert 0 in span.members
+
+    def test_interrupted_by_filter(self, index):
+        interrupted = index.attempts_with(outcome="interrupted")
+        by_kind = interrupted.interruption_counts()
+        for kind, count in by_kind.items():
+            assert len(interrupted.interrupted_by(kind)) == count
+
+    def test_run_filter_narrows_consistently(self, index):
+        narrowed = index.in_run(0, 1)
+        assert {s.run_index for s in narrowed.attempts} <= {0, 1}
+        assert {s.run_index for s in narrowed.runs} <= {0, 1}
+        assert {s.run_index for s in narrowed.primaries} <= {0, 1}
+
+    def test_round_window_filter(self, index):
+        windowed = index.in_rounds(0, 10)
+        for span in windowed.attempts:
+            assert span.open_round <= 10
+
+    def test_filters_do_not_mutate(self, index):
+        before = len(index)
+        index.attempts_with(outcome="interrupted").in_run(0)
+        assert len(index) == before
+
+    def test_describe_mentions_labels(self, index):
+        assert "algorithm=ykd" in index.describe()
+
+
+# ----------------------------------------------------------------------
+# Surface wiring: differential, explorer, GCS.
+# ----------------------------------------------------------------------
+
+
+class TestSurfaceWiring:
+    def test_verdicts_carry_blame_for_lost_rounds(self):
+        from tests.test_check_differential import EVEN_SPLIT
+
+        verdict = run_plan(EVEN_SPLIT, "ykd")
+        assert verdict.ok
+        assert verdict.blame  # agreement after the cut costs rounds
+        for category, count in verdict.blame:
+            assert category in BLAME_CATEGORIES
+            assert count > 0
+        # Clean verdicts keep the breakdown out of the one-line report.
+        assert "lost rounds" not in verdict.describe()
+
+    def test_failure_describe_appends_blame_breakdown(self):
+        from repro.check.differential import AlgorithmVerdict
+
+        verdict = AlgorithmVerdict(
+            algorithm="ykd",
+            outcome="livelock",
+            detail="never quiesced",
+            blame=(("attempt_in_flight", 3), ("no_quorum_possible", 2)),
+        )
+        line = verdict.describe()
+        assert "lost rounds: attempt_in_flight=3, no_quorum_possible=2" in line
+
+    def test_check_plan_replays_deterministically_with_blame(self):
+        from tests.test_check_differential import EVEN_SPLIT
+
+        first = check_plan(EVEN_SPLIT, ["ykd", "one_pending"])
+        second = check_plan(EVEN_SPLIT, ["ykd", "one_pending"])
+        assert first.verdicts == second.verdicts
+        assert all(v.blame for v in first.verdicts.values())
+
+    def test_explorer_attaches_counterexamples(self, broken_majority):
+        result = explore(
+            "broken_majority",
+            n_processes=4,
+            depth=1,
+            gap_options=(0,),
+            stop_on_violation=False,
+        )
+        assert result.violations
+        assert result.counterexamples
+        for example in result.counterexamples:
+            assert example.algorithm == "broken_majority"
+            assert example.steps
+            assert dict(example.blame)  # some round was lost
+            payload = json.dumps(example.to_dict())
+            assert "blame" in payload
+
+    def test_counterexample_schedule_replays_to_violation(
+        self, broken_majority
+    ):
+        result = explore(
+            "broken_majority", n_processes=4, depth=1, gap_options=(0,)
+        )
+        example = result.counterexamples[0]
+        driver = DriverLoop(
+            algorithm="broken_majority",
+            n_processes=example.n_processes,
+            fault_rng=derive_rng(0, "causal", "replay"),
+        )
+        with pytest.raises(InvariantViolation):
+            driver.execute_schedule(example.plan_steps)
+
+    def test_clean_exploration_has_no_counterexamples(self):
+        result = explore("ykd", n_processes=3, depth=1, gap_options=(0,))
+        assert result.passed
+        assert not result.counterexamples
+
+
+class TestGCSViewSpans:
+    def test_campaign_collects_view_spans(self):
+        from repro.gcs.campaign import GCSCaseConfig, run_gcs_case
+        from repro.obs.causal import VIEW_AGREED
+
+        result = run_gcs_case(
+            GCSCaseConfig(
+                algorithm="ykd",
+                n_processes=5,
+                n_changes=3,
+                runs=4,
+                collect_view_spans=True,
+            )
+        )
+        assert result.view_spans
+        counts = result.view_outcome_counts()
+        assert sum(counts.values()) == len(result.view_spans)
+        assert counts.get(VIEW_AGREED, 0) > 0
+        for span in result.view_spans:
+            assert span.close_tick >= span.open_tick
+            assert span.members == tuple(sorted(span.members))
+            payload = span.to_dict()
+            assert payload["kind"] == "repro.obs/gcs_view_span"
+            json.dumps(payload)
+
+    def test_spans_absent_without_flag(self):
+        from repro.gcs.campaign import GCSCaseConfig, run_gcs_case
+
+        result = run_gcs_case(
+            GCSCaseConfig(algorithm="ykd", n_processes=5, n_changes=3, runs=2)
+        )
+        assert result.view_spans == []
+
+
+# ----------------------------------------------------------------------
+# The explain CLI.
+# ----------------------------------------------------------------------
+
+
+class TestExplainCLI:
+    def test_live_explain_prints_forensics(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "explain", "ykd",
+            "--processes", "5", "--changes", "3", "--runs", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "availability forensics" in out
+        assert "blame" in out
+
+    def test_explain_writes_and_replays_artifacts(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        trace = tmp_path / "case.trace.jsonl"
+        spans = tmp_path / "case.spans.jsonl"
+        html = tmp_path / "report.html"
+        assert main([
+            "explain", "ykd",
+            "--processes", "5", "--changes", "3", "--runs", "6",
+            "--trace-out", str(trace),
+            "--spans-out", str(spans),
+            "--html", str(html),
+        ]) == 0
+        capsys.readouterr()
+        assert html.read_text(encoding="utf-8").startswith("<!doctype html>")
+        # Replaying the written trace reconstructs the same span file.
+        assert main(["explain", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "availability forensics" in out
+        offline = spans_from_jsonl(trace.read_text(encoding="utf-8"))
+        assert spans_to_jsonl(offline) == spans.read_text(encoding="utf-8")
+
+    def test_explain_replays_repro_files(self, capsys):
+        from repro.experiments.cli import main
+
+        path = CORPUS_FILES[0]
+        assert main(["explain", "ykd", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "availability forensics" in out

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import (
     CampaignMetrics,
+    Histogram,
     MetricsRegistry,
     canonical_labels,
     merge_registries,
@@ -201,3 +202,75 @@ class TestCampaignMetrics:
         assert registry_to_jsonl(metrics.registry) == registry_to_jsonl(
             flagged.metrics
         )
+
+
+class TestHistogramPercentiles:
+    """The exact bucketed-percentile rule used by the forensics report."""
+
+    def _histogram(self, bounds=(1, 2, 4, 8)):
+        return Histogram("extent", (), bounds)
+
+    def test_empty_histogram_has_no_percentiles(self):
+        histogram = self._histogram()
+        assert histogram.percentile(50) is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert summary["p50"] is None
+
+    def test_q_zero_returns_recorded_min(self):
+        histogram = self._histogram()
+        for value in (3, 7, 5):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 3
+
+    def test_percentile_is_bucket_upper_bound(self):
+        histogram = self._histogram()
+        for value in (1, 1, 2, 3, 5):
+            histogram.observe(value)
+        # rank(50) = ceil(0.5*5) = 3 → third observation sits in the
+        # bucket bounded by 2.
+        assert histogram.percentile(50) == 2
+        # rank(100) lands in bucket (4, 8], but the recorded max (5)
+        # is below the bound, so the bound clamps to it.
+        assert histogram.percentile(100) == 5
+
+    def test_overflow_bucket_returns_recorded_max(self):
+        histogram = self._histogram(bounds=(1, 2))
+        for value in (1, 50, 90):
+            histogram.observe(value)
+        assert histogram.percentile(99) == 90
+        assert histogram.max == 90
+
+    def test_out_of_range_q_rejected(self):
+        histogram = self._histogram()
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_summary_fields(self):
+        histogram = self._histogram()
+        for value in range(1, 11):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["sum"] == 55
+        assert summary["min"] == 1 and summary["max"] == 10
+        assert summary["mean"] == 5.5
+        assert summary["p50"] == 8  # rank 5 falls in bucket (4, 8]
+        assert summary["p99"] == 10  # overflow: exact max
+
+    def test_percentiles_survive_merge(self):
+        left, right = self._histogram(), self._histogram()
+        for value in (1, 2, 3):
+            left.observe(value)
+        for value in (5, 6, 7):
+            right.observe(value)
+        whole = self._histogram()
+        for value in (1, 2, 3, 5, 6, 7):
+            whole.observe(value)
+        left.merge(right)
+        assert left.percentile(50) == whole.percentile(50)
+        assert left.summary() == whole.summary()

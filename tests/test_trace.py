@@ -10,7 +10,11 @@ from repro.sim.trace import (
     RunBoundaryEvent,
     TraceRecorder,
     ViewEvent,
+    event_from_dict,
+    events_from_jsonl,
+    recorder_from_events,
     render_timeline,
+    trace_to_jsonl,
 )
 
 from tests.conftest import heal, make_driver, split
@@ -150,3 +154,119 @@ class TestQueriesAndExport:
         heal(driver)
         text = render_timeline(recorder, max_rounds=1)
         assert "events total" in text
+
+
+class TestEventRoundTrip:
+    """Every event kind survives to_dict → event_from_dict exactly."""
+
+    def _events(self):
+        recorder = TraceRecorder()
+        driver = make_driver("ykd", 5, observers=[recorder])
+        driver.execute_run(gaps=[1, 1])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        split(driver, {2})
+        driver.run_until_quiescent()
+        heal(driver)
+        return recorder.events
+
+    def test_all_kinds_round_trip(self):
+        events = self._events()
+        kinds = {e.kind for e in events}
+        assert {"broadcast", "change", "view", "primaryformed",
+                "primarylost", "runboundary"} <= kinds
+        for event in events:
+            clone = event_from_dict(event.to_dict())
+            assert clone == event
+            assert clone.to_dict() == event.to_dict()
+
+    def test_jsonl_round_trip_preserves_stream(self):
+        recorder = TraceRecorder()
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        text = trace_to_jsonl(recorder)
+        events, truncated = events_from_jsonl(text)
+        assert not truncated
+        assert events == recorder.events
+        rebuilt = recorder_from_events(events, truncated=truncated)
+        assert trace_to_jsonl(rebuilt) == text
+
+    def test_truncation_marker_round_trips(self):
+        recorder = TraceRecorder(max_events=5)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        events, truncated = events_from_jsonl(trace_to_jsonl(recorder))
+        assert truncated
+        assert recorder_from_events(events, truncated=True).truncated
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "wormhole", "round": 1})
+
+
+class TestTimelineSpans:
+    """Attempt spans woven into the timeline, including under truncation."""
+
+    def _recorded(self):
+        recorder = TraceRecorder()
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        split(driver, {2})
+        driver.run_until_quiescent()
+        heal(driver)
+        return recorder
+
+    def test_span_rows_mark_open_and_close(self):
+        from repro.obs.causal import spans_from_recorder
+
+        recorder = self._recorded()
+        spans = spans_from_recorder(recorder)
+        text = render_timeline(recorder, spans=spans.attempts)
+        assert "├─ attempt {" in text
+        assert "└─ attempt {" in text
+        for span in spans.attempts:
+            inner = ",".join(map(str, span.members))
+            assert f"└─ attempt {{{inner}}}: {span.outcome}" in text
+
+    def test_max_rounds_cut_with_span_rows(self):
+        # Regression: the display cut and span weaving compose — rows
+        # for rendered rounds keep their span marks, the elision line
+        # reports the cut, and spans beyond the cut don't leak in.
+        from repro.obs.causal import spans_from_recorder
+
+        recorder = self._recorded()
+        spans = spans_from_recorder(recorder)
+        text = render_timeline(recorder, max_rounds=2, spans=spans.attempts)
+        assert "timeline cut at max_rounds=2" in text
+        assert "more rounds omitted" in text
+        rendered_rounds = [
+            int(line.split(":")[0][1:])
+            for line in text.splitlines()
+            if line.startswith("r") and line.endswith(":")
+        ]
+        assert len(rendered_rounds) == 2
+        shown = set(rendered_rounds)
+        opens = sum(1 for line in text.splitlines() if "├─ attempt {" in line)
+        closes = sum(1 for line in text.splitlines() if "└─ attempt {" in line)
+        assert opens == sum(
+            1 for span in spans.attempts if span.open_round in shown
+        )
+        assert closes == sum(
+            1 for span in spans.attempts if span.close_round in shown
+        )
+
+    def test_recording_and_display_cuts_can_both_appear(self):
+        from repro.obs.causal import spans_from_recorder
+
+        recorder = TraceRecorder(max_events=8)
+        driver = make_driver("ykd", 5, observers=[recorder])
+        split(driver, {3, 4})
+        driver.run_until_quiescent()
+        heal(driver)
+        spans = spans_from_recorder(recorder)
+        text = render_timeline(recorder, max_rounds=1, spans=spans.attempts)
+        assert "timeline cut at max_rounds=1" in text
+        assert "trace truncated at max_events=8" in text
