@@ -33,7 +33,14 @@ from repro.check.differential import (
     check_plan,
     run_plan,
 )
-from repro.check.fuzzer import FuzzConfig, FuzzFailure, FuzzResult, fuzz, generate_plan
+from repro.check.fuzzer import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzResult,
+    classify_report,
+    fuzz,
+    generate_plan,
+)
 from repro.check.plan import (
     PlanError,
     PlanStep,
@@ -60,6 +67,7 @@ __all__ = [
     "SchedulePlan",
     "ShrinkResult",
     "check_plan",
+    "classify_report",
     "fuzz",
     "generate_plan",
     "load_repro",

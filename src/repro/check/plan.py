@@ -18,9 +18,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ReproError, TopologyError
+from repro.faults.model import (
+    FaultModel,
+    FaultModelError,
+    faults_from_dict,
+    faults_to_dict,
+)
 from repro.net.changes import (
     ConnectivityChange,
     CrashChange,
@@ -56,22 +62,39 @@ class PlanStep:
 
 @dataclass(frozen=True)
 class SchedulePlan:
-    """A complete explicit fault schedule for one system."""
+    """A complete explicit fault schedule for one system.
+
+    ``faults`` is the optional adversarial fault model the plan runs
+    under (:class:`repro.faults.FaultModel`).  A default-constructed
+    model is normalized to ``None`` so a clean plan has exactly one
+    representation — and therefore exactly one canonical JSON, byte-
+    identical to the pre-fault format.
+    """
 
     n_processes: int
     steps: Tuple[PlanStep, ...]
+    faults: Optional[FaultModel] = None
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and self.faults.is_default():
+            object.__setattr__(self, "faults", None)
 
     def cost(self) -> Tuple[int, int, int]:
         """Shrink ordering: fewer steps < fewer processes < less detail.
 
         Every transformation the minimizer accepts strictly decreases
         this triple, which is what guarantees termination and gives
-        "smaller" a concrete meaning in the acceptance criteria.
+        "smaller" a concrete meaning in the acceptance criteria.  Fault
+        knobs count as detail, so relaxing a knob (lower loss, milder
+        Byzantine behaviour, persistent instead of amnesiac) is a
+        strict shrink too.
         """
         detail = sum(
             step.gap + len(step.late) + _change_weight(step.change)
             for step in self.steps
         )
+        if self.faults is not None:
+            detail += self.faults.cost_detail()
         return (len(self.steps), self.n_processes, detail)
 
     def describe(self) -> str:
@@ -124,6 +147,11 @@ def validate_plan(plan: SchedulePlan) -> Topology:
                 "affected by the change"
             )
         topology = next_topology
+    if plan.faults is not None:
+        try:
+            plan.faults.validate_for(plan.n_processes)
+        except FaultModelError as error:
+            raise PlanError(f"fault model infeasible: {error}") from error
     return topology
 
 
@@ -181,8 +209,14 @@ def change_from_dict(data: Mapping[str, Any]) -> ConnectivityChange:
 
 
 def plan_to_dict(plan: SchedulePlan) -> Dict[str, Any]:
-    """JSON-compatible form of a whole plan."""
-    return {
+    """JSON-compatible form of a whole plan.
+
+    The ``faults`` key is emitted only when a fault model is present
+    (and within it, only non-default fields — see
+    :func:`repro.faults.model.faults_to_dict`), so clean plans keep the
+    exact pre-fault byte layout.
+    """
+    out: Dict[str, Any] = {
         "format": PLAN_FORMAT_VERSION,
         "n_processes": plan.n_processes,
         "steps": [
@@ -194,6 +228,9 @@ def plan_to_dict(plan: SchedulePlan) -> Dict[str, Any]:
             for step in plan.steps
         ],
     }
+    if plan.faults is not None:
+        out["faults"] = faults_to_dict(plan.faults)
+    return out
 
 
 def plan_from_dict(data: Mapping[str, Any]) -> SchedulePlan:
@@ -209,7 +246,15 @@ def plan_from_dict(data: Mapping[str, Any]) -> SchedulePlan:
                 late=frozenset(int(p) for p in raw["late"]),
             )
         )
-    return SchedulePlan(n_processes=int(data["n_processes"]), steps=tuple(steps))
+    faults: Optional[FaultModel] = None
+    if "faults" in data:
+        try:
+            faults = faults_from_dict(data["faults"])
+        except FaultModelError as error:
+            raise PlanError(f"bad fault model: {error}") from error
+    return SchedulePlan(
+        n_processes=int(data["n_processes"]), steps=tuple(steps), faults=faults
+    )
 
 
 def plan_to_json(plan: SchedulePlan) -> str:
@@ -232,13 +277,16 @@ def driver_steps(
 def plan_from_recorded(
     n_processes: int,
     steps: Any,
+    faults: Optional[FaultModel] = None,
 ) -> SchedulePlan:
     """A plan from driver-recorded (gap, change, late) triples.
 
     This is the bridge from a random campaign to the repro workflow:
     ``DriverLoop.recorded_steps()`` — or the ``repro_steps`` attribute
     a campaign attaches to an :class:`~repro.errors.InvariantViolation`
-    — goes in, a shrinkable, serializable plan comes out.
+    — goes in, a shrinkable, serializable plan comes out.  Runs under
+    an adversarial fault model pass it as ``faults`` so the repro
+    replays the same fault environment.
     """
     return SchedulePlan(
         n_processes=n_processes,
@@ -246,4 +294,5 @@ def plan_from_recorded(
             PlanStep(gap=gap, change=change, late=frozenset(late))
             for gap, change, late in steps
         ),
+        faults=faults,
     )

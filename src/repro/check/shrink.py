@@ -33,7 +33,15 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.check.differential import check_plan
+from repro.check.fuzzer import classify_report
 from repro.check.plan import PlanError, PlanStep, SchedulePlan, validate_plan
+from repro.faults.model import (
+    PERSISTENT,
+    ByzantineFaults,
+    ChurnFaults,
+    FaultModel,
+    LinkFaults,
+)
 from repro.net.changes import (
     ConnectivityChange,
     CrashChange,
@@ -46,7 +54,9 @@ Predicate = Callable[[SchedulePlan], bool]
 
 
 def violation_predicate(
-    algorithms: Sequence[str], max_quiescence_rounds: int = 400
+    algorithms: Sequence[str],
+    max_quiescence_rounds: int = 400,
+    require_unexpected: bool = False,
 ) -> Predicate:
     """The standard predicate: the plan still produces any finding.
 
@@ -54,13 +64,23 @@ def violation_predicate(
     delta-debugging convention — while shrinking, the failure may shift
     between equivalent manifestations of the same bug, and chasing the
     original string overfits the reproducer.
+
+    With ``require_unexpected`` the plan must keep producing a finding
+    the fault oracle does *not* sanction — the right predicate when
+    shrinking a genuine bug found under an adversarial fault model, so
+    the minimizer cannot drift into oracle-expected breakage.
     """
     names = list(algorithms)
 
     def predicate(plan: SchedulePlan) -> bool:
-        return not check_plan(
+        report = check_plan(
             plan, names, max_quiescence_rounds=max_quiescence_rounds
-        ).ok
+        )
+        if report.ok:
+            return False
+        if require_unexpected:
+            return not classify_report(report)
+        return True
 
     return predicate
 
@@ -119,6 +139,33 @@ def _remap_change(
     raise TypeError(f"unknown change type {type(change).__name__}")
 
 
+def _remap_faults(
+    model: Optional[FaultModel], mapping: Dict[int, int]
+) -> Optional[FaultModel]:
+    """The fault model with processes dropped/renumbered."""
+    if model is None:
+        return None
+    link = model.link
+    if link.link_loss:
+        link = replace(
+            link,
+            link_loss=tuple(
+                (mapping[s], mapping[r], permille)
+                for s, r, permille in link.link_loss
+                if s in mapping and r in mapping
+            ),
+        )
+    byzantine = model.byzantine
+    if byzantine.members:
+        byzantine = replace(
+            byzantine,
+            members=tuple(
+                mapping[p] for p in byzantine.members if p in mapping
+            ),
+        )
+    return replace(model, link=link, byzantine=byzantine)
+
+
 def _remove_processes(plan: SchedulePlan) -> Iterator[SchedulePlan]:
     """Delete one process entirely, renumbering the survivors."""
     if plan.n_processes <= 2:
@@ -134,7 +181,9 @@ def _remove_processes(plan: SchedulePlan) -> Iterator[SchedulePlan]:
             late = frozenset(mapping[p] for p in step.late if p in mapping)
             steps.append(replace(step, change=change, late=late))
         yield SchedulePlan(
-            n_processes=plan.n_processes - 1, steps=tuple(steps)
+            n_processes=plan.n_processes - 1,
+            steps=tuple(steps),
+            faults=_remap_faults(plan.faults, mapping),
         )
 
 
@@ -182,12 +231,106 @@ def _shrink_gaps(plan: SchedulePlan) -> Iterator[SchedulePlan]:
             yield replace(plan, steps=tuple(steps))
 
 
+def _shrink_faults(plan: SchedulePlan) -> Iterator[SchedulePlan]:
+    """Relax fault-model knobs, most drastic reduction first.
+
+    Every candidate strictly decreases
+    :meth:`~repro.faults.model.FaultModel.cost_detail` (and therefore
+    the plan cost): drop the whole model, silence the link, lower the
+    loss, disable delay/reorder, retire Byzantine members, demote the
+    behaviour (equivocate > alter > drop), restore persistence, strip
+    the churn provenance marker.  A model that relaxes to all-defaults
+    normalizes to ``None`` — the clean plan — automatically.
+    """
+    model = plan.faults
+    if model is None:
+        return
+    yield replace(plan, faults=None)
+    link = model.link
+    if link.is_active():
+        yield replace(plan, faults=replace(model, link=LinkFaults()))
+        if link.loss_permille:
+            for permille in dict.fromkeys((0, link.loss_permille // 2)):
+                yield replace(
+                    plan,
+                    faults=replace(
+                        model, link=replace(link, loss_permille=permille)
+                    ),
+                )
+        if link.delay_max or link.delay_permille:
+            yield replace(
+                plan,
+                faults=replace(
+                    model,
+                    link=replace(
+                        link, delay_permille=0, delay_max=0, reorder=False
+                    ),
+                ),
+            )
+        if link.reorder:
+            yield replace(
+                plan, faults=replace(model, link=replace(link, reorder=False))
+            )
+        for index in range(len(link.link_loss)):
+            remaining = link.link_loss[:index] + link.link_loss[index + 1:]
+            yield replace(
+                plan,
+                faults=replace(model, link=replace(link, link_loss=remaining)),
+            )
+    byzantine = model.byzantine
+    if byzantine.is_active():
+        yield replace(plan, faults=replace(model, byzantine=ByzantineFaults()))
+        if len(byzantine.members) > 1:
+            for dropped in byzantine.members:
+                yield replace(
+                    plan,
+                    faults=replace(
+                        model,
+                        byzantine=replace(
+                            byzantine,
+                            members=tuple(
+                                p for p in byzantine.members if p != dropped
+                            ),
+                        ),
+                    ),
+                )
+        downgrades = {"equivocate": ("drop", "alter"), "alter": ("drop",)}
+        for behavior in downgrades.get(byzantine.behavior, ()):
+            yield replace(
+                plan,
+                faults=replace(
+                    model, byzantine=replace(byzantine, behavior=behavior)
+                ),
+            )
+        if byzantine.activity_permille > 1:
+            yield replace(
+                plan,
+                faults=replace(
+                    model,
+                    byzantine=replace(
+                        byzantine,
+                        activity_permille=byzantine.activity_permille // 2,
+                    ),
+                ),
+            )
+    if model.crashrec.is_active():
+        yield replace(
+            plan,
+            faults=replace(
+                model, crashrec=replace(model.crashrec, persistence=PERSISTENT)
+            ),
+        )
+    if model.churn.is_active():
+        yield replace(plan, faults=replace(model, churn=ChurnFaults()))
+
+
 _PASSES = (
     _drop_step_chunks,
     _remove_processes,
     _shrink_moved_sets,
     _shrink_late_sets,
     _shrink_gaps,
+    _shrink_faults,
 )
 
 

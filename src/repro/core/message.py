@@ -37,6 +37,19 @@ class Piggyback:
     def __len__(self) -> int:
         return len(self.items)
 
+    def with_items(self, items: Sequence[Any]) -> "Piggyback":
+        """A copy of this attachment carrying different protocol items.
+
+        The message boundary's only mutation point: fault injection
+        (``repro.faults.byzantine``) rewrites protocol items here
+        without ever touching the sending algorithm's state — the
+        algorithm under test stays correct code fed adversarial
+        messages.
+        """
+        return Piggyback(
+            sender=self.sender, view_seq=self.view_seq, items=tuple(items)
+        )
+
 
 @dataclass(slots=True)
 class Message:

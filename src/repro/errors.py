@@ -40,7 +40,17 @@ class InvariantViolation(ReproError):
     per algorithm with no inconsistency; the simulator checks the same
     obligations continuously and raises this error the moment one
     fails, carrying a human-readable description of the evidence.
+
+    ``kind`` is a stable machine-readable label for *which* invariant
+    broke (e.g. ``"dual_primary"``, ``"chain_order_conflict"``); the
+    adversarial fault oracle (:mod:`repro.faults.oracle`) classifies a
+    violation as expected or unexpected by this label, never by parsing
+    the message.
     """
+
+    def __init__(self, message: str, *, kind: str = "safety") -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 class SimulationError(ReproError):

@@ -31,6 +31,7 @@ from typing import List, Optional
 
 from repro.analysis import compare_paired
 from repro.core.registry import algorithm_names
+from repro.faults.model import FAULT_CLASSES
 from repro.obs import (
     CampaignMetrics,
     MetricsRegistry,
@@ -176,6 +177,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "check",
         help="differential schedule fuzzing with failure minimization, "
         "repro replay, and corpus regression",
+    )
+    check_parser.add_argument(
+        "mode",
+        nargs="?",
+        choices=["fuzz"],
+        default="fuzz",
+        help="check mode (only 'fuzz' exists; --replay/--corpus override)",
+    )
+    check_parser.add_argument(
+        "--faults",
+        nargs="+",
+        choices=list(FAULT_CLASSES),
+        default=None,
+        metavar="CLASS",
+        help="adversarial fault classes to fuzz with (subset of "
+        f"{', '.join(FAULT_CLASSES)}); each failing schedule is judged "
+        "against the per-class invariant oracle, and only findings the "
+        "oracle does not sanction fail the run",
     )
     check_parser.add_argument(
         "--replay",
@@ -799,6 +818,8 @@ def _check(args: argparse.Namespace) -> int:
         print(f"[corpus done in {time.time() - started:.1f}s]")
         return 0 if result.ok else 1
 
+    from repro.check import classify_report
+
     try:
         config = FuzzConfig(
             master_seed=args.seed,
@@ -809,6 +830,7 @@ def _check(args: argparse.Namespace) -> int:
             max_changes=args.max_changes,
             max_gap=args.max_gap,
             crash_weight=args.crash_weight,
+            fault_classes=tuple(args.faults) if args.faults else (),
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -818,8 +840,14 @@ def _check(args: argparse.Namespace) -> int:
     for failure in result.failures:
         plan = failure.plan
         if args.shrink:
+            # A genuine (oracle-unsanctioned) bug must stay a genuine
+            # bug while shrinking; expected breakage may shrink freely.
             shrunk = minimize(
-                plan, violation_predicate(result.algorithms)
+                plan,
+                violation_predicate(
+                    result.algorithms,
+                    require_unexpected=not failure.expected,
+                ),
             )
             plan = shrunk.minimized
             print(
@@ -837,11 +865,20 @@ def _check(args: argparse.Namespace) -> int:
                 for verdict in saved_report.failures
                 if verdict.blame
             )
-            note = (
-                f"found by fuzzer seed={args.seed} "
-                f"schedule={failure.index}; flip expect to 'pass' "
-                "once the underlying bug is fixed"
-            )
+            if classify_report(saved_report):
+                note = (
+                    f"found by fuzzer seed={args.seed} "
+                    f"schedule={failure.index}; expected violation: the "
+                    f"{'/'.join(plan.faults.active_classes())} fault "
+                    "oracle sanctions this breakage — it must stay "
+                    "detected, it is not a bug"
+                )
+            else:
+                note = (
+                    f"found by fuzzer seed={args.seed} "
+                    f"schedule={failure.index}; flip expect to 'pass' "
+                    "once the underlying bug is fixed"
+                )
             if explanations:
                 note += f" [{explanations}]"
             path = write_repro(

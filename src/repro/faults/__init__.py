@@ -1,0 +1,58 @@
+"""Composable adversarial fault models with per-class safety oracles.
+
+``repro.faults`` widens the engine's clean fault space (partitions,
+merges, crashes, recoveries) along four independent axes — link faults,
+crash-recovery persistence, Byzantine members, and churn traces — and
+pairs every fault class with the oracle that says which safety
+obligations it may legitimately break (:mod:`repro.faults.oracle`).
+
+See ``docs/fault-models.md`` for the full catalogue.
+"""
+
+from repro.faults.churn import churn_steps, diff_partitions, mobility_trace
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    AMNESIAC,
+    BYZANTINE_BEHAVIORS,
+    FAULT_CLASSES,
+    PERSISTENT,
+    ByzantineFaults,
+    ChurnFaults,
+    CrashRecoveryFaults,
+    FaultModel,
+    FaultModelError,
+    LinkFaults,
+    faults_from_dict,
+    faults_to_dict,
+)
+from repro.faults.oracle import (
+    ALL_KINDS,
+    OMISSION_KINDS,
+    expected_kinds,
+    livelock_expected,
+    violation_expected,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "AMNESIAC",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineFaults",
+    "ChurnFaults",
+    "CrashRecoveryFaults",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultModel",
+    "FaultModelError",
+    "LinkFaults",
+    "OMISSION_KINDS",
+    "PERSISTENT",
+    "churn_steps",
+    "diff_partitions",
+    "expected_kinds",
+    "faults_from_dict",
+    "faults_to_dict",
+    "livelock_expected",
+    "mobility_trace",
+    "violation_expected",
+]

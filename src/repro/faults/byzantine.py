@@ -1,0 +1,143 @@
+"""Byzantine message mutation at the message boundary.
+
+A Byzantine member's *algorithm* runs the correct code; its
+*broadcasts* are attacked between poll and delivery, which is exactly
+where a traitorous process diverges from the protocol in the classical
+model.  Three behaviours, in increasing severity:
+
+* ``drop`` — the broadcast is withheld from every other member (the
+  member still processes its own copy, so its local state stays the
+  honest one).  This is an omission fault: the dynamic voting
+  algorithms must stay safe under it.
+* ``alter`` — every state-exchange item in the broadcast has its
+  ``lastPrimary`` replaced by a *forged* session, one number above the
+  newest formation evidence the honest item carried, spanning the
+  sender's current component.  Every recipient sees the same forgery.
+* ``equivocate`` — as ``alter``, but recipients are split between two
+  forged member sets for the *same* session number.  Victims ACCEPT
+  the forgery (it outranks anything legitimately formed), then report
+  divergent primaries sharing one order key — the
+  ``chain_order_conflict`` invariant is specifically the oracle for
+  this attack.
+
+The forgery targets :class:`~repro.core.knowledge.StateItem.last_primary`
+because the YKD family's ACCEPT rule trusts any peer's formation
+evidence outright (thesis Fig. 3-3): a single faulty member can
+therefore poison the whole component's notion of the latest primary.
+Messages with no state items pass through ``alter``/``equivocate``
+unchanged — there is nothing to forge on an attempt-only broadcast.
+
+Whether a given round's broadcast is attacked is a pure-hash draw on
+``(seed, round, sender)``; like the link-fault draws this keeps the
+adversary identical across algorithms and replays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.knowledge import StateItem
+from repro.core.message import Message
+from repro.core.session import Session
+from repro.faults.model import ByzantineFaults
+from repro.sim.rng import derive_seed
+from repro.types import Members, ProcessId
+
+_SCALE = 2 ** 64
+
+
+def attack_fires(
+    byzantine: ByzantineFaults, round_index: int, sender: ProcessId
+) -> bool:
+    """Whether this round's broadcast from ``sender`` is attacked."""
+    if sender not in byzantine.members or byzantine.activity_permille <= 0:
+        return False
+    if byzantine.activity_permille >= 1000:
+        return True
+    draw = derive_seed(
+        byzantine.seed, "faults.byzantine", "fires", round_index, sender
+    ) / _SCALE
+    return draw * 1000 < byzantine.activity_permille
+
+
+def _forged_number(message: Message) -> Optional[int]:
+    """One above the newest formation evidence in the broadcast."""
+    best: Optional[int] = None
+    if message.piggyback is None:
+        return None
+    for item in message.piggyback.items:
+        if isinstance(item, StateItem):
+            newest = max(
+                session.number for session in item.formed_evidence()
+            )
+            if best is None or newest > best:
+                best = newest
+    return None if best is None else best + 1
+
+
+def forged_sessions(
+    message: Message, component: Members
+) -> Optional[Tuple[Session, Session]]:
+    """The two forged primaries an attacked broadcast may carry.
+
+    Variant A spans the sender's whole component; variant B omits the
+    largest member (when the component has one to spare).  ``alter``
+    sends A to everyone; ``equivocate`` splits recipients between A
+    and B.  Returns None when the broadcast carries no state items.
+    """
+    number = _forged_number(message)
+    if number is None:
+        return None
+    members_a = frozenset(component)
+    variant_a = Session(number=number, members=members_a)
+    if len(members_a) >= 2:
+        members_b = members_a - {max(members_a)}
+        variant_b = Session(number=number, members=members_b)
+    else:
+        variant_b = variant_a
+    return variant_a, variant_b
+
+
+def _with_forged_primary(message: Message, forged: Session) -> Message:
+    """The broadcast with every state item's ``lastPrimary`` replaced."""
+    piggyback = message.piggyback
+    assert piggyback is not None
+    items = tuple(
+        StateItem(
+            session_number=item.session_number,
+            ambiguous=item.ambiguous,
+            last_primary=forged,
+            last_formed=item.last_formed,
+        )
+        if isinstance(item, StateItem)
+        else item
+        for item in piggyback.items
+    )
+    return message.with_piggyback(piggyback.with_items(items))
+
+
+def poison(
+    byzantine: ByzantineFaults,
+    message: Message,
+    recipient: ProcessId,
+    component: Members,
+) -> Optional[Message]:
+    """The message ``recipient`` receives from an attacked broadcast.
+
+    Returns None when the broadcast is withheld (``drop``), the
+    original message when there is nothing to forge, or the mutated
+    copy otherwise.  The variant split under ``equivocate`` is by
+    recipient membership: members of variant B's set receive B, the
+    omitted member receives A — so every victim is a member of the
+    forgery it accepts.
+    """
+    if byzantine.behavior == "drop":
+        return None
+    variants = forged_sessions(message, component)
+    if variants is None:
+        return message
+    variant_a, variant_b = variants
+    if byzantine.behavior == "alter" or variant_a == variant_b:
+        return _with_forged_primary(message, variant_a)
+    chosen = variant_b if recipient in variant_b.members else variant_a
+    return _with_forged_primary(message, chosen)

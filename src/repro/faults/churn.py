@@ -1,0 +1,137 @@
+"""Churn: partition schedules derived from mobility-style traces.
+
+JBotSim-style dynamic-topology studies (PAPERS.md) drive connectivity
+from *node mobility*: hosts wander among radio cells, and the network
+components at any instant are the cell co-location classes.  This
+module brings that fault shape to the availability study without
+touching the engine: a mobility trace is generated (pure-hash random
+walk over ``cells`` cells for ``epochs`` epochs), each epoch's
+co-location partition is diffed against the previous one, and the diff
+is compiled into the engine's own partition/merge change vocabulary.
+
+The compilation per epoch transition ``A -> B``:
+
+1. every A-component is split into its non-empty intersections with
+   B's components (a chain of :class:`~repro.net.changes.PartitionChange`
+   steps carving one intersection at a time off the remainder), then
+2. the intersections belonging to one B-component are merged
+   left-to-right (:class:`~repro.net.changes.MergeChange` steps).
+
+Each step is feasible on the topology produced by its predecessors, so
+the resulting plan passes :func:`repro.check.plan.validate_plan`
+unchanged — churn is *provenance*, not a new engine capability, which
+is why :class:`~repro.faults.model.ChurnFaults` never needs a driver
+hook and the strict invariant oracle applies in full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.faults.model import ChurnFaults, FaultModelError
+from repro.net.changes import ConnectivityChange, MergeChange, PartitionChange
+from repro.sim.rng import derive_seed
+from repro.types import Members
+
+Partition = Tuple[Members, ...]
+
+
+def _canonical(partition: Sequence[Members]) -> Partition:
+    """Components sorted by their sorted member tuples (stable identity)."""
+    return tuple(
+        sorted((frozenset(c) for c in partition if c), key=sorted)
+    )
+
+
+def mobility_trace(
+    churn: ChurnFaults, n_processes: int
+) -> List[Partition]:
+    """Per-epoch co-location partitions of a pure-hash random walk.
+
+    Epoch 0 is always the fully-connected universe (the engine's fixed
+    start state); each later epoch assigns every process a cell via
+    ``derive_seed(seed, "faults.churn", epoch, pid) % cells`` and
+    partitions the universe by cell.  The walk is memoryless by
+    design — what matters for the availability study is the *sequence
+    of partitions*, not per-node trajectories — and being a pure hash
+    it is identical on every replay.
+    """
+    if churn.cells < 1:
+        raise FaultModelError("churn traces need at least one cell")
+    universe = frozenset(range(n_processes))
+    trace: List[Partition] = [(universe,)]
+    for epoch in range(1, churn.epochs + 1):
+        cells: Dict[int, set] = {}
+        for pid in range(n_processes):
+            cell = derive_seed(
+                churn.seed, "faults.churn", epoch, pid
+            ) % churn.cells
+            cells.setdefault(cell, set()).add(pid)
+        trace.append(_canonical([frozenset(c) for c in cells.values()]))
+    return trace
+
+
+def diff_partitions(
+    before: Sequence[Members], after: Sequence[Members]
+) -> List[ConnectivityChange]:
+    """Feasible change sequence transforming partition ``before`` into ``after``.
+
+    Split-then-merge: each before-component is carved into its
+    after-intersections, then each after-component is assembled from
+    its pieces.  Every intermediate change is feasible by construction
+    (each partition carves a proper, non-empty subset off the current
+    remainder; each merge unifies two components that exist at that
+    point).
+    """
+    before = _canonical(before)
+    after = _canonical(after)
+    if frozenset().union(*before) != frozenset().union(*after):
+        raise FaultModelError(
+            "partition diff needs identical universes on both sides"
+        )
+    changes: List[ConnectivityChange] = []
+    pieces: List[Members] = []
+    for component in before:
+        intersections = [
+            component & target for target in after if component & target
+        ]
+        intersections.sort(key=sorted)
+        remainder = component
+        for piece in intersections[:-1]:
+            changes.append(
+                PartitionChange(component=remainder, moved=piece)
+            )
+            remainder = remainder - piece
+        pieces.extend(intersections)
+    for target in after:
+        parts = sorted(
+            (piece for piece in pieces if piece <= target), key=sorted
+        )
+        assembled = parts[0]
+        for piece in parts[1:]:
+            changes.append(MergeChange(first=assembled, second=piece))
+            assembled = assembled | piece
+    return changes
+
+
+def churn_steps(
+    churn: ChurnFaults, n_processes: int, dwell: int = 1
+) -> List[Tuple[int, ConnectivityChange, None]]:
+    """Driver-ready (gap, change, late) steps realizing a churn trace.
+
+    ``dwell`` is the number of quiet rounds the system holds each epoch
+    before the next epoch's changes land (the first change of an epoch
+    carries it as its gap; the rest of the epoch's diff lands
+    back-to-back).  Late-sets are ``None`` so replay samples the
+    mid-round cut exactly as a random run would — fuzzing pins them
+    afterwards from the recorded schedule.
+    """
+    if dwell < 0:
+        raise FaultModelError("dwell must be >= 0")
+    trace = mobility_trace(churn, n_processes)
+    steps: List[Tuple[int, ConnectivityChange, None]] = []
+    for previous, current in zip(trace, trace[1:]):
+        changes = diff_partitions(previous, current)
+        for index, change in enumerate(changes):
+            steps.append((dwell if index == 0 else 0, change, None))
+    return steps

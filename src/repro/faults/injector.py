@@ -1,0 +1,142 @@
+"""The per-run delivery mediator for an active fault model.
+
+The driver loop owns *scheduling* faults (connectivity changes, the
+mid-round cut); the injector owns *delivery* faults: every non-self
+delivery of a round is routed through :meth:`FaultInjector.transform`,
+which applies the Byzantine mutation first (the traitor corrupts its
+broadcast before the network touches it) and the link faults second
+(loss, then delay).  Held deliveries are queued per recipient and
+released by :meth:`matured` once their delay elapses.
+
+The injector is deliberately *stateless about randomness*: every draw
+inside :mod:`repro.faults.link` and :mod:`repro.faults.byzantine` is a
+pure hash of ``(seed, round, link)``, so the only mutable state here is
+the pending-delivery queue — which is exactly what
+:meth:`snapshot_state`/:meth:`restore_state` capture for the driver's
+forking explorer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.message import Message
+from repro.faults.byzantine import attack_fires, poison
+from repro.faults.link import delivery_delay, delivery_lost, reorder_key
+from repro.faults.model import FaultModel
+from repro.types import ProcessId
+
+#: One held delivery: (due round, release sort key, sender, message).
+_Pending = Tuple[int, tuple, ProcessId, Message]
+
+
+class FaultInjector:
+    """Applies one :class:`FaultModel`'s delivery faults to one run."""
+
+    def __init__(self, model: FaultModel) -> None:
+        self.model = model
+        self._link = model.link
+        self._byzantine = model.byzantine
+        self._pending: Dict[ProcessId, List[_Pending]] = {}
+        #: Delivery-fault tally, for observability and tests: how many
+        #: deliveries each fault consumed (``withheld``/``poisoned`` are
+        #: Byzantine, ``lost``/``delayed`` are link faults).
+        self.counts: Dict[str, int] = {
+            "withheld": 0, "poisoned": 0, "lost": 0, "delayed": 0
+        }
+
+    def attacked(self, round_index: int, sender: ProcessId) -> bool:
+        """Whether ``sender``'s broadcast is Byzantine-attacked this round."""
+        return attack_fires(self._byzantine, round_index, sender)
+
+    def transform(
+        self,
+        round_index: int,
+        sender: ProcessId,
+        recipient: ProcessId,
+        message: Message,
+        component: Sequence[ProcessId],
+        attacked: bool,
+    ) -> Optional[Message]:
+        """The message to deliver right now, or None (dropped or held).
+
+        Fault order: Byzantine mutation first, link loss second, link
+        delay third — a traitor's forgery rides the same unreliable
+        links as honest traffic.
+        """
+        if attacked:
+            message = poison(self._byzantine, message, recipient, component)
+            if message is None:
+                self.counts["withheld"] += 1
+                return None
+            self.counts["poisoned"] += 1
+        link = self._link
+        if not link.is_active():
+            return message
+        if delivery_lost(link, round_index, sender, recipient):
+            self.counts["lost"] += 1
+            return None
+        delay = delivery_delay(link, round_index, sender, recipient)
+        if delay > 0:
+            self.counts["delayed"] += 1
+            self._pending.setdefault(recipient, []).append(
+                (
+                    round_index + delay,
+                    reorder_key(link, round_index, recipient, sender),
+                    sender,
+                    message,
+                )
+            )
+            return None
+        return message
+
+    def matured(
+        self, round_index: int, recipient: ProcessId
+    ) -> List[Tuple[ProcessId, Message]]:
+        """Held deliveries for ``recipient`` whose delay has elapsed.
+
+        Released in release-key order: sender id when ``reorder`` is
+        off, a pure-hash shuffle otherwise.  Stale releases (the
+        recipient moved to a new view meanwhile) are delivered anyway —
+        the interface layer's view-seq check discards them, exactly as
+        it discards any message straddling a view change.
+        """
+        queue = self._pending.get(recipient)
+        if not queue:
+            return []
+        due = [entry for entry in queue if entry[0] <= round_index]
+        if not due:
+            return []
+        remaining = [entry for entry in queue if entry[0] > round_index]
+        if remaining:
+            self._pending[recipient] = remaining
+        else:
+            del self._pending[recipient]
+        due.sort(key=lambda entry: (entry[1], entry[0]))
+        return [(sender, message) for _, _, sender, message in due]
+
+    def drop_for(self, recipient: ProcessId) -> None:
+        """Discard every held delivery for ``recipient`` (it crashed)."""
+        self._pending.pop(recipient, None)
+
+    def has_pending(self) -> bool:
+        """Whether any delivery is still in flight (quiescence must wait)."""
+        return bool(self._pending)
+
+    # ------------------------------------------------------------------
+    # State forking (DriverLoop.snapshot/restore).
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """The pending queue as an immutable value (messages shared)."""
+        return tuple(
+            (recipient, tuple(entries))
+            for recipient, entries in sorted(self._pending.items())
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Reinstate pending in-flight deliveries captured by
+        :meth:`snapshot_state` (model-checker fork support)."""
+        self._pending = {
+            recipient: list(entries) for recipient, entries in state
+        }

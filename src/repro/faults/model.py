@@ -1,0 +1,416 @@
+"""Composable adversarial fault models (ROADMAP item 4).
+
+The thesis measures availability under *clean* faults: partitions and
+merges delivered view-synchronously, with at most a mid-round cut at
+the change boundary.  This module widens the fault space along four
+independent axes, each a frozen sub-model of one :class:`FaultModel`:
+
+* :class:`LinkFaults` — per-delivery message loss, delivery delay and
+  reordering, with optional per-link overrides;
+* :class:`CrashRecoveryFaults` — whether a recovering process comes
+  back with its algorithm state intact (*persistent*, the engine's
+  historical behaviour) or freshly initialized (*amnesiac*);
+* :class:`ByzantineFaults` — designated members that drop, alter or
+  equivocate their broadcasts at the message boundary;
+* :class:`ChurnFaults` — provenance marker for schedules generated
+  from mobility-style topology traces (:mod:`repro.faults.churn`); the
+  realized trace lives in the plan's steps, so this sub-model never
+  changes engine behaviour.
+
+Design rules, enforced by tests:
+
+* **Knobs-off is byte-identical.**  A default-constructed model is
+  *clean*: the driver takes the exact pre-fault delivery path and a
+  plan carrying it serializes to the exact pre-fault JSON (the field
+  is normalized away).
+* **All probabilities are integer per-mille.**  Integer knobs make
+  canonical JSON exact and give the delta-debugging shrinker a strict
+  cost order.
+* **All randomness is labelled.**  Stochastic draws are pure functions
+  of ``(seed, round, link)`` (:mod:`repro.faults.link`), so the fault
+  environment is identical for every algorithm replaying a plan —
+  the thesis' "same random sequence" discipline extended to loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import ReproError
+
+#: Behaviours a Byzantine member may exhibit (JimmyOei-style knobs).
+BYZANTINE_BEHAVIORS = ("drop", "alter", "equivocate")
+
+#: Crash-recovery persistence modes.
+PERSISTENT = "persistent"
+AMNESIAC = "amnesiac"
+
+#: The four adversarial fault classes, as the CLI and CI name them.
+FAULT_CLASSES = ("loss", "crashrec", "byzantine", "churn")
+
+#: Shrink-cost weight of each Byzantine behaviour (milder is cheaper,
+#: so the minimizer prefers demoting equivocate -> alter -> drop when
+#: the finding survives).
+_BEHAVIOR_WEIGHT = {"drop": 1, "alter": 2, "equivocate": 3}
+
+
+class FaultModelError(ReproError):
+    """A fault model was configured with impossible parameters."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultModelError(message)
+
+
+def _permille(value: Any, name: str) -> int:
+    value = int(value)
+    _require(0 <= value <= 1000, f"{name} must be in [0, 1000] per-mille")
+    return value
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-delivery loss, delay and reordering (fault class ``loss``).
+
+    Each non-self delivery of a round is independently lost with
+    probability ``loss_permille``/1000 (overridable per directed link
+    via ``link_loss``), and each surviving delivery is independently
+    held back for 1..``delay_max`` rounds with probability
+    ``delay_permille``/1000.  Held deliveries mature after their delay;
+    with ``reorder`` they are released in a deterministically shuffled
+    order instead of FIFO.  All draws are pure functions of
+    ``(seed, round, sender, recipient)`` — see :mod:`repro.faults.link`.
+    """
+
+    loss_permille: int = 0
+    #: Directed-link overrides: ((sender, recipient, permille), ...).
+    link_loss: Tuple[Tuple[int, int, int], ...] = ()
+    delay_permille: int = 0
+    delay_max: int = 0
+    reorder: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "loss_permille", _permille(self.loss_permille, "loss_permille")
+        )
+        object.__setattr__(
+            self, "delay_permille", _permille(self.delay_permille, "delay_permille")
+        )
+        _require(int(self.delay_max) >= 0, "delay_max must be >= 0")
+        object.__setattr__(self, "delay_max", int(self.delay_max))
+        object.__setattr__(self, "seed", int(self.seed))
+        normalized = []
+        seen = set()
+        for entry in self.link_loss:
+            sender, recipient, permille = entry
+            sender, recipient = int(sender), int(recipient)
+            _require(
+                sender != recipient, "link_loss entries must name distinct ends"
+            )
+            _require(
+                (sender, recipient) not in seen,
+                f"duplicate link_loss entry for link {sender}->{recipient}",
+            )
+            seen.add((sender, recipient))
+            normalized.append(
+                (sender, recipient, _permille(permille, "link_loss"))
+            )
+        object.__setattr__(self, "link_loss", tuple(sorted(normalized)))
+
+    def is_active(self) -> bool:
+        """Whether this sub-model changes delivery behaviour at all."""
+        return bool(
+            self.loss_permille
+            or any(permille for _, _, permille in self.link_loss)
+            or (self.delay_permille and self.delay_max)
+            or self.reorder
+        )
+
+    def cost_detail(self) -> int:
+        """Shrink-cost contribution (strictly decreases as knobs relax)."""
+        return (
+            self.loss_permille
+            + self.delay_permille
+            + self.delay_max
+            + sum(1 + permille for _, _, permille in self.link_loss)
+            + (1 if self.reorder else 0)
+        )
+
+
+@dataclass(frozen=True)
+class CrashRecoveryFaults:
+    """Session-state persistence across crashes (fault class ``crashrec``).
+
+    ``persistent`` (the default) is the engine's historical semantics:
+    a recovering process resumes with the exact algorithm state it
+    crashed with.  ``amnesiac`` re-initializes the algorithm from the
+    initial view before the recovery view is installed — the process
+    kept its static configuration but lost every session it ever
+    formed, which is precisely the state the dynamic voting algorithms
+    must persist to stay safe.
+    """
+
+    persistence: str = PERSISTENT
+
+    def __post_init__(self) -> None:
+        _require(
+            self.persistence in (PERSISTENT, AMNESIAC),
+            f"unknown persistence mode {self.persistence!r}",
+        )
+
+    @property
+    def amnesiac(self) -> bool:
+        return self.persistence == AMNESIAC
+
+    def is_active(self) -> bool:
+        """Whether this sub-model changes recovery behaviour at all."""
+        return self.amnesiac
+
+    def cost_detail(self) -> int:
+        """Shrink-cost contribution (strictly decreases as knobs relax)."""
+        return 1 if self.amnesiac else 0
+
+
+@dataclass(frozen=True)
+class ByzantineFaults:
+    """Designated faulty members (fault class ``byzantine``).
+
+    Each broadcast of a Byzantine member is attacked with probability
+    ``activity_permille``/1000 (a pure-hash draw per (seed, round,
+    sender)); an attacked broadcast is, per ``behavior``:
+
+    * ``drop`` — silently withheld from every other member (the
+      receive side of a mute fault; an omission, so safety must hold);
+    * ``alter`` — its state-exchange items are rewritten to carry
+      forged formation evidence, the same forgery to every recipient;
+    * ``equivocate`` — as ``alter``, but different recipients receive
+      *different* forged member sets for the same session number.
+
+    Mutations happen at the message boundary (:mod:`repro.faults.byzantine`)
+    and never touch the faulty member's own state: the algorithm under
+    test is correct code fed adversarial messages.
+    """
+
+    members: Tuple[int, ...] = ()
+    behavior: str = "drop"
+    activity_permille: int = 1000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        members = tuple(sorted({int(pid) for pid in self.members}))
+        _require(
+            all(pid >= 0 for pid in members),
+            "byzantine members must be non-negative process ids",
+        )
+        object.__setattr__(self, "members", members)
+        _require(
+            self.behavior in BYZANTINE_BEHAVIORS,
+            f"unknown byzantine behavior {self.behavior!r}; "
+            f"known: {BYZANTINE_BEHAVIORS}",
+        )
+        object.__setattr__(
+            self,
+            "activity_permille",
+            _permille(self.activity_permille, "activity_permille"),
+        )
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def is_active(self) -> bool:
+        """Whether this sub-model changes delivery behaviour at all."""
+        return bool(self.members) and self.activity_permille > 0
+
+    def cost_detail(self) -> int:
+        """Shrink-cost contribution (strictly decreases as knobs relax)."""
+        if not self.is_active():
+            return 0
+        return (
+            4 * len(self.members)
+            + _BEHAVIOR_WEIGHT[self.behavior]
+            + self.activity_permille
+        )
+
+
+@dataclass(frozen=True)
+class ChurnFaults:
+    """Provenance of a churn-trace-generated schedule (class ``churn``).
+
+    The realized partition/merge sequence lives in the plan's steps —
+    this marker only records the mobility-trace parameters that
+    produced them, so the oracle can attribute the plan to the churn
+    class.  It never changes engine behaviour.
+    """
+
+    cells: int = 0
+    epochs: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(int(self.cells) >= 0, "cells must be >= 0")
+        _require(int(self.epochs) >= 0, "epochs must be >= 0")
+        object.__setattr__(self, "cells", int(self.cells))
+        object.__setattr__(self, "epochs", int(self.epochs))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def is_active(self) -> bool:
+        """Whether this sub-model contributes topology churn steps."""
+        return self.epochs > 0
+
+    def cost_detail(self) -> int:
+        """Shrink-cost contribution (strictly decreases as knobs relax)."""
+        return 1 if self.is_active() else 0
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One composable adversarial fault configuration."""
+
+    link: LinkFaults = field(default_factory=LinkFaults)
+    crashrec: CrashRecoveryFaults = field(default_factory=CrashRecoveryFaults)
+    byzantine: ByzantineFaults = field(default_factory=ByzantineFaults)
+    churn: ChurnFaults = field(default_factory=ChurnFaults)
+
+    def is_clean(self) -> bool:
+        """No knob changes engine behaviour (churn marker excluded).
+
+        A clean model drives the driver's exact pre-fault delivery
+        path — the byte-identity tests pin this.
+        """
+        return not (
+            self.link.is_active()
+            or self.crashrec.is_active()
+            or self.byzantine.is_active()
+        )
+
+    def is_default(self) -> bool:
+        """Indistinguishable from carrying no fault model at all."""
+        return self == FaultModel()
+
+    def needs_injection(self) -> bool:
+        """Whether the driver must route deliveries through an injector."""
+        return self.link.is_active() or self.byzantine.is_active()
+
+    def active_classes(self) -> Tuple[str, ...]:
+        """The fault classes this model exercises, in canonical order."""
+        classes = []
+        if self.link.is_active():
+            classes.append("loss")
+        if self.crashrec.is_active():
+            classes.append("crashrec")
+        if self.byzantine.is_active():
+            classes.append("byzantine")
+        if self.churn.is_active():
+            classes.append("churn")
+        return tuple(classes)
+
+    def cost_detail(self) -> int:
+        """Shrink-cost contribution of the whole model."""
+        return (
+            self.link.cost_detail()
+            + self.crashrec.cost_detail()
+            + self.byzantine.cost_detail()
+            + self.churn.cost_detail()
+        )
+
+    def validate_for(self, n_processes: int) -> None:
+        """Check process-id references against a system size."""
+        for pid in self.byzantine.members:
+            _require(
+                pid < n_processes,
+                f"byzantine member {pid} outside the {n_processes}-process system",
+            )
+        for sender, recipient, _ in self.link.link_loss:
+            _require(
+                sender < n_processes and recipient < n_processes,
+                f"link_loss link {sender}->{recipient} outside the "
+                f"{n_processes}-process system",
+            )
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON codec.  Only non-default sections are emitted, and
+# within a section only non-default fields, so a default model is the
+# empty object and an absent model stays absent — byte identity with
+# pre-fault plan files is structural, not incidental.
+# ----------------------------------------------------------------------
+
+_LINK_DEFAULT = LinkFaults()
+_CRASHREC_DEFAULT = CrashRecoveryFaults()
+_BYZ_DEFAULT = ByzantineFaults()
+_CHURN_DEFAULT = ChurnFaults()
+
+
+def _section(value: Any, default: Any, fields_: Tuple[str, ...]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name in fields_:
+        current = getattr(value, name)
+        if current != getattr(default, name):
+            if isinstance(current, tuple):
+                current = [list(entry) if isinstance(entry, tuple) else entry
+                           for entry in current]
+            out[name] = current
+    return out
+
+
+def faults_to_dict(model: FaultModel) -> Dict[str, Any]:
+    """JSON-compatible form of a fault model (non-default fields only)."""
+    out: Dict[str, Any] = {}
+    link = _section(
+        model.link,
+        _LINK_DEFAULT,
+        ("loss_permille", "link_loss", "delay_permille", "delay_max",
+         "reorder", "seed"),
+    )
+    if link:
+        out["link"] = link
+    crashrec = _section(model.crashrec, _CRASHREC_DEFAULT, ("persistence",))
+    if crashrec:
+        out["crashrec"] = crashrec
+    byzantine = _section(
+        model.byzantine,
+        _BYZ_DEFAULT,
+        ("members", "behavior", "activity_permille", "seed"),
+    )
+    if byzantine:
+        out["byzantine"] = byzantine
+    churn = _section(model.churn, _CHURN_DEFAULT, ("cells", "epochs", "seed"))
+    if churn:
+        out["churn"] = churn
+    return out
+
+
+def faults_from_dict(data: Mapping[str, Any]) -> FaultModel:
+    """Inverse of :func:`faults_to_dict`."""
+    known = {"link", "crashrec", "byzantine", "churn"}
+    stray = set(data) - known
+    _require(not stray, f"unknown fault model sections {sorted(stray)}")
+    link = data.get("link", {})
+    byzantine = data.get("byzantine", {})
+    return FaultModel(
+        link=LinkFaults(
+            loss_permille=link.get("loss_permille", 0),
+            link_loss=tuple(
+                (int(s), int(r), int(p)) for s, r, p in link.get("link_loss", ())
+            ),
+            delay_permille=link.get("delay_permille", 0),
+            delay_max=link.get("delay_max", 0),
+            reorder=bool(link.get("reorder", False)),
+            seed=link.get("seed", 0),
+        ),
+        crashrec=CrashRecoveryFaults(
+            persistence=data.get("crashrec", {}).get("persistence", PERSISTENT)
+        ),
+        byzantine=ByzantineFaults(
+            members=tuple(int(p) for p in byzantine.get("members", ())),
+            behavior=byzantine.get("behavior", "drop"),
+            activity_permille=byzantine.get("activity_permille", 1000),
+            seed=byzantine.get("seed", 0),
+        ),
+        churn=ChurnFaults(
+            cells=data.get("churn", {}).get("cells", 0),
+            epochs=data.get("churn", {}).get("epochs", 0),
+            seed=data.get("churn", {}).get("seed", 0),
+        ),
+    )

@@ -1,0 +1,107 @@
+"""Per-fault-class safety oracles.
+
+The thesis' safety obligations were verified under *clean* faults:
+view-synchronous partitions, merges, crashes with persistent state, and
+recoveries.  Each adversarial fault class changes which obligations the
+algorithms can still honour — and the whole point of shipping a fault
+class *with its oracle* is to say so precisely, in code:
+
+* **churn** and **persistent crash-recovery** are clean faults in new
+  clothing (trace-shaped schedules; the historical crash semantics), so
+  the strict oracle applies: *any* violation is a genuine bug.
+* **loss** (and Byzantine **drop**, its targeted special case) are
+  omission faults.  At-most-one-primary must survive them — a lost
+  message can only prevent a formation, never conjure one — so
+  ``dual_primary``, ``chain_order_conflict`` and ``chain_broken``
+  remain hard failures.  *Agreement* obligations are a different
+  matter: the algorithms are event-driven and never retransmit, so a
+  lost state item legitimately strands part of a view mid-protocol,
+  which the strict checker reports as ``view_disagreement``,
+  ``stability_mismatch`` or ``quiescent_disagreement``.  Those kinds
+  are expected; anything else is not.
+* **amnesiac crash-recovery** violates the algorithms' root persistence
+  assumption (thesis §5.1 keeps session state across crashes).  A
+  process that forgets having formed a session can vote it into two
+  different futures, so every safety kind may break — the oracle's job
+  is to confirm the checker *detects* the breakage, not to demand it
+  cannot happen.
+* **Byzantine alter/equivocate** forge formation evidence; no safety
+  obligation survives an adversary the model never admitted.  All
+  kinds are expected — ``chain_order_conflict`` is the characteristic
+  signature of equivocation — and so is livelock (poisoned evidence can
+  leave honest members re-negotiating forever).
+
+Classification is by the structured ``kind`` carried on every
+:class:`~repro.errors.InvariantViolation` — never by message parsing —
+and a violation is *expected* only when some active fault class expects
+that kind.  An expected violation is still a finding (the corpus marks
+such repros ``expect: violation``); it is just not a bug in the
+algorithms under test.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.faults.model import FaultModel
+
+#: Every structured violation kind the invariant checker can raise.
+ALL_KINDS: FrozenSet[str] = frozenset(
+    {
+        "dual_primary",
+        "view_disagreement",
+        "chain_order_conflict",
+        "chain_broken",
+        "stability_mismatch",
+        "quiescent_disagreement",
+    }
+)
+
+#: Agreement-only kinds: breakable by pure omission (lost deliveries
+#: strand event-driven members mid-protocol), while the at-most-one-
+#: primary family must still hold.
+OMISSION_KINDS: FrozenSet[str] = frozenset(
+    {
+        "view_disagreement",
+        "stability_mismatch",
+        "quiescent_disagreement",
+    }
+)
+
+
+def expected_kinds(model: FaultModel) -> FrozenSet[str]:
+    """The violation kinds the active fault classes may legitimately cause.
+
+    The empty set is the strict (clean-fault) oracle.  Classes compose
+    by union: a model mixing loss with equivocation is allowed
+    everything equivocation alone is allowed.
+    """
+    kinds: FrozenSet[str] = frozenset()
+    if model.link.is_active():
+        kinds |= OMISSION_KINDS
+    if model.crashrec.is_active():
+        kinds |= ALL_KINDS
+    if model.byzantine.is_active():
+        if model.byzantine.behavior == "drop":
+            kinds |= OMISSION_KINDS
+        else:
+            kinds |= ALL_KINDS
+    return kinds
+
+
+def violation_expected(model: FaultModel, kind: str) -> bool:
+    """Whether a violation of ``kind`` is expected under ``model``."""
+    return kind in expected_kinds(model)
+
+
+def livelock_expected(model: FaultModel) -> bool:
+    """Whether a quiescence failure is expected under ``model``.
+
+    Forged formation evidence (Byzantine alter/equivocate) can leave
+    honest members re-negotiating forever, and an amnesiac recovery can
+    resurrect settled sessions; pure omission cannot — an event-driven
+    algorithm that loses messages goes *quiet*, not busy.
+    """
+    if model.byzantine.is_active() and model.byzantine.behavior != "drop":
+        return True
+    return model.crashrec.is_active()

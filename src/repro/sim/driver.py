@@ -39,7 +39,9 @@ from repro.core.interface import PrimaryComponentAlgorithm
 from repro.core.message import Message
 from repro.core.registry import create_algorithm
 from repro.core.view import View, initial_view
-from repro.errors import SimulationError
+from repro.errors import ProtocolError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultModel
 from repro.net.changes import (
     ConnectivityChange,
     CrashChange,
@@ -139,6 +141,9 @@ class DriverSnapshot:
     fault_rng_state: object
     algorithms: Dict[ProcessId, PrimaryComponentAlgorithm]
     checker_state: tuple
+    #: Pending-delivery queue of the fault injector; empty for runs
+    #: without an active fault model (the historical snapshot shape).
+    fault_state: tuple = ()
 
 
 class DriverLoop:
@@ -155,6 +160,7 @@ class DriverLoop:
         max_quiescence_rounds: int = 400,
         endpoint_factory=ProcessEndpoint,
         cut_probability: float = 0.5,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         if n_processes < 2:
             raise SimulationError(
@@ -216,6 +222,25 @@ class DriverLoop:
         #: processes.  The exhaustive explorer uses this to enumerate
         #: every possible cut instead of sampling one.
         self.cut_chooser = None
+        #: Adversarial fault model (repro.faults).  A clean model (all
+        #: engine-affecting knobs off) leaves every delivery path
+        #: untouched — the byte-identity tests pin this — so the
+        #: injector only exists when link or Byzantine faults are live.
+        self.fault_model: Optional[FaultModel] = fault_model
+        self._injector: Optional[FaultInjector] = None
+        self._amnesiac = False
+        self._tolerate_protocol_errors = False
+        if fault_model is not None:
+            fault_model.validate_for(n_processes)
+            self._amnesiac = fault_model.crashrec.amnesiac
+            if fault_model.needs_injection():
+                self._injector = FaultInjector(fault_model)
+            # Under active Byzantine mutation, honest members can
+            # detect tampering (e.g. an attempt that contradicts their
+            # own deterministic decision) and raise ProtocolError; the
+            # delivery loop treats that as "tamper detected, message
+            # rejected" instead of crashing the simulation.
+            self._tolerate_protocol_errors = fault_model.byzantine.is_active()
 
         self.initial_view: View = initial_view(n_processes)
         self.endpoints: Dict[ProcessId, ProcessEndpoint] = {
@@ -334,7 +359,10 @@ class DriverLoop:
         # 3. Deliver within the pre-change components, sender id order
         #    (bundles was filled in ascending pid order).
         broadcast_hooks = self._broadcast_hooks
-        if late or dead:
+        had_matured = False
+        if self._injector is not None:
+            had_matured = self._deliver_faulted(bundles, late, dead)
+        elif late or dead:
             delivery_order = self._delivery_order
             for sender, message in bundles.items():
                 for hook in broadcast_hooks:
@@ -364,6 +392,18 @@ class DriverLoop:
             old_topology = self.topology
             self.topology = new_topology
             self.changes_injected += 1
+            if self._amnesiac and isinstance(change, RecoverChange):
+                # Amnesiac crash-recovery (repro.faults): the process
+                # comes back with its algorithm freshly initialized —
+                # every session it ever formed is forgotten — before
+                # the recovery view is installed.  The endpoint object
+                # persists so the precomputed delivery bindings stay
+                # valid.
+                endpoint = self.endpoints[change.pid]
+                endpoint.algorithm = create_algorithm(
+                    self.algorithm_name, change.pid, self.initial_view
+                )
+                self.algorithms[change.pid] = endpoint.algorithm
             for component in self._views_needed(change, old_topology):
                 self.view_seq += 1
                 view = View(members=component, seq=self.view_seq)
@@ -383,7 +423,84 @@ class DriverLoop:
             hook(self)
         if profiler is not None:
             profiler.lap("observe", wall_mark, cpu_mark)
+        if self._injector is not None:
+            # A round is only quiet when nothing was sent, nothing
+            # matured, and nothing is still held in flight — otherwise
+            # delayed deliveries could be mistaken for quiescence.
+            return bool(bundles) or had_matured or self._injector.has_pending()
         return bool(bundles)
+
+    def _deliver_faulted(
+        self,
+        bundles: Dict[ProcessId, Message],
+        late: frozenset,
+        dead: frozenset,
+    ) -> bool:
+        """Delivery phase with an active fault injector.
+
+        Matured (previously delayed) deliveries land first — they are
+        the older traffic — then the round's broadcasts, each routed
+        through the injector per recipient.  Self-deliveries bypass the
+        injector: a process's loop-back is not a network link, and a
+        Byzantine member always processes its own *honest* broadcast.
+        Late processes lose matured deliveries along with the round's
+        (the mid-round cut destroys everything in flight); a crashing
+        process's whole queue is discarded.  Returns whether any held
+        delivery matured (for the quiescence accounting).
+        """
+        injector = self._injector
+        assert injector is not None
+        round_index = self.round_index
+        broadcast_hooks = self._broadcast_hooks
+        delivery_order = self._delivery_order
+        had_matured = False
+        for pid in dead:
+            injector.drop_for(pid)
+        if injector.has_pending():
+            for recipient in self._active_order:
+                if recipient in dead:
+                    continue
+                matured = injector.matured(round_index, recipient)
+                if not matured or recipient in late:
+                    continue
+                had_matured = True
+                for sender, message in matured:
+                    self._deliver_one(recipient, message, sender)
+        for sender, message in bundles.items():
+            for hook in broadcast_hooks:
+                hook(self, sender, message)
+            component = delivery_order[sender]
+            attacked = injector.attacked(round_index, sender)
+            for recipient in component:
+                if recipient in dead:
+                    continue
+                if recipient == sender:
+                    self._deliver_one(recipient, message, sender)
+                    continue
+                if recipient in late:
+                    continue
+                faulted = injector.transform(
+                    round_index, sender, recipient, message, component, attacked
+                )
+                if faulted is not None:
+                    self._deliver_one(recipient, faulted, sender)
+        return had_matured
+
+    def _deliver_one(
+        self, recipient: ProcessId, message: Message, sender: ProcessId
+    ) -> None:
+        """One faulted-path delivery, with tamper detection if Byzantine."""
+        if self._tolerate_protocol_errors:
+            try:
+                self.endpoints[recipient].deliver(message, sender)
+            except ProtocolError:
+                # The recipient detected protocol-inconsistent content
+                # (forged evidence contradicting its own deterministic
+                # decision); under an active Byzantine model that is
+                # the *correct* honest reaction — reject the message.
+                pass
+        else:
+            self.endpoints[recipient].deliver(message, sender)
 
     @staticmethod
     def _views_needed(
@@ -563,6 +680,11 @@ class DriverLoop:
                 for pid, endpoint in self.endpoints.items()
             },
             checker_state=self.checker.snapshot_state(),
+            fault_state=(
+                self._injector.snapshot_state()
+                if self._injector is not None
+                else ()
+            ),
         )
 
     def restore(self, snapshot: DriverSnapshot) -> None:
@@ -589,6 +711,8 @@ class DriverLoop:
         self._rounds_since_change = snapshot.rounds_since_change
         self.fault_rng.setstate(snapshot.fault_rng_state)
         self.checker.restore_state(snapshot.checker_state)
+        if self._injector is not None:
+            self._injector.restore_state(snapshot.fault_state)
         self._bundles = {}
 
     # ------------------------------------------------------------------

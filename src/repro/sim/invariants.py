@@ -143,7 +143,8 @@ class InvariantChecker(Subscriber):
                 raise InvariantViolation(
                     "two concurrent primary components: processes "
                     f"{claimants} claim primaryhood from views "
-                    f"{view.describe()} and {other.describe()}"
+                    f"{view.describe()} and {other.describe()}",
+                    kind="dual_primary",
                 )
         claimant_set = frozenset(claimants)
         expected = view.members & frozenset(active)
@@ -152,7 +153,8 @@ class InvariantChecker(Subscriber):
                 "view disagreement on primaryhood: members "
                 f"{sorted_members(expected - claimant_set)} of "
                 f"{view.describe()} do not consider themselves primary "
-                f"while {sorted(claimant_set)} do"
+                f"while {sorted(claimant_set)} do",
+                kind="view_disagreement",
             )
 
     def check_stable_primary(
@@ -176,7 +178,8 @@ class InvariantChecker(Subscriber):
             raise InvariantViolation(
                 f"at stability, claimants {sorted_members(claimants)} are "
                 "not exactly one network component "
-                f"({' '.join(str(sorted_members(c)) for c in components)})"
+                f"({' '.join(str(sorted_members(c)) for c in components)})",
+                kind="stability_mismatch",
             )
         self.check_quiescent_agreement(algorithms, components, active_set)
 
@@ -201,7 +204,8 @@ class InvariantChecker(Subscriber):
                 elif known != members:
                     raise InvariantViolation(
                         f"two distinct primaries share order key {order_key}: "
-                        f"{sorted_members(known)} vs {sorted_members(members)}"
+                        f"{sorted_members(known)} vs {sorted_members(members)}",
+                        kind="chain_order_conflict",
                     )
 
     def _insert_chain_key(self, order_key: int) -> None:
@@ -224,7 +228,8 @@ class InvariantChecker(Subscriber):
                 "broken primary chain: "
                 f"primary #{current} {sorted_members(self._chain[current])} "
                 "does not contain a subquorum of "
-                f"primary #{previous} {sorted_members(self._chain[previous])}"
+                f"primary #{previous} {sorted_members(self._chain[previous])}",
+                kind="chain_broken",
             )
 
     # ------------------------------------------------------------------
@@ -250,7 +255,8 @@ class InvariantChecker(Subscriber):
             if len(verdicts) > 1:
                 raise InvariantViolation(
                     f"members of component {sorted_members(component)} "
-                    "disagree on primaryhood at quiescence"
+                    "disagree on primaryhood at quiescence",
+                    kind="quiescent_disagreement",
                 )
 
     @property

@@ -35,6 +35,8 @@ from repro.check.plan import (
     validate_plan,
 )
 from repro.core.registry import algorithm_names
+from repro.errors import InvariantViolation, SimulationError
+from repro.faults import FaultModel
 from repro.net.changes import (
     CrashChange,
     MergeChange,
@@ -135,15 +137,27 @@ def _check_or_regen(path: Path, text: str) -> None:
 
 
 def _replay_traced(plan: SchedulePlan, algorithm: str) -> TraceRecorder:
-    """Replay one explicit plan under one algorithm, recording the trace."""
+    """Replay one explicit plan under one algorithm, recording the trace.
+
+    Expect-violation corpus entries (adversarial fault models) abort
+    mid-schedule when the driver's checker catches the planted
+    breakage; the trace up to the abort is still fully deterministic,
+    so it digests like any other.
+    """
     recorder = TraceRecorder()
     driver = DriverLoop(
         algorithm=algorithm,
         n_processes=plan.n_processes,
         fault_rng=derive_rng(0, "byte-identity", algorithm),
         observers=[recorder],
+        fault_model=plan.faults,
     )
-    driver.execute_schedule(driver_steps(plan))
+    try:
+        driver.execute_schedule(driver_steps(plan))
+    except (InvariantViolation, SimulationError):
+        assert plan.faults is not None and not plan.faults.is_clean(), (
+            "a clean-fault corpus plan aborted its byte-identity replay"
+        )
     assert not recorder.truncated
     return recorder
 
@@ -187,6 +201,37 @@ class TestPinnedScheduleTrace:
         recorder = _replay_traced(PINNED_PLAN, algorithm)
         text = trace_canonical_json(recorder)
         _check_or_regen(_golden(f"schedule_trace_{algorithm}.json"), text)
+
+    @pytest.mark.parametrize("algorithm", ["ykd", "one_pending"])
+    def test_knobs_off_fault_model_hits_the_same_golden(self, algorithm):
+        """All fault knobs disabled is the clean engine, byte for byte.
+
+        The explicit default :class:`FaultModel` must replay to the
+        *pre-fault* golden trace — the fault layer's knobs-off
+        guarantee, pinned against the same file as the clean run so
+        the two can never drift apart.
+        """
+        plan = SchedulePlan(
+            n_processes=PINNED_PLAN.n_processes,
+            steps=PINNED_PLAN.steps,
+            faults=FaultModel(),
+        )
+        assert plan.faults is None  # the default model normalizes away
+        recorder = TraceRecorder()
+        driver = DriverLoop(
+            algorithm=algorithm,
+            n_processes=plan.n_processes,
+            fault_rng=derive_rng(0, "byte-identity", algorithm),
+            observers=[recorder],
+            fault_model=FaultModel(),  # explicit, un-normalized
+        )
+        driver.execute_schedule(driver_steps(plan))
+        text = trace_canonical_json(recorder)
+        golden = _golden(f"schedule_trace_{algorithm}.json")
+        if not REGEN:
+            assert golden.read_text(encoding="utf-8") == text, (
+                "an all-knobs-off fault model changed the trace"
+            )
 
 
 class TestPinnedCampaignTraces:

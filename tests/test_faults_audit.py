@@ -1,0 +1,114 @@
+"""Seeded-randomness audit for the fault layer (mirrors PR 1's audit).
+
+PR 1 purged unseeded ``random`` usage from the engine so that every
+campaign is a pure function of its master seed.  The fault layer raises
+the stakes: loss and delay draws run *inside* the delivery path, where
+an unseeded draw would silently break plan replay, shrinking and the
+cross-algorithm "same fault environment" guarantee.  This audit pins
+the discipline structurally:
+
+* no module in ``repro.faults`` may import ``random``, ``secrets``,
+  ``time`` or ``os`` (wall clocks are nondeterminism too) — every draw
+  must route through the labelled ``repro.sim.rng`` helpers;
+* the draw helpers must be pure: same arguments, same answer, with the
+  fault seed (not some ambient state) selecting the environment.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.faults
+
+FAULTS_DIR = Path(repro.faults.__file__).parent
+FAULT_MODULES = sorted(FAULTS_DIR.glob("*.py"))
+
+FORBIDDEN_MODULES = {"random", "secrets", "time", "os"}
+
+
+def imported_roots(tree: ast.AST):
+    """Top-level module names imported anywhere in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module.split(".")[0]
+
+
+def test_fault_modules_exist():
+    assert [path.name for path in FAULT_MODULES] == [
+        "__init__.py",
+        "byzantine.py",
+        "churn.py",
+        "injector.py",
+        "link.py",
+        "model.py",
+        "oracle.py",
+    ]
+
+
+@pytest.mark.parametrize(
+    "path", FAULT_MODULES, ids=lambda path: path.name
+)
+def test_no_unseeded_randomness_sources(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offenders = sorted(set(imported_roots(tree)) & FORBIDDEN_MODULES)
+    assert not offenders, (
+        f"{path.name} imports {offenders}: fault draws must be pure "
+        "functions of the plan's fault seed (repro.sim.rng labels), "
+        "never ambient randomness or wall clocks"
+    )
+
+
+def test_stochastic_fault_modules_use_labelled_derivation():
+    # The modules that draw (link, byzantine, churn) must do it through
+    # repro.sim.rng — not with hand-rolled hashing that could collide
+    # with the driver's streams.
+    for name in ("link.py", "byzantine.py", "churn.py"):
+        tree = ast.parse((FAULTS_DIR / name).read_text(encoding="utf-8"))
+        imports = {
+            f"{node.module}.{alias.name}"
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom) and node.module
+            for alias in node.names
+        }
+        assert "repro.sim.rng.derive_seed" in imports, (
+            f"{name} must draw through repro.sim.rng.derive_seed"
+        )
+
+
+def test_link_draws_are_pure_and_seed_selected():
+    from repro.faults import LinkFaults
+    from repro.faults.link import delivery_delay, delivery_lost
+
+    seeded = LinkFaults(loss_permille=500, delay_permille=500, delay_max=2,
+                        seed=21)
+    environment = [
+        (delivery_lost(seeded, r, 0, 1), delivery_delay(seeded, r, 0, 1))
+        for r in range(64)
+    ]
+    # Pure: the same model replays the same environment...
+    assert environment == [
+        (delivery_lost(seeded, r, 0, 1), delivery_delay(seeded, r, 0, 1))
+        for r in range(64)
+    ]
+    # ...and only the model's own seed changes it.
+    reseeded = LinkFaults(loss_permille=500, delay_permille=500, delay_max=2,
+                          seed=22)
+    assert environment != [
+        (delivery_lost(reseeded, r, 0, 1), delivery_delay(reseeded, r, 0, 1))
+        for r in range(64)
+    ]
+
+
+def test_byzantine_draws_are_pure_and_seed_selected():
+    from repro.faults import ByzantineFaults
+    from repro.faults.byzantine import attack_fires
+
+    seeded = ByzantineFaults(members=(0,), activity_permille=500, seed=5)
+    fires = [attack_fires(seeded, r, 0) for r in range(64)]
+    assert fires == [attack_fires(seeded, r, 0) for r in range(64)]
+    reseeded = ByzantineFaults(members=(0,), activity_permille=500, seed=6)
+    assert fires != [attack_fires(reseeded, r, 0) for r in range(64)]

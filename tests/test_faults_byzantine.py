@@ -1,0 +1,129 @@
+"""Tests for Byzantine message mutation at the message boundary."""
+
+from repro.core.knowledge import StateItem
+from repro.core.message import Message, Piggyback
+from repro.core.session import Session
+from repro.faults import ByzantineFaults
+from repro.faults.byzantine import attack_fires, forged_sessions, poison
+
+
+def state_message(last_primary: Session, sender: int = 0) -> Message:
+    """A round-1 broadcast carrying one state item."""
+    item = StateItem(
+        session_number=last_primary.number,
+        ambiguous=(),
+        last_primary=last_primary,
+        last_formed=(),
+    )
+    return Message(
+        payload=None,
+        piggyback=Piggyback(sender=sender, view_seq=3, items=(item,)),
+    )
+
+
+PRIMARY = Session(number=4, members=frozenset({0, 1, 2}))
+COMPONENT = frozenset({0, 1, 2, 3})
+
+
+class TestAttackFires:
+    def test_only_designated_members_attack(self):
+        byz = ByzantineFaults(members=(2,))
+        assert attack_fires(byz, 0, 2)
+        assert not attack_fires(byz, 0, 1)
+
+    def test_zero_activity_never_fires(self):
+        byz = ByzantineFaults(members=(2,), activity_permille=0)
+        assert not attack_fires(byz, 0, 2)
+
+    def test_partial_activity_is_a_pure_hash_draw(self):
+        byz = ByzantineFaults(members=(2,), activity_permille=500, seed=3)
+        draws = [attack_fires(byz, r, 2) for r in range(64)]
+        assert draws == [attack_fires(byz, r, 2) for r in range(64)]
+        assert True in draws and False in draws
+
+
+class TestForgedSessions:
+    def test_forged_number_tops_the_carried_evidence(self):
+        variant_a, variant_b = forged_sessions(state_message(PRIMARY), COMPONENT)
+        assert variant_a.number == PRIMARY.number + 1
+        assert variant_b.number == PRIMARY.number + 1
+
+    def test_variant_a_spans_the_component(self):
+        variant_a, _ = forged_sessions(state_message(PRIMARY), COMPONENT)
+        assert variant_a.members == COMPONENT
+
+    def test_variant_b_omits_the_largest_member(self):
+        _, variant_b = forged_sessions(state_message(PRIMARY), COMPONENT)
+        assert variant_b.members == COMPONENT - {max(COMPONENT)}
+
+    def test_singleton_component_degenerates_to_one_variant(self):
+        variant_a, variant_b = forged_sessions(
+            state_message(PRIMARY), frozenset({0})
+        )
+        assert variant_a == variant_b
+
+    def test_no_state_items_means_nothing_to_forge(self):
+        message = Message(
+            payload=None, piggyback=Piggyback(sender=0, view_seq=3, items=())
+        )
+        assert forged_sessions(message, COMPONENT) is None
+
+
+class TestPoison:
+    def test_drop_withholds_from_every_recipient(self):
+        byz = ByzantineFaults(members=(0,), behavior="drop")
+        assert poison(byz, state_message(PRIMARY), 1, COMPONENT) is None
+
+    def test_alter_sends_the_same_forgery_to_everyone(self):
+        byz = ByzantineFaults(members=(0,), behavior="alter")
+        received = {
+            recipient: poison(byz, state_message(PRIMARY), recipient, COMPONENT)
+            for recipient in (1, 2, 3)
+        }
+        primaries = {
+            message.piggyback.items[0].last_primary
+            for message in received.values()
+        }
+        assert len(primaries) == 1
+        forged = primaries.pop()
+        assert forged.number == PRIMARY.number + 1
+        assert forged.members == COMPONENT
+
+    def test_equivocate_splits_recipients_between_two_member_sets(self):
+        byz = ByzantineFaults(members=(0,), behavior="equivocate")
+        received = {
+            recipient: poison(byz, state_message(PRIMARY), recipient, COMPONENT)
+            .piggyback.items[0]
+            .last_primary
+            for recipient in (1, 2, 3)
+        }
+        # The omitted (largest) member sees variant A; the rest see B.
+        assert received[3].members == COMPONENT
+        assert received[1].members == COMPONENT - {3}
+        assert received[2].members == COMPONENT - {3}
+        # Same number, different members: the chain_order_conflict bait.
+        assert len({session.number for session in received.values()}) == 1
+        assert len({session.members for session in received.values()}) == 2
+
+    def test_every_victim_is_a_member_of_the_forgery_it_accepts(self):
+        byz = ByzantineFaults(members=(0,), behavior="equivocate")
+        for recipient in (1, 2, 3):
+            forged = (
+                poison(byz, state_message(PRIMARY), recipient, COMPONENT)
+                .piggyback.items[0]
+                .last_primary
+            )
+            assert recipient in forged.members
+
+    def test_attempt_only_broadcasts_pass_through_unchanged(self):
+        message = Message(
+            payload=None, piggyback=Piggyback(sender=0, view_seq=3, items=())
+        )
+        byz = ByzantineFaults(members=(0,), behavior="equivocate")
+        assert poison(byz, message, 1, COMPONENT) is message
+
+    def test_the_original_message_is_never_mutated(self):
+        message = state_message(PRIMARY)
+        byz = ByzantineFaults(members=(0,), behavior="alter")
+        poison(byz, message, 1, COMPONENT)
+        assert message.piggyback.items[0].last_primary == PRIMARY

@@ -1,0 +1,116 @@
+"""Tests for churn traces: mobility partitions compiled to plan steps."""
+
+import pytest
+
+from repro.check.plan import SchedulePlan, plan_from_recorded, validate_plan
+from repro.faults import (
+    ChurnFaults,
+    FaultModel,
+    FaultModelError,
+    churn_steps,
+    diff_partitions,
+    mobility_trace,
+)
+from repro.net.changes import apply_change
+from repro.net.topology import Topology
+
+
+def canonical(components):
+    return sorted(tuple(sorted(c)) for c in components)
+
+
+class TestMobilityTrace:
+    def test_epoch_zero_is_the_universe(self):
+        trace = mobility_trace(ChurnFaults(cells=3, epochs=4, seed=1), 6)
+        assert trace[0] == (frozenset(range(6)),)
+        assert len(trace) == 5
+
+    def test_every_epoch_partitions_the_universe(self):
+        trace = mobility_trace(ChurnFaults(cells=3, epochs=5, seed=2), 7)
+        universe = frozenset(range(7))
+        for partition in trace:
+            assert frozenset().union(*partition) == universe
+            assert sum(len(c) for c in partition) == 7
+
+    def test_trace_is_a_pure_hash_of_the_seed(self):
+        churn = ChurnFaults(cells=3, epochs=4, seed=9)
+        assert mobility_trace(churn, 6) == mobility_trace(churn, 6)
+        other = ChurnFaults(cells=3, epochs=4, seed=10)
+        assert mobility_trace(churn, 6) != mobility_trace(other, 6)
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(FaultModelError):
+            mobility_trace(ChurnFaults(cells=0, epochs=2), 4)
+
+
+class TestDiffPartitions:
+    def apply_all(self, before, changes):
+        topology = Topology(components=tuple(frozenset(c) for c in before))
+        for change in changes:
+            topology = apply_change(topology, change)
+        return topology
+
+    @pytest.mark.parametrize(
+        "before, after",
+        [
+            ([{0, 1, 2, 3}], [{0, 1}, {2, 3}]),
+            ([{0, 1}, {2, 3}], [{0, 1, 2, 3}]),
+            ([{0, 1}, {2, 3}], [{0, 2}, {1, 3}]),
+            ([{0, 1, 2}, {3, 4}], [{0, 3}, {1, 4}, {2}]),
+            ([{0}, {1}, {2}, {3}], [{0, 1, 2, 3}]),
+            ([{0, 1, 2, 3}], [{0, 1, 2, 3}]),
+        ],
+    )
+    def test_diff_reaches_the_target_through_feasible_changes(
+        self, before, after
+    ):
+        changes = diff_partitions(
+            [frozenset(c) for c in before], [frozenset(c) for c in after]
+        )
+        final = self.apply_all(before, changes)  # raises if infeasible
+        assert canonical(final.components) == canonical(after)
+
+    def test_identical_partitions_need_no_changes(self):
+        assert diff_partitions([frozenset({0, 1})], [frozenset({0, 1})]) == []
+
+    def test_mismatched_universes_rejected(self):
+        with pytest.raises(FaultModelError):
+            diff_partitions([frozenset({0, 1})], [frozenset({0, 1, 2})])
+
+
+class TestChurnSteps:
+    def test_steps_compile_to_a_feasible_plan(self):
+        churn = ChurnFaults(cells=3, epochs=5, seed=4)
+        steps = [
+            (gap, change, frozenset())
+            for gap, change, _ in churn_steps(churn, 8, dwell=2)
+        ]
+        plan = plan_from_recorded(8, steps, faults=FaultModel(churn=churn))
+        final = validate_plan(plan)
+        trace = mobility_trace(churn, 8)
+        assert canonical(final.components) == canonical(trace[-1])
+
+    def test_dwell_becomes_the_first_gap_of_each_epoch(self):
+        churn = ChurnFaults(cells=2, epochs=3, seed=4)
+        steps = churn_steps(churn, 6, dwell=3)
+        gaps = {gap for gap, _, _ in steps}
+        assert gaps <= {0, 3}
+        assert 3 in gaps
+
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(FaultModelError):
+            churn_steps(ChurnFaults(cells=2, epochs=1, seed=0), 4, dwell=-1)
+
+    def test_churn_marker_survives_plan_serialization(self):
+        from repro.check.plan import plan_from_json, plan_to_json
+
+        churn = ChurnFaults(cells=2, epochs=2, seed=6)
+        steps = [
+            (gap, change, frozenset())
+            for gap, change, _ in churn_steps(churn, 5)
+        ]
+        plan = plan_from_recorded(5, steps, faults=FaultModel(churn=churn))
+        assert isinstance(plan, SchedulePlan)
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.faults is not None
+        assert restored.faults.churn == churn

@@ -1,0 +1,402 @@
+"""Integration tests: adversarial fault models against their oracles.
+
+One class per fault class, each pinning the ISSUE's acceptance story:
+the class runs end-to-end through plan -> driver -> checker, the
+violations it may cause are exactly the ones its oracle sanctions, and
+a deliberately-injected equivocation is caught, shrunk to a replayable
+plan, and blamed by ``repro.obs.causal``.
+"""
+
+import pytest
+
+from repro.check import (
+    FuzzConfig,
+    check_plan,
+    classify_report,
+    fuzz,
+    minimize,
+    plan_from_json,
+    plan_to_json,
+    run_plan,
+    validate_plan,
+    violation_predicate,
+)
+from repro.check.plan import PlanStep, SchedulePlan, driver_steps, plan_from_recorded
+from repro.faults import (
+    AMNESIAC,
+    ByzantineFaults,
+    ChurnFaults,
+    CrashRecoveryFaults,
+    FaultModel,
+    LinkFaults,
+    churn_steps,
+    expected_kinds,
+)
+from repro.net.changes import (
+    CrashChange,
+    MergeChange,
+    PartitionChange,
+    RecoverChange,
+)
+from repro.sim.driver import DriverLoop
+from repro.sim.rng import derive_rng
+from repro.sim.trace import TraceRecorder, trace_canonical_json
+
+ALGORITHMS = ("ykd", "dfls", "one_pending")
+
+
+def steps(*triples):
+    return tuple(
+        PlanStep(gap=gap, change=change, late=frozenset(late))
+        for gap, change, late in triples
+    )
+
+
+#: Deep-chain crash/recover schedule: {0,1,2} forms a primary, 0
+#: crashes and recovers, then joins the never-formed side {3,4}.
+CRASHREC_PLAN_STEPS = steps(
+    (4, PartitionChange(component=frozenset(range(5)), moved=frozenset({3, 4})), ()),
+    (4, CrashChange(pid=0), ()),
+    (4, RecoverChange(pid=0), ()),
+    (4, MergeChange(first=frozenset({0}), second=frozenset({3, 4})), ()),
+)
+
+#: Split-and-heal schedule whose state exchanges a Byzantine member 0
+#: poisons.
+BYZANTINE_PLAN_STEPS = steps(
+    (3, PartitionChange(component=frozenset(range(4)), moved=frozenset({3})), ()),
+    (3, MergeChange(first=frozenset({0, 1, 2}), second=frozenset({3})), ()),
+)
+
+
+class TestKnobsOffByteIdentity:
+    """An explicit all-knobs-off model is the clean engine, bit for bit."""
+
+    def replay(self, fault_model):
+        recorder = TraceRecorder()
+        driver = DriverLoop(
+            algorithm="ykd",
+            n_processes=5,
+            fault_rng=derive_rng(0, "faults-identity"),
+            observers=[recorder],
+            fault_model=fault_model,
+        )
+        driver.execute_schedule(
+            [(gap, step.change, frozenset(step.late))
+             for gap, step in ((s.gap, s) for s in steps(
+                 (1, PartitionChange(component=frozenset(range(5)),
+                                     moved=frozenset({3, 4})), (3,)),
+                 (2, MergeChange(first=frozenset({0, 1, 2}),
+                                 second=frozenset({3, 4})), ()),
+             ))]
+        )
+        return trace_canonical_json(recorder)
+
+    def test_clean_model_replays_byte_identically(self):
+        assert self.replay(FaultModel()) == self.replay(None)
+
+    def test_clean_model_takes_the_injector_free_path(self):
+        driver = DriverLoop(
+            algorithm="ykd",
+            n_processes=4,
+            fault_rng=derive_rng(0, "faults-identity"),
+            fault_model=FaultModel(),
+        )
+        assert driver._injector is None
+
+    def test_churn_marker_alone_keeps_the_clean_path(self):
+        driver = DriverLoop(
+            algorithm="ykd",
+            n_processes=4,
+            fault_rng=derive_rng(0, "faults-identity"),
+            fault_model=FaultModel(churn=ChurnFaults(cells=2, epochs=2)),
+        )
+        assert driver._injector is None
+
+
+class TestLossOracle:
+    """Omission faults: agreement may fray, primaryhood must not."""
+
+    def fuzz_result(self, **overrides):
+        config = FuzzConfig(
+            master_seed=1,
+            schedules=25,
+            algorithms=ALGORITHMS,
+            fault_classes=("loss",),
+            **overrides,
+        )
+        return fuzz(config)
+
+    def test_loss_campaign_yields_only_oracle_sanctioned_findings(self):
+        result = self.fuzz_result()
+        assert result.failures, "loss campaign found nothing to classify"
+        assert result.ok, result.describe()
+        assert not result.unexpected_failures
+        allowed = expected_kinds(
+            FaultModel(link=LinkFaults(loss_permille=1))
+        )
+        for failure in result.failures:
+            for verdict in failure.report.failures:
+                assert verdict.outcome == "violation"
+                assert verdict.violation_kind in allowed
+
+    def test_loss_verdicts_replay_deterministically(self):
+        result = self.fuzz_result()
+        failure = result.failures[0]
+        replayed = plan_from_json(plan_to_json(failure.plan))
+        first = run_plan(replayed, ALGORITHMS[0])
+        second = run_plan(replayed, ALGORITHMS[0])
+        assert first == second
+
+    def test_total_loss_strands_but_never_forges(self):
+        # Every non-self delivery lost: nothing can ever be agreed, but
+        # at-most-one-primary style kinds must still not fire.
+        plan = SchedulePlan(
+            n_processes=4,
+            steps=steps(
+                (2, PartitionChange(component=frozenset(range(4)),
+                                    moved=frozenset({2, 3})), ()),
+                (2, MergeChange(first=frozenset({0, 1}),
+                                second=frozenset({2, 3})), ()),
+            ),
+            faults=FaultModel(link=LinkFaults(loss_permille=1000)),
+        )
+        report = check_plan(plan, ALGORITHMS)
+        for verdict in report.failures:
+            assert verdict.violation_kind in expected_kinds(plan.faults)
+        assert classify_report(report)
+
+
+class TestCrashRecoveryOracle:
+    """Persistent recovery is safe; amnesiac recovery must be caught."""
+
+    def plan(self, persistence):
+        return SchedulePlan(
+            n_processes=5,
+            steps=CRASHREC_PLAN_STEPS,
+            faults=FaultModel(
+                crashrec=CrashRecoveryFaults(persistence=persistence)
+            ),
+        )
+
+    def test_persistent_recovery_replays_clean(self):
+        report = check_plan(self.plan("persistent"), ALGORITHMS)
+        assert report.ok, report.describe()
+
+    def test_amnesiac_recovery_forms_a_second_primary(self):
+        report = check_plan(self.plan(AMNESIAC), ALGORITHMS)
+        assert not report.ok
+        kinds = {v.violation_kind for v in report.failures}
+        assert kinds == {"dual_primary"}
+        # Every algorithm trusts persistence equally: all must fall.
+        assert {v.algorithm for v in report.failures} == set(ALGORITHMS)
+
+    def test_the_breakage_is_oracle_expected(self):
+        report = check_plan(self.plan(AMNESIAC), ALGORITHMS)
+        assert classify_report(report), (
+            "amnesiac dual_primary must be sanctioned by the crashrec oracle"
+        )
+
+    def test_amnesia_without_a_recovery_changes_nothing(self):
+        plan = SchedulePlan(
+            n_processes=5,
+            steps=steps(
+                (2, PartitionChange(component=frozenset(range(5)),
+                                    moved=frozenset({3, 4})), ()),
+                (2, MergeChange(first=frozenset({0, 1, 2}),
+                                second=frozenset({3, 4})), ()),
+            ),
+            faults=FaultModel(
+                crashrec=CrashRecoveryFaults(persistence=AMNESIAC)
+            ),
+        )
+        report = check_plan(plan, ALGORITHMS)
+        assert report.ok, report.describe()
+
+
+class TestByzantineOracle:
+    """Forged evidence must be *detected* — that is the obligation."""
+
+    def plan(self, behavior, members=(0,)):
+        return SchedulePlan(
+            n_processes=4,
+            steps=BYZANTINE_PLAN_STEPS,
+            faults=FaultModel(
+                byzantine=ByzantineFaults(members=members, behavior=behavior)
+            ),
+        )
+
+    def test_equivocation_is_caught_as_chain_order_conflict(self):
+        report = check_plan(self.plan("equivocate"), ALGORITHMS)
+        assert not report.ok
+        kinds = {v.violation_kind for v in report.failures}
+        assert kinds == {"chain_order_conflict"}, (
+            "equivocation's signature is one order key with two member sets"
+        )
+        assert classify_report(report)
+
+    def test_drop_behaves_as_an_omission_fault(self):
+        report = check_plan(self.plan("drop"), ALGORITHMS)
+        allowed = expected_kinds(self.plan("drop").faults)
+        for verdict in report.failures:
+            assert verdict.outcome == "violation"
+            assert verdict.violation_kind in allowed
+        assert classify_report(report)
+
+    def test_tampering_rejected_messages_do_not_crash_the_driver(self):
+        # Honest members that detect an attempt mismatch raise
+        # ProtocolError; under an active Byzantine model the driver
+        # treats that as "tamper detected, message rejected".
+        plan = self.plan("alter")
+        verdict = run_plan(plan, "ykd")
+        assert verdict.outcome in ("violation", "livelock", "ok")
+
+
+class TestEquivocationAcceptance:
+    """ISSUE acceptance: caught, shrunk to a replayable plan, blamed."""
+
+    @pytest.fixture(scope="class")
+    def shrunk(self):
+        original = SchedulePlan(
+            n_processes=5,
+            steps=steps(
+                (3, PartitionChange(component=frozenset(range(5)),
+                                    moved=frozenset({4})), ()),
+                (1, PartitionChange(component=frozenset(range(4)),
+                                    moved=frozenset({3})), ()),
+                (3, MergeChange(first=frozenset({0, 1, 2}),
+                                second=frozenset({3})), ()),
+                (2, MergeChange(first=frozenset({0, 1, 2, 3}),
+                                second=frozenset({4})), ()),
+            ),
+            faults=FaultModel(
+                byzantine=ByzantineFaults(members=(0, 1), behavior="equivocate")
+            ),
+        )
+        predicate = violation_predicate(["ykd"])
+        assert predicate(original)
+        return original, minimize(original, predicate, max_tests=400)
+
+    def test_the_shrunk_plan_is_smaller_and_still_violating(self, shrunk):
+        original, result = shrunk
+        assert result.minimized.cost() < original.cost()
+        report = check_plan(result.minimized, ["ykd"])
+        assert not report.ok
+
+    def test_the_shrunk_plan_replays_from_its_json(self, shrunk):
+        _, result = shrunk
+        replayed = plan_from_json(plan_to_json(result.minimized))
+        assert replayed == result.minimized
+        assert not check_plan(replayed, ["ykd"]).ok
+
+    def test_the_shrinker_retires_the_second_traitor(self, shrunk):
+        _, result = shrunk
+        assert result.minimized.faults is not None
+        assert len(result.minimized.faults.byzantine.members) == 1
+
+    def test_the_violation_carries_causal_blame(self, shrunk):
+        _, result = shrunk
+        verdict = run_plan(result.minimized, "ykd")
+        assert verdict.outcome == "violation"
+        assert verdict.blame, (
+            "repro.obs.causal must attribute the lost rounds of a "
+            "caught equivocation"
+        )
+        categories = {category for category, _ in verdict.blame}
+        assert categories <= {
+            "partitioned_minority",
+            "attempt_in_flight",
+            "ambiguous_blocked",
+            "settling",
+        }
+
+
+class TestChurnOracle:
+    """Churn compiles to clean steps: the strict oracle applies."""
+
+    def test_churn_trace_replays_clean_under_every_algorithm(self):
+        churn = ChurnFaults(cells=2, epochs=4, seed=11)
+        plan = plan_from_recorded(
+            6,
+            [(gap, change, frozenset())
+             for gap, change, _ in churn_steps(churn, 6, dwell=3)],
+            faults=FaultModel(churn=churn),
+        )
+        validate_plan(plan)
+        report = check_plan(plan, ALGORITHMS)
+        assert report.ok, report.describe()
+
+    def test_churn_fuzz_leg_holds_the_strict_oracle(self):
+        result = fuzz(
+            FuzzConfig(
+                master_seed=2,
+                schedules=10,
+                algorithms=ALGORITHMS,
+                fault_classes=("churn",),
+            )
+        )
+        assert result.ok, result.describe()
+        assert not result.failures, (
+            "churn schedules are clean faults; any finding is a real bug"
+        )
+
+
+class TestFuzzerFaultIntegration:
+    """The fuzzer's fault legs stay deterministic and classified."""
+
+    def test_fault_campaigns_are_deterministic(self):
+        config = FuzzConfig(
+            master_seed=5, schedules=12, algorithms=("ykd",),
+            fault_classes=("loss", "byzantine"),
+        )
+        first = fuzz(config)
+        second = fuzz(config)
+        assert [f.index for f in first.failures] == [
+            f.index for f in second.failures
+        ]
+        assert [plan_to_json(f.plan) for f in first.failures] == [
+            plan_to_json(f.plan) for f in second.failures
+        ]
+        assert [f.expected for f in first.failures] == [
+            f.expected for f in second.failures
+        ]
+
+    def test_fault_plans_carry_their_class_and_stay_feasible(self):
+        from repro.check.fuzzer import generate_plan
+
+        config = FuzzConfig(
+            master_seed=9, schedules=1, fault_classes=("byzantine",)
+        )
+        seen_active = 0
+        for index in range(30):
+            plan = generate_plan(config, index)
+            validate_plan(plan)
+            if plan.faults is not None:
+                assert plan.faults.active_classes() == ("byzantine",)
+                seen_active += 1
+        assert seen_active > 20
+
+    def test_expected_failures_do_not_fail_the_campaign(self):
+        result = fuzz(
+            FuzzConfig(
+                master_seed=1, schedules=25, algorithms=ALGORITHMS,
+                fault_classes=("loss",),
+            )
+        )
+        assert result.failures
+        assert result.ok
+        assert result.expected_failures == result.failures
+
+    def test_unexpected_failures_still_fail_it(self, broken_majority):
+        result = fuzz(
+            FuzzConfig(
+                master_seed=0, schedules=40,
+                algorithms=("broken_majority",),
+                fault_classes=("churn",),
+            )
+        )
+        assert not result.ok, (
+            "a dual primary under clean churn is a genuine bug and must "
+            "not be absorbed by the fault oracle"
+        )
+        assert result.unexpected_failures

@@ -1,0 +1,96 @@
+"""Tests for the per-run fault injector (delivery mediation + queues)."""
+
+from repro.core.message import Message, Piggyback
+from repro.faults import ByzantineFaults, FaultInjector, FaultModel, LinkFaults
+
+
+def message(sender: int = 0) -> Message:
+    return Message(
+        payload=None, piggyback=Piggyback(sender=sender, view_seq=1, items=())
+    )
+
+
+def injector(**link_knobs) -> FaultInjector:
+    return FaultInjector(FaultModel(link=LinkFaults(**link_knobs)))
+
+
+COMPONENT = (0, 1, 2, 3)
+
+
+class TestTransform:
+    def test_clean_link_passes_messages_through(self):
+        inj = injector()
+        msg = message()
+        assert inj.transform(0, 0, 1, msg, COMPONENT, attacked=False) is msg
+        assert inj.counts == {
+            "withheld": 0, "poisoned": 0, "lost": 0, "delayed": 0
+        }
+
+    def test_total_loss_drops_everything_and_counts_it(self):
+        inj = injector(loss_permille=1000)
+        for r in range(5):
+            assert inj.transform(r, 0, 1, message(), COMPONENT, False) is None
+        assert inj.counts["lost"] == 5
+        assert not inj.has_pending()
+
+    def test_byzantine_drop_is_counted_as_withheld(self):
+        inj = FaultInjector(
+            FaultModel(byzantine=ByzantineFaults(members=(0,), behavior="drop"))
+        )
+        assert inj.transform(0, 0, 1, message(), COMPONENT, attacked=True) is None
+        assert inj.counts["withheld"] == 1
+
+    def test_attacked_flag_gates_the_byzantine_path(self):
+        inj = FaultInjector(
+            FaultModel(byzantine=ByzantineFaults(members=(0,), behavior="drop"))
+        )
+        msg = message()
+        assert inj.transform(0, 0, 1, msg, COMPONENT, attacked=False) is msg
+
+
+class TestDelayQueue:
+    def test_delayed_messages_mature_after_their_delay(self):
+        inj = injector(delay_permille=1000, delay_max=1)
+        msg = message(sender=2)
+        assert inj.transform(4, 2, 1, msg, COMPONENT, False) is None
+        assert inj.counts["delayed"] == 1
+        assert inj.has_pending()
+        assert inj.matured(4, 1) == []
+        assert inj.matured(5, 1) == [(2, msg)]
+        assert not inj.has_pending()
+
+    def test_matured_releases_in_sender_order_without_reorder(self):
+        inj = injector(delay_permille=1000, delay_max=1)
+        for sender in (3, 1, 2):
+            inj.transform(0, sender, 0, message(sender), COMPONENT, False)
+        senders = [sender for sender, _ in inj.matured(1, 0)]
+        assert senders == [1, 2, 3]
+
+    def test_drop_for_discards_a_crashed_recipients_queue(self):
+        inj = injector(delay_permille=1000, delay_max=2)
+        inj.transform(0, 0, 1, message(), COMPONENT, False)
+        inj.drop_for(1)
+        assert not inj.has_pending()
+        assert inj.matured(9, 1) == []
+
+    def test_snapshot_restore_round_trips_the_pending_queue(self):
+        inj = injector(delay_permille=1000, delay_max=2)
+        inj.transform(0, 0, 1, message(0), COMPONENT, False)
+        inj.transform(0, 2, 3, message(2), COMPONENT, False)
+        state = inj.snapshot_state()
+        inj.drop_for(1)
+        inj.drop_for(3)
+        assert not inj.has_pending()
+        inj.restore_state(state)
+        assert inj.has_pending()
+        assert [s for s, _ in inj.matured(9, 1)] == [0]
+        assert [s for s, _ in inj.matured(9, 3)] == [2]
+
+    def test_snapshot_is_an_immutable_value(self):
+        inj = injector(delay_permille=1000, delay_max=1)
+        inj.transform(0, 0, 1, message(), COMPONENT, False)
+        state = inj.snapshot_state()
+        inj.matured(1, 1)  # mutates the live queue
+        assert state == (
+            (1, state[0][1]),
+        )  # the captured tuple is unaffected

@@ -1,0 +1,121 @@
+"""Tests for the pure-hash link fault draws (loss, delay, reorder)."""
+
+from repro.faults import LinkFaults
+from repro.faults.link import (
+    delivery_delay,
+    delivery_lost,
+    loss_matrix,
+    reorder_key,
+)
+
+
+class TestDeliveryLost:
+    def test_draws_are_pure_functions_of_seed_round_link(self):
+        link = LinkFaults(loss_permille=400, seed=7)
+        for round_index in range(20):
+            assert delivery_lost(link, round_index, 0, 1) == delivery_lost(
+                link, round_index, 0, 1
+            )
+
+    def test_zero_permille_never_loses(self):
+        link = LinkFaults()
+        assert not any(
+            delivery_lost(link, r, s, d)
+            for r in range(50)
+            for s in range(3)
+            for d in range(3)
+            if s != d
+        )
+
+    def test_full_permille_always_loses(self):
+        link = LinkFaults(loss_permille=1000)
+        assert all(
+            delivery_lost(link, r, 0, 1) for r in range(50)
+        )
+
+    def test_empirical_rate_tracks_the_permille(self):
+        link = LinkFaults(loss_permille=250, seed=3)
+        draws = [
+            delivery_lost(link, r, s, d)
+            for r in range(200)
+            for s in range(4)
+            for d in range(4)
+            if s != d
+        ]
+        rate = sum(draws) / len(draws)
+        assert 0.20 < rate < 0.30
+
+    def test_different_links_draw_independently(self):
+        link = LinkFaults(loss_permille=500, seed=1)
+        a = [delivery_lost(link, r, 0, 1) for r in range(64)]
+        b = [delivery_lost(link, r, 1, 0) for r in range(64)]
+        assert a != b  # directed links have independent fates
+
+    def test_seed_changes_the_environment(self):
+        a = LinkFaults(loss_permille=500, seed=1)
+        b = LinkFaults(loss_permille=500, seed=2)
+        assert [delivery_lost(a, r, 0, 1) for r in range(64)] != [
+            delivery_lost(b, r, 0, 1) for r in range(64)
+        ]
+
+    def test_per_link_override_beats_the_global_rate(self):
+        link = LinkFaults(loss_permille=0, link_loss=((0, 1, 1000),))
+        assert delivery_lost(link, 0, 0, 1)
+        assert not delivery_lost(link, 0, 1, 0)
+        assert not delivery_lost(link, 0, 0, 2)
+
+    def test_override_can_also_protect_a_link(self):
+        link = LinkFaults(loss_permille=1000, link_loss=((0, 1, 0),))
+        assert not delivery_lost(link, 0, 0, 1)
+        assert delivery_lost(link, 0, 1, 0)
+
+
+class TestDeliveryDelay:
+    def test_inactive_knobs_never_delay(self):
+        assert delivery_delay(LinkFaults(delay_permille=500), 0, 0, 1) == 0
+        assert delivery_delay(LinkFaults(delay_max=3), 0, 0, 1) == 0
+
+    def test_delays_stay_within_the_bound(self):
+        link = LinkFaults(delay_permille=1000, delay_max=3, seed=5)
+        delays = {
+            delivery_delay(link, r, s, d)
+            for r in range(100)
+            for s in range(3)
+            for d in range(3)
+            if s != d
+        }
+        assert delays <= {1, 2, 3}
+        assert len(delays) > 1  # the span draw actually varies
+
+    def test_unit_delay_max_always_holds_one_round(self):
+        link = LinkFaults(delay_permille=1000, delay_max=1)
+        assert delivery_delay(link, 9, 0, 1) == 1
+
+    def test_partial_permille_sometimes_skips_the_delay(self):
+        link = LinkFaults(delay_permille=400, delay_max=2, seed=5)
+        delays = [delivery_delay(link, r, 0, 1) for r in range(100)]
+        assert 0 in delays and max(delays) >= 1
+
+
+class TestReorderKey:
+    def test_off_means_sender_order(self):
+        link = LinkFaults()
+        keys = [reorder_key(link, 4, 0, sender) for sender in (3, 1, 2)]
+        assert sorted(keys) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_on_means_a_replayable_shuffle(self):
+        link = LinkFaults(reorder=True, seed=11)
+        first = [reorder_key(link, 4, 0, sender) for sender in range(6)]
+        second = [reorder_key(link, 4, 0, sender) for sender in range(6)]
+        assert first == second
+        assert [k[1] for k in sorted(first)] != list(range(6))
+
+
+class TestLossMatrix:
+    def test_matrix_reflects_overrides(self):
+        link = LinkFaults(loss_permille=100, link_loss=((0, 1, 900),))
+        matrix = loss_matrix(link, 3)
+        assert matrix[(0, 1)] == 900
+        assert matrix[(1, 0)] == 100
+        assert (0, 0) not in matrix
+        assert len(matrix) == 6

@@ -1,0 +1,239 @@
+"""Tests for the fault-model dataclasses, codec and per-class oracles."""
+
+import pytest
+
+from repro.faults import (
+    ALL_KINDS,
+    AMNESIAC,
+    BYZANTINE_BEHAVIORS,
+    FAULT_CLASSES,
+    OMISSION_KINDS,
+    PERSISTENT,
+    ByzantineFaults,
+    ChurnFaults,
+    CrashRecoveryFaults,
+    FaultModel,
+    FaultModelError,
+    LinkFaults,
+    expected_kinds,
+    faults_from_dict,
+    faults_to_dict,
+    livelock_expected,
+    violation_expected,
+)
+
+
+class TestLinkFaults:
+    def test_default_is_inactive(self):
+        assert not LinkFaults().is_active()
+        assert LinkFaults().cost_detail() == 0
+
+    def test_loss_activates(self):
+        assert LinkFaults(loss_permille=1).is_active()
+
+    def test_link_override_alone_activates(self):
+        assert LinkFaults(link_loss=((0, 1, 500),)).is_active()
+
+    def test_zero_permille_override_is_inactive(self):
+        # An all-zero override matrix changes nothing.
+        assert not LinkFaults(link_loss=((0, 1, 0),)).is_active()
+
+    def test_delay_needs_both_knobs(self):
+        assert not LinkFaults(delay_permille=500).is_active()
+        assert not LinkFaults(delay_max=3).is_active()
+        assert LinkFaults(delay_permille=500, delay_max=3).is_active()
+
+    def test_permille_bounds_enforced(self):
+        with pytest.raises(FaultModelError):
+            LinkFaults(loss_permille=1001)
+        with pytest.raises(FaultModelError):
+            LinkFaults(loss_permille=-1)
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_loss=((0, 1, 2000),))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_loss=((2, 2, 100),))
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_loss=((0, 1, 100), (0, 1, 200)))
+
+    def test_link_loss_is_normalized_sorted(self):
+        a = LinkFaults(link_loss=((2, 0, 100), (0, 1, 50)))
+        b = LinkFaults(link_loss=((0, 1, 50), (2, 0, 100)))
+        assert a == b
+        assert a.link_loss == ((0, 1, 50), (2, 0, 100))
+
+    def test_relaxing_a_knob_strictly_shrinks_cost(self):
+        heavy = LinkFaults(loss_permille=300, delay_permille=200,
+                           delay_max=2, reorder=True)
+        assert heavy.cost_detail() > LinkFaults(
+            loss_permille=150, delay_permille=200, delay_max=2, reorder=True
+        ).cost_detail()
+        assert heavy.cost_detail() > LinkFaults(
+            loss_permille=300, delay_permille=200, delay_max=2
+        ).cost_detail()
+
+
+class TestCrashRecoveryFaults:
+    def test_persistent_default_is_inactive(self):
+        model = CrashRecoveryFaults()
+        assert model.persistence == PERSISTENT
+        assert not model.amnesiac
+        assert not model.is_active()
+
+    def test_amnesiac_activates(self):
+        model = CrashRecoveryFaults(persistence=AMNESIAC)
+        assert model.amnesiac
+        assert model.is_active()
+        assert model.cost_detail() == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultModelError):
+            CrashRecoveryFaults(persistence="forgetful")
+
+
+class TestByzantineFaults:
+    def test_default_is_inactive(self):
+        assert not ByzantineFaults().is_active()
+
+    def test_members_required_for_activity(self):
+        assert ByzantineFaults(members=(1,)).is_active()
+        assert not ByzantineFaults(members=(1,), activity_permille=0).is_active()
+
+    def test_members_are_deduped_and_sorted(self):
+        model = ByzantineFaults(members=(3, 1, 3))
+        assert model.members == (1, 3)
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(FaultModelError):
+            ByzantineFaults(members=(0,), behavior="lie")
+
+    def test_negative_member_rejected(self):
+        with pytest.raises(FaultModelError):
+            ByzantineFaults(members=(-1,))
+
+    def test_behavior_demotion_strictly_shrinks_cost(self):
+        costs = [
+            ByzantineFaults(members=(0,), behavior=behavior).cost_detail()
+            for behavior in BYZANTINE_BEHAVIORS
+        ]
+        assert costs == sorted(costs)
+        assert len(set(costs)) == len(costs)
+
+    def test_fewer_members_strictly_shrinks_cost(self):
+        two = ByzantineFaults(members=(0, 1), behavior="equivocate")
+        one = ByzantineFaults(members=(0,), behavior="equivocate")
+        assert one.cost_detail() < two.cost_detail()
+
+
+class TestFaultModel:
+    def test_default_is_clean_and_default(self):
+        model = FaultModel()
+        assert model.is_clean()
+        assert model.is_default()
+        assert not model.needs_injection()
+        assert model.active_classes() == ()
+
+    def test_churn_marker_keeps_the_model_clean(self):
+        # Churn is provenance: the realized steps live in the plan, so
+        # a churn-only model must keep the exact clean delivery path.
+        model = FaultModel(churn=ChurnFaults(cells=2, epochs=3, seed=1))
+        assert model.is_clean()
+        assert not model.is_default()
+        assert not model.needs_injection()
+        assert model.active_classes() == ("churn",)
+
+    def test_amnesiac_is_unclean_but_needs_no_injector(self):
+        model = FaultModel(crashrec=CrashRecoveryFaults(persistence=AMNESIAC))
+        assert not model.is_clean()
+        assert not model.needs_injection()
+        assert model.active_classes() == ("crashrec",)
+
+    def test_active_classes_compose_in_canonical_order(self):
+        model = FaultModel(
+            link=LinkFaults(loss_permille=10),
+            crashrec=CrashRecoveryFaults(persistence=AMNESIAC),
+            byzantine=ByzantineFaults(members=(0,)),
+            churn=ChurnFaults(cells=2, epochs=1),
+        )
+        assert model.active_classes() == FAULT_CLASSES
+
+    def test_validate_for_rejects_out_of_range_pids(self):
+        with pytest.raises(FaultModelError):
+            FaultModel(byzantine=ByzantineFaults(members=(5,))).validate_for(4)
+        with pytest.raises(FaultModelError):
+            FaultModel(link=LinkFaults(link_loss=((0, 9, 10),))).validate_for(4)
+        FaultModel(byzantine=ByzantineFaults(members=(3,))).validate_for(4)
+
+
+class TestCodec:
+    def test_default_model_serializes_to_the_empty_object(self):
+        assert faults_to_dict(FaultModel()) == {}
+
+    def test_only_non_default_fields_are_emitted(self):
+        model = FaultModel(link=LinkFaults(loss_permille=250))
+        assert faults_to_dict(model) == {"link": {"loss_permille": 250}}
+
+    def test_round_trip_preserves_every_section(self):
+        model = FaultModel(
+            link=LinkFaults(loss_permille=100, link_loss=((0, 2, 900),),
+                            delay_permille=300, delay_max=2, reorder=True,
+                            seed=9),
+            crashrec=CrashRecoveryFaults(persistence=AMNESIAC),
+            byzantine=ByzantineFaults(members=(1, 4), behavior="equivocate",
+                                      activity_permille=700, seed=3),
+            churn=ChurnFaults(cells=3, epochs=5, seed=2),
+        )
+        assert faults_from_dict(faults_to_dict(model)) == model
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(FaultModelError):
+            faults_from_dict({"gremlins": {}})
+
+
+class TestOracle:
+    def test_clean_model_expects_nothing(self):
+        assert expected_kinds(FaultModel()) == frozenset()
+
+    def test_loss_expects_only_agreement_kinds(self):
+        kinds = expected_kinds(FaultModel(link=LinkFaults(loss_permille=100)))
+        assert kinds == OMISSION_KINDS
+        assert "dual_primary" not in kinds
+        assert "chain_order_conflict" not in kinds
+
+    def test_byzantine_drop_is_an_omission_fault(self):
+        model = FaultModel(byzantine=ByzantineFaults(members=(0,)))
+        assert expected_kinds(model) == OMISSION_KINDS
+        assert not livelock_expected(model)
+
+    @pytest.mark.parametrize("behavior", ["alter", "equivocate"])
+    def test_forging_behaviors_expect_everything(self, behavior):
+        model = FaultModel(
+            byzantine=ByzantineFaults(members=(0,), behavior=behavior)
+        )
+        assert expected_kinds(model) == ALL_KINDS
+        assert livelock_expected(model)
+
+    def test_amnesiac_expects_everything_including_livelock(self):
+        model = FaultModel(crashrec=CrashRecoveryFaults(persistence=AMNESIAC))
+        assert expected_kinds(model) == ALL_KINDS
+        assert livelock_expected(model)
+
+    def test_persistent_crashrec_and_churn_stay_strict(self):
+        model = FaultModel(churn=ChurnFaults(cells=2, epochs=4, seed=1))
+        assert expected_kinds(model) == frozenset()
+        assert not livelock_expected(model)
+
+    def test_classes_compose_by_union(self):
+        model = FaultModel(
+            link=LinkFaults(loss_permille=50),
+            byzantine=ByzantineFaults(members=(0,), behavior="equivocate"),
+        )
+        assert expected_kinds(model) == ALL_KINDS
+
+    def test_violation_expected_is_kind_membership(self):
+        model = FaultModel(link=LinkFaults(loss_permille=50))
+        assert violation_expected(model, "view_disagreement")
+        assert not violation_expected(model, "dual_primary")

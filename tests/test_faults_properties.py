@@ -1,0 +1,188 @@
+"""Property-based (hypothesis) tests for fault-plan serialization.
+
+The repro workflow rests on the plan codec being exact: a shrunk
+failing schedule is written as canonical JSON, committed, and replayed
+forever.  With fault models in the plan, that obligation extends to
+every new fault field — for arbitrary models the codec must
+
+* round-trip exactly (dict level and through a real JSON encode/decode),
+* be canonical (one value, one byte sequence), and
+* normalize the default model away, so clean plans keep the exact
+  pre-fault byte layout the byte-identity goldens pin.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check.plan import (
+    PlanStep,
+    SchedulePlan,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+from repro.faults import (
+    AMNESIAC,
+    BYZANTINE_BEHAVIORS,
+    PERSISTENT,
+    ByzantineFaults,
+    ChurnFaults,
+    CrashRecoveryFaults,
+    FaultModel,
+    LinkFaults,
+    faults_from_dict,
+    faults_to_dict,
+)
+from repro.net.changes import MergeChange, PartitionChange
+
+permille = st.integers(min_value=0, max_value=1000)
+seeds = st.integers(min_value=0, max_value=2 ** 32)
+pids = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def link_loss_entries(draw):
+    links = draw(
+        st.sets(st.tuples(pids, pids).filter(lambda t: t[0] != t[1]),
+                max_size=4)
+    )
+    return tuple(
+        (sender, recipient, draw(permille)) for sender, recipient in links
+    )
+
+
+link_models = st.builds(
+    LinkFaults,
+    loss_permille=permille,
+    link_loss=link_loss_entries(),
+    delay_permille=permille,
+    delay_max=st.integers(min_value=0, max_value=4),
+    reorder=st.booleans(),
+    seed=seeds,
+)
+crashrec_models = st.builds(
+    CrashRecoveryFaults, persistence=st.sampled_from([PERSISTENT, AMNESIAC])
+)
+byzantine_models = st.builds(
+    ByzantineFaults,
+    members=st.frozensets(pids, max_size=4).map(tuple),
+    behavior=st.sampled_from(BYZANTINE_BEHAVIORS),
+    activity_permille=permille,
+    seed=seeds,
+)
+churn_models = st.builds(
+    ChurnFaults,
+    cells=st.integers(min_value=0, max_value=5),
+    epochs=st.integers(min_value=0, max_value=6),
+    seed=seeds,
+)
+fault_models = st.builds(
+    FaultModel,
+    link=link_models,
+    crashrec=crashrec_models,
+    byzantine=byzantine_models,
+    churn=churn_models,
+)
+
+
+def plan_with(faults: FaultModel) -> SchedulePlan:
+    """A small fixed-step plan carrying the given fault model."""
+    return SchedulePlan(
+        n_processes=8,
+        steps=(
+            PlanStep(
+                gap=1,
+                change=PartitionChange(
+                    component=frozenset(range(8)), moved=frozenset({6, 7})
+                ),
+                late=frozenset({6}),
+            ),
+            PlanStep(
+                gap=0,
+                change=MergeChange(
+                    first=frozenset(range(6)), second=frozenset({6, 7})
+                ),
+                late=frozenset(),
+            ),
+        ),
+        faults=faults,
+    )
+
+
+class TestFaultModelCodec:
+    @given(model=fault_models)
+    @settings(max_examples=200)
+    def test_round_trip_is_exact(self, model):
+        assert faults_from_dict(faults_to_dict(model)) == model
+
+    @given(model=fault_models)
+    @settings(max_examples=200)
+    def test_round_trip_survives_real_json(self, model):
+        text = json.dumps(faults_to_dict(model), sort_keys=True)
+        assert faults_from_dict(json.loads(text)) == model
+
+    @given(model=fault_models)
+    @settings(max_examples=200)
+    def test_serialization_is_canonical(self, model):
+        first = json.dumps(faults_to_dict(model), sort_keys=True)
+        second = json.dumps(
+            faults_to_dict(faults_from_dict(json.loads(first))), sort_keys=True
+        )
+        assert first == second
+
+    @given(model=fault_models)
+    @settings(max_examples=200)
+    def test_default_sections_are_omitted(self, model):
+        data = faults_to_dict(model)
+        if model.link == LinkFaults():
+            assert "link" not in data
+        if model.crashrec == CrashRecoveryFaults():
+            assert "crashrec" not in data
+        if model.byzantine == ByzantineFaults():
+            assert "byzantine" not in data
+        if model.churn == ChurnFaults():
+            assert "churn" not in data
+
+
+class TestPlanCodecWithFaults:
+    @given(model=fault_models)
+    @settings(max_examples=100)
+    def test_plan_round_trip_preserves_the_fault_model(self, model):
+        plan = plan_with(model)
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored == plan
+        if model.is_default():
+            assert restored.faults is None
+        else:
+            assert restored.faults == model
+
+    @given(model=fault_models)
+    @settings(max_examples=100)
+    def test_plan_json_is_canonical(self, model):
+        plan = plan_with(model)
+        assert plan_to_json(plan_from_json(plan_to_json(plan))) == plan_to_json(
+            plan
+        )
+
+    def test_default_model_is_normalized_to_an_absent_field(self):
+        # The byte-identity contract: a clean plan has exactly one
+        # representation, identical to the pre-fault format.
+        explicit = plan_with(FaultModel())
+        implicit = plan_with(None)
+        assert explicit == implicit
+        assert explicit.faults is None
+        assert "faults" not in plan_to_dict(explicit)
+        assert plan_to_json(explicit) == plan_to_json(implicit)
+
+    @given(model=fault_models)
+    @settings(max_examples=100)
+    def test_fault_knobs_register_in_the_shrink_cost(self, model):
+        # Shrinker compatibility: carrying any non-default model must
+        # never make a plan *cheaper*, and relaxing to clean always
+        # costs strictly less when the model was active.
+        with_model = plan_with(model).cost()
+        clean = plan_with(None).cost()
+        assert with_model >= clean
+        if model.cost_detail() > 0:
+            assert with_model > clean
