@@ -136,6 +136,39 @@ def _run_campaign(quick: bool) -> WorkloadResult:
 
 
 # ----------------------------------------------------------------------
+# campaign_batched: the identical campaign workload on the vectorized
+# kernel of ``repro.sim.batch``.  Comparing its rounds/sec against
+# ``campaign`` prices the batching win; the differential suite
+# (``tests/test_batch_differential.py``) guarantees both scenarios
+# execute the exact same rounds, so the ratio is pure speedup.
+# ----------------------------------------------------------------------
+
+
+def _run_campaign_batched(quick: bool) -> WorkloadResult:
+    from repro.sim.batch import BatchCaseResult
+
+    # Quick mode runs the *full* workload: the kernel's fixed per-case
+    # costs (compile pass, array allocation) dominate the 40-run quick
+    # campaign and would make its rounds/sec incomparable with the
+    # committed full-mode baseline the CI gate diffs against — and the
+    # full workload is already CI-cheap (well under a second).
+    result = run_case(_campaign_config(False), kernel="batched")
+    if not isinstance(result, BatchCaseResult):
+        # A silent scalar fallback would invalidate the measurement.
+        raise BenchError(
+            "campaign_batched fell back to the scalar engine; the "
+            "campaign workload must stay on the batched surface"
+        )
+    return WorkloadResult(
+        rounds=result.rounds_total,
+        detail=(
+            f"{result.runs} runs, {result.changes_total} changes, "
+            f"availability {result.availability_percent:.1f}%"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # campaign_obs: the identical campaign workload with the observability
 # layer fully engaged — metrics collection, trace digesting and phase
 # profiling all at once.  Comparing its rounds/sec against ``campaign``
@@ -274,6 +307,14 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "(~10k rounds at full scale)"
             ),
             runner=_run_campaign,
+        ),
+        BenchScenario(
+            name="campaign_batched",
+            description=(
+                "the campaign workload on the vectorized batch kernel "
+                "(same rounds as campaign, measured off the fast path)"
+            ),
+            runner=_run_campaign_batched,
         ),
         BenchScenario(
             name="campaign_obs",

@@ -67,6 +67,20 @@ class ExperimentError(ReproError):
     """An experiment spec was requested that does not exist or cannot run."""
 
 
+class UnsupportedBatchConfig(ReproError):
+    """A case asked for the batched kernel outside its supported surface.
+
+    The batched campaign kernel (:mod:`repro.sim.batch`) reproduces the
+    scalar driver's per-run outcomes *exactly* — but only for the
+    configurations its equivalence proof covers: fresh-start cases of
+    2..64 processes under the stock change generators, with no
+    observers, fault models, trace capture or statistics collectors
+    attached.  Anything outside that surface raises this error instead
+    of silently diverging; ``run_case(kernel="batched")`` catches it
+    and falls back to the scalar engine.
+    """
+
+
 class BenchError(ReproError):
     """A benchmark scenario is unknown, misconfigured, or self-checked
     its workload and found it did not execute as pinned."""

@@ -89,6 +89,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode", choices=["fresh", "cascading"], default="fresh"
     )
     compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument(
+        "--kernel",
+        choices=["scalar", "batched"],
+        default="scalar",
+        help="campaign execution backend (exact same outcomes; "
+        "per-case scalar fallback outside the batched surface)",
+    )
 
     soak_parser = sub.add_parser(
         "soak",
@@ -381,6 +388,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="write one causal-span JSONL per case (availability "
         "figures only; forces serial execution)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=["scalar", "batched"],
+        default="scalar",
+        help="campaign execution backend: the object-graph driver, or "
+        "the vectorized bitmask kernel (availability figures; exact "
+        "same numbers, per-case scalar fallback outside its surface)",
+    )
 
 
 def _write_metrics(registry: MetricsRegistry, path: Path) -> None:
@@ -402,6 +417,7 @@ def _run_one(
     metrics_out: Optional[Path] = None,
     trace_dir: Optional[Path] = None,
     spans_dir: Optional[Path] = None,
+    kernel: str = "scalar",
 ) -> None:
     started = time.time()
     metrics = MetricsRegistry() if metrics_out is not None else None
@@ -413,6 +429,7 @@ def _run_one(
         metrics=metrics,
         trace_dir=trace_dir,
         spans_dir=spans_dir,
+        kernel=kernel,
     )
     print(render(result))
     if trace_dir is not None or spans_dir is not None:
@@ -461,7 +478,7 @@ def _compare(args: argparse.Namespace) -> None:
             mode=args.mode,
             master_seed=args.seed,
         )
-        outcomes[algorithm] = run_case(case).outcomes
+        outcomes[algorithm] = run_case(case, kernel=args.kernel).outcomes
     comparison = compare_paired(
         args.first, outcomes[args.first], args.second, outcomes[args.second]
     )
@@ -940,7 +957,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_one(
             args.experiment_id, args.scale, args.seed, args.csv,
             args.plot, args.workers, args.metrics_out,
-            args.trace_out, args.spans_out,
+            args.trace_out, args.spans_out, args.kernel,
         )
         return 0
     if args.command == "all":
@@ -948,7 +965,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_one(
                 spec_id, args.scale, args.seed, args.csv,
                 args.plot, args.workers, args.metrics_out,
-                args.trace_out, args.spans_out,
+                args.trace_out, args.spans_out, args.kernel,
             )
         return 0
     if args.command == "compare":

@@ -37,6 +37,7 @@ def run_experiment(
     metrics: Optional[MetricsRegistry] = None,
     trace_dir: Optional[Path] = None,
     spans_dir: Optional[Path] = None,
+    kernel: str = "scalar",
 ) -> ExperimentResult:
     """Run one paper artifact's experiment at the given scale.
 
@@ -46,13 +47,17 @@ def run_experiment(
     and ``spans_dir`` write per-case canonical trace/span JSONL for the
     availability figures (see
     :func:`~repro.experiments.availability.run_availability_figure`);
-    other kinds ignore them.
+    other kinds ignore them.  ``kernel="batched"`` runs availability
+    figures on the vectorized campaign kernel (exact same numbers;
+    per-case scalar fallback); the other kinds need statistics the
+    kernel does not collect and ignore the flag.
     """
     spec = get_spec(experiment_id)
     if isinstance(scale, str):
         scale = get_scale(scale)
     return run_experiment_spec(
-        spec, scale, master_seed, workers, metrics, trace_dir, spans_dir
+        spec, scale, master_seed, workers, metrics, trace_dir, spans_dir,
+        kernel=kernel,
     )
 
 
@@ -64,6 +69,7 @@ def run_experiment_spec(
     metrics: Optional[MetricsRegistry] = None,
     trace_dir: Optional[Path] = None,
     spans_dir: Optional[Path] = None,
+    kernel: str = "scalar",
 ) -> ExperimentResult:
     """Dispatch a resolved spec to the runner for its kind."""
     if spec.kind == "availability":
@@ -75,6 +81,7 @@ def run_experiment_spec(
             metrics=metrics,
             trace_dir=trace_dir,
             spans_dir=spans_dir,
+            kernel=kernel,
         )
     if spec.kind == "ambiguous":
         return run_ambiguous_figure(

@@ -141,6 +141,7 @@ def run_case(
     config: CaseConfig,
     observers: Sequence[Subscriber] = (),
     extra_observers: Optional[Sequence[Subscriber]] = None,
+    kernel: str = "scalar",
 ) -> CaseResult:
     """Execute every run of a case and aggregate the statistics.
 
@@ -148,7 +149,29 @@ def run_case(
     they see the case-level hooks (``on_case_start``/``on_case_end``)
     here and every driver-level event of every run.  ``extra_observers``
     is the deprecated name for the same parameter.
+
+    ``kernel`` selects the execution backend: ``"scalar"`` (default)
+    runs the object-graph :class:`DriverLoop` per run; ``"batched"``
+    routes the case through the vectorized bitmask kernel of
+    :mod:`repro.sim.batch`, which reproduces the scalar per-run
+    outcomes exactly but supports only part of the configuration
+    surface — anything it cannot prove equivalent (observers attached,
+    statistics collectors, cascading mode, exotic generators, > 64
+    processes) falls back to the scalar engine silently.  Use
+    :func:`repro.sim.batch.run_case_batched` directly to get a loud
+    :class:`~repro.errors.UnsupportedBatchConfig` instead of the
+    fallback.
     """
+    if kernel not in ("scalar", "batched"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    if kernel == "batched" and not observers and extra_observers is None:
+        from repro.errors import UnsupportedBatchConfig
+        from repro.sim.batch import run_case_batched
+
+        try:
+            return run_case_batched(config)
+        except UnsupportedBatchConfig:
+            pass  # outside the batched surface: scalar fallback
     if extra_observers is not None:
         warnings.warn(
             "run_case(extra_observers=...) is deprecated; "
@@ -274,10 +297,14 @@ def _build_driver(
 
 
 def compare_algorithms(
-    base_config: CaseConfig, algorithms: Sequence[str]
+    base_config: CaseConfig,
+    algorithms: Sequence[str],
+    kernel: str = "scalar",
 ) -> Dict[str, CaseResult]:
     """Run the same case for several algorithms over identical faults."""
     return {
-        algorithm: run_case(replace(base_config, algorithm=algorithm))
+        algorithm: run_case(
+            replace(base_config, algorithm=algorithm), kernel=kernel
+        )
         for algorithm in algorithms
     }

@@ -40,34 +40,40 @@ from repro.obs import MetricsRegistry, merge_registries
 from repro.sim.campaign import MODE_FRESH, CaseConfig, CaseResult, run_case
 
 
-def _run_indexed(indexed_config: Tuple[int, CaseConfig]) -> Tuple[int, CaseResult]:
-    index, config = indexed_config
-    return index, run_case(config)
+def _run_indexed(
+    indexed_config: Tuple[int, CaseConfig, str]
+) -> Tuple[int, CaseResult]:
+    index, config, kernel = indexed_config
+    return index, run_case(config, kernel=kernel)
 
 
 def run_cases_parallel(
     configs: Sequence[CaseConfig],
     workers: Optional[int] = None,
+    kernel: str = "scalar",
 ) -> List[CaseResult]:
     """Run many cases across a process pool; order of results matches
     the order of ``configs``.
 
     ``workers=None`` uses all CPUs; ``workers<=1`` (or a single config)
     falls back to in-process execution, which keeps debugging and
-    tracebacks simple.
+    tracebacks simple.  ``kernel`` is forwarded to every
+    :func:`run_case` (the batched backend falls back to scalar per
+    case when a config is outside its surface).
     """
     configs = list(configs)
     if workers is None:
         workers = multiprocessing.cpu_count()
     if workers <= 1 or len(configs) <= 1:
-        return [run_case(config) for config in configs]
+        return [run_case(config, kernel=kernel) for config in configs]
     results: Dict[int, CaseResult] = {}
     # spawn (not fork) keeps worker state clean and matches all
     # platforms' defaults going forward.
     context = multiprocessing.get_context("spawn")
     with context.Pool(processes=min(workers, len(configs))) as pool:
         for index, result in pool.imap_unordered(
-            _run_indexed, list(enumerate(configs))
+            _run_indexed,
+            [(i, config, kernel) for i, config in enumerate(configs)],
         ):
             results[index] = result
     return [results[index] for index in range(len(configs))]
@@ -178,25 +184,30 @@ def run_case_sharded(
     config: CaseConfig,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
+    kernel: str = "scalar",
 ) -> CaseResult:
     """Run one case split run-wise across the process pool.
 
     ``shards=None`` uses the CPU count.  Cascading cases (or a single
     shard/worker) fall back to a plain in-process :func:`run_case`; the
-    returned result is identical either way.
+    returned result is identical either way.  ``kernel`` is forwarded
+    to every shard's :func:`run_case`; shard RNG labelling is
+    kernel-independent, so merged results are identical whichever
+    backend executed each shard.
     """
     if workers is None:
         workers = multiprocessing.cpu_count()
     if shards is None:
         shards = workers
     if config.mode != MODE_FRESH or shards <= 1 or workers <= 1 or config.runs <= 1:
-        return run_case(config)
+        return run_case(config, kernel=kernel)
     shard_list = shard_configs(config, shards)
     context = multiprocessing.get_context("spawn")
     results: Dict[int, CaseResult] = {}
     with context.Pool(processes=min(workers, len(shard_list))) as pool:
         for index, result in pool.imap_unordered(
-            _run_indexed, list(enumerate(shard_list))
+            _run_indexed,
+            [(i, shard, kernel) for i, shard in enumerate(shard_list)],
         ):
             results[index] = result
     ordered = [results[index] for index in range(len(shard_list))]

@@ -1,0 +1,276 @@
+"""The differential battery: batched kernel == scalar engine, exactly.
+
+The scalar :class:`~repro.sim.driver.DriverLoop` is the authoritative
+oracle.  For every algorithm the batched kernel implements, pinned seed
+grids and hypothesis-drawn random configurations run through both
+backends, and every per-run observable must agree exactly:
+
+* the per-run availability outcome (and hence the availability %);
+* total rounds and injected changes (quiescence accounting included);
+* the final-state fingerprint — which components stand at the end of
+  each run, the view sequence number their members last installed, and
+  the exact set of processes that finished inside a primary.
+
+Statistical agreement would hide compensating bugs; exact agreement is
+the contract that lets campaigns and figure regeneration route through
+the fast kernel without a second thought.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.net.changes import SkewedPartitionGenerator
+from repro.net.schedule import BurstSchedule
+from repro.obs import Subscriber
+from repro.sim.batch import BatchCaseResult, run_case_batched
+from repro.sim.batch.bitops import mask_of
+from repro.sim.campaign import CaseConfig, compare_algorithms, run_case
+
+#: Every algorithm the kernel implements (the five studied by the
+#: thesis plus the two YKD ablation variants).
+BATCHED_ALGORITHMS = (
+    "simple_majority",
+    "ykd",
+    "ykd_unopt",
+    "ykd_aggressive",
+    "dfls",
+    "one_pending",
+    "mr1p",
+)
+
+
+class FinalStateFingerprint(Subscriber):
+    """Capture the scalar engine's end-of-run state, in kernel terms."""
+
+    def __init__(self) -> None:
+        self.components = []
+        self.primaries = []
+
+    def on_run_end(self, driver) -> None:
+        components = []
+        for component in driver.topology.components:
+            seqs = {
+                driver.algorithms[pid].current_view.seq
+                if driver.algorithms[pid].current_view is not None
+                else 0
+                for pid in component
+            }
+            assert len(seqs) == 1, "component members disagree on the view"
+            components.append((mask_of(component), seqs.pop()))
+        self.components.append(tuple(sorted(components)))
+        self.primaries.append(
+            mask_of(
+                pid
+                for pid in range(driver.n_processes)
+                if driver.algorithms[pid].in_primary()
+            )
+        )
+
+
+def assert_equivalent(config: CaseConfig) -> BatchCaseResult:
+    """Run ``config`` through both backends and compare everything."""
+    fingerprint = FinalStateFingerprint()
+    scalar = run_case(config, observers=[fingerprint])
+    batched = run_case_batched(config)
+    label = f"{config.algorithm} seed={config.master_seed}"
+    assert batched.outcomes == scalar.outcomes, label
+    assert batched.availability_percent == scalar.availability_percent, label
+    assert batched.rounds_total == scalar.rounds_total, label
+    assert batched.changes_total == scalar.changes_total, label
+    assert batched.final_components == fingerprint.components, label
+    assert batched.final_primary_masks == fingerprint.primaries, label
+    return batched
+
+
+# ----------------------------------------------------------------------
+# Pinned seed grids, one per algorithm.
+# ----------------------------------------------------------------------
+
+
+GRID = [
+    # (n_processes, n_changes, rate, cut_probability, master_seed)
+    (2, 3, 1.0, 0.5, 1),
+    (3, 6, 2.0, 0.9, 2),
+    (5, 8, 0.5, 0.1, 3),
+    (16, 6, 4.0, 0.5, 4),
+    (9, 10, 1.5, 1.0, 5),
+    (4, 5, 3.0, 0.0, 6),
+]
+
+
+@pytest.mark.parametrize("algorithm", BATCHED_ALGORITHMS)
+@pytest.mark.parametrize("n,changes,rate,cut,seed", GRID)
+def test_pinned_grid_equivalence(algorithm, n, changes, rate, cut, seed) -> None:
+    assert_equivalent(
+        CaseConfig(
+            algorithm=algorithm,
+            n_processes=n,
+            n_changes=changes,
+            mean_rounds_between_changes=rate,
+            runs=25,
+            master_seed=seed,
+            cut_probability=cut,
+        )
+    )
+
+
+@pytest.mark.parametrize("algorithm", BATCHED_ALGORITHMS)
+def test_back_to_back_changes_equivalence(algorithm) -> None:
+    """Rate 0: a change lands every round, every episode is interrupted."""
+    assert_equivalent(
+        CaseConfig(
+            algorithm=algorithm,
+            n_processes=6,
+            n_changes=10,
+            mean_rounds_between_changes=0.0,
+            runs=25,
+            master_seed=11,
+        )
+    )
+
+
+def test_thesis_scale_universe() -> None:
+    """n=64 — the full thesis scale, and the uint64 lane boundary."""
+    for algorithm in ("ykd", "mr1p"):
+        assert_equivalent(
+            CaseConfig(
+                algorithm=algorithm,
+                n_processes=64,
+                n_changes=6,
+                mean_rounds_between_changes=4.0,
+                runs=4,
+                master_seed=13,
+            )
+        )
+
+
+def test_skewed_generator_equivalence() -> None:
+    assert_equivalent(
+        CaseConfig(
+            algorithm="dfls",
+            n_processes=8,
+            n_changes=6,
+            mean_rounds_between_changes=2.0,
+            runs=25,
+            master_seed=5,
+            change_generator=SkewedPartitionGenerator(),
+        )
+    )
+
+
+def test_burst_schedule_equivalence() -> None:
+    # BurstSchedule is stateful across runs; sharing one schedule
+    # instance across the whole case is part of the contract.
+    assert_equivalent(
+        CaseConfig(
+            algorithm="one_pending",
+            n_processes=8,
+            n_changes=6,
+            mean_rounds_between_changes=2.0,
+            runs=25,
+            master_seed=5,
+            schedule=BurstSchedule(burst_size=3, lull=9),
+        )
+    )
+
+
+def test_run_offset_shard_equivalence() -> None:
+    assert_equivalent(
+        CaseConfig(
+            algorithm="ykd",
+            n_processes=8,
+            n_changes=5,
+            mean_rounds_between_changes=2.0,
+            runs=20,
+            master_seed=5,
+            run_offset=17,
+        )
+    )
+
+
+def test_zero_change_runs() -> None:
+    """No changes: every process stays in the initial primary."""
+    result = assert_equivalent(
+        CaseConfig(
+            algorithm="ykd",
+            n_processes=5,
+            n_changes=0,
+            mean_rounds_between_changes=2.0,
+            runs=5,
+            master_seed=5,
+        )
+    )
+    assert result.availability_percent == 100.0
+
+
+@pytest.mark.parametrize("max_quiescence", [0, 1, 2])
+def test_quiescence_failure_parity(max_quiescence) -> None:
+    """Both backends raise the same SimulationError at tight bounds."""
+    config = CaseConfig(
+        algorithm="dfls",
+        n_processes=6,
+        n_changes=5,
+        mean_rounds_between_changes=1.0,
+        runs=20,
+        master_seed=3,
+        max_quiescence_rounds=max_quiescence,
+    )
+    with pytest.raises(SimulationError) as scalar_error:
+        run_case(config)
+    with pytest.raises(SimulationError) as batched_error:
+        run_case_batched(config)
+    assert str(batched_error.value) == str(scalar_error.value)
+
+
+def test_compare_algorithms_batched_matches_scalar() -> None:
+    base = CaseConfig(
+        algorithm="ykd",
+        n_processes=8,
+        n_changes=5,
+        mean_rounds_between_changes=2.0,
+        runs=25,
+        master_seed=9,
+    )
+    scalar = compare_algorithms(base, BATCHED_ALGORITHMS)
+    batched = compare_algorithms(base, BATCHED_ALGORITHMS, kernel="batched")
+    for algorithm in BATCHED_ALGORITHMS:
+        assert isinstance(batched[algorithm], BatchCaseResult)
+        assert batched[algorithm].outcomes == scalar[algorithm].outcomes
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random CaseConfigs, batched == scalar.
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    algorithm=st.sampled_from(BATCHED_ALGORITHMS),
+    n_processes=st.integers(min_value=2, max_value=12),
+    n_changes=st.integers(min_value=0, max_value=8),
+    rate=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    cut=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32),
+    runs=st.integers(min_value=1, max_value=12),
+)
+def test_random_configs_equivalent(
+    algorithm, n_processes, n_changes, rate, cut, seed, runs
+) -> None:
+    assert_equivalent(
+        CaseConfig(
+            algorithm=algorithm,
+            n_processes=n_processes,
+            n_changes=n_changes,
+            mean_rounds_between_changes=rate,
+            runs=runs,
+            master_seed=seed,
+            cut_probability=cut,
+        )
+    )

@@ -61,6 +61,17 @@ class TestCompare:
         ]) == 0
         assert "cascading mode" in capsys.readouterr().out
 
+    def test_batched_kernel_identical_output(self, capsys):
+        argv = [
+            "compare", "ykd", "dfls",
+            "--processes", "6", "--changes", "6", "--rate", "1",
+            "--runs", "40",
+        ]
+        assert main(argv) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(argv + ["--kernel", "batched"]) == 0
+        assert capsys.readouterr().out == scalar_out
+
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["compare", "ykd", "paxos"])

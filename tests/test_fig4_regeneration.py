@@ -39,9 +39,13 @@ COMMITTED_SEED = 0
 FIG4_IDS = tuple(f"fig4_{index}" for index in range(1, 9))
 
 
-def regenerate_csv(experiment_id: str, scale: str, directory: Path) -> Path:
+def regenerate_csv(
+    experiment_id: str, scale: str, directory: Path, kernel: str = "scalar"
+) -> Path:
     """Run one figure and export its CSV the way the CLI does."""
-    result = run_experiment(experiment_id, scale=scale, master_seed=COMMITTED_SEED)
+    result = run_experiment(
+        experiment_id, scale=scale, master_seed=COMMITTED_SEED, kernel=kernel
+    )
     spec = get_spec(experiment_id)
     if spec.kind == "availability":
         return write_availability_csv(result, directory)
@@ -78,3 +82,75 @@ def test_fig4_csv_regenerates_exactly(experiment_id: str, tmp_path: Path) -> Non
         f"seed={COMMITTED_SEED} regeneration — either the campaign stack's "
         "determinism was broken or the committed file is stale"
     )
+
+
+# ----------------------------------------------------------------------
+# Batched kernel: the same CSVs, byte for byte, off the fast path.
+# ----------------------------------------------------------------------
+
+#: The availability figures (fig4_1..fig4_3 fresh — fully batched;
+#: fig4_4..fig4_6 cascading — per-case scalar fallback, exercising the
+#: routing).  The ambiguous figures (fig4_7/fig4_8) ignore the kernel.
+AVAILABILITY_FIG4_IDS = tuple(f"fig4_{index}" for index in range(1, 7))
+
+
+def test_batched_regeneration_smoke(tmp_path: Path) -> None:
+    """A batched figure run writes the exact CSV the scalar engine does."""
+    scalar = regenerate_csv("fig4_2", "smoke", tmp_path / "scalar")
+    batched = regenerate_csv(
+        "fig4_2", "smoke", tmp_path / "batched", kernel="batched"
+    )
+    assert batched.read_bytes() == scalar.read_bytes()
+
+
+@pytest.mark.skipif(
+    not TIER2,
+    reason="full small-scale batched regeneration sweep runs under REPRO_TIER2=1",
+)
+@pytest.mark.parametrize("experiment_id", AVAILABILITY_FIG4_IDS)
+def test_fig4_csv_regenerates_exactly_batched(
+    experiment_id: str, tmp_path: Path
+) -> None:
+    """The batched kernel reproduces the committed goldens byte for byte."""
+    committed = RESULTS_DIR / f"{experiment_id}.csv"
+    regenerated = regenerate_csv(
+        experiment_id, COMMITTED_SCALE, tmp_path, kernel="batched"
+    )
+    assert regenerated.read_bytes() == committed.read_bytes(), (
+        f"{committed} differs when regenerated with kernel='batched' — "
+        "the batched kernel diverged from the scalar engine"
+    )
+
+
+@pytest.mark.skipif(
+    not TIER2,
+    reason="thesis-scale batched regeneration runs under REPRO_TIER2=1",
+)
+def test_batched_thesis_runs_per_case(tmp_path: Path) -> None:
+    """One figure at the thesis' 1000 runs/case, on the batched kernel.
+
+    Uses the paper run count on the small-scale process count and rate
+    grid so the sweep stays minutes, not hours; batched and scalar must
+    agree byte for byte even at this depth.
+    """
+    from repro.experiments.spec import Scale
+
+    scale = Scale(
+        name="thesis-runs",
+        n_processes=16,
+        runs=1000,
+        rates=(0.0, 2.0, 6.0, 12.0),
+        scaling_process_counts=(8, 16, 24),
+    )
+    spec = get_spec("fig4_2")
+    from repro.experiments.report import write_availability_csv as write_csv
+    from repro.experiments.runner import run_experiment_spec
+
+    scalar = write_csv(
+        run_experiment_spec(spec, scale, COMMITTED_SEED), tmp_path / "scalar"
+    )
+    batched = write_csv(
+        run_experiment_spec(spec, scale, COMMITTED_SEED, kernel="batched"),
+        tmp_path / "batched",
+    )
+    assert batched.read_bytes() == scalar.read_bytes()
