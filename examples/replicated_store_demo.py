@@ -6,16 +6,26 @@ must let at most one network component make progress.  Five replicas
 run the YKD algorithm through the Fig. 2-2 interface; we partition the
 network, show that only the primary component accepts writes, heal the
 partition, and watch every replica converge on the primary's history.
+
+``--transport memory`` (the default) runs the classic single-process
+simulation.  ``--transport udp`` / ``--transport tcp`` runs the same
+five replicas as **real OS processes** exchanging canonical-JSON
+datagrams over real localhost sockets (`repro.gcs.proc`): same
+algorithm, same store, genuine packets.
 """
 
+import argparse
 import random
 
 from repro.app import NotPrimaryError, ReplicatedStore
 from repro.net.changes import MergeChange, PartitionChange
 from repro.sim.driver import DriverLoop
 
+FULL = ((0, 1, 2, 3, 4),)
+SPLIT = ((0, 1), (2, 3, 4))
 
-def main() -> None:
+
+def main_memory() -> None:
     driver = DriverLoop(
         algorithm="ykd",
         n_processes=5,
@@ -57,6 +67,80 @@ def main() -> None:
     print("all replicas converged on the primary's history:", converged)
     assert converged
     assert snapshots[0]["motd"] == "majority rules"
+
+
+def main_proc(transport: str) -> None:
+    from repro.gcs.proc import ProcCluster
+
+    print(f"== Five replicas as real OS processes over {transport} ==")
+    with ProcCluster(
+        5, algorithm="ykd", transport=transport, endpoint_kind="store"
+    ) as cluster:
+        cluster.apply_stage(FULL)
+        outcome = cluster.await_stable()
+        print("initial primary claimants:", outcome.primaries)
+
+        accepted, stamp = cluster.put(0, "motd", "hello, group")
+        assert accepted, stamp
+        cluster.await_stable()
+        print(
+            "every replica reads:",
+            [cluster.get(pid, "motd") for pid in range(5)],
+        )
+
+        print("\n== Partition: {0,1} vs {2,3,4} ==")
+        cluster.apply_stage(SPLIT)
+        outcome = cluster.await_stable()
+        print("primary claimants:", outcome.primaries)
+
+        accepted, why = cluster.put(0, "motd", "minority speaks")
+        print("minority write refused:", (not accepted), "—", why)
+
+        accepted, stamp = cluster.put(3, "motd", "majority rules")
+        assert accepted, stamp
+        cluster.put(3, "leader", 3)
+        cluster.await_stable()
+        print("majority replicas read:", cluster.get(4, "motd"))
+        print(
+            "minority still reads:  ",
+            cluster.get(0, "motd"),
+            "(stale, read-only)",
+        )
+
+        print("\n== Merge: the network heals ==")
+        cluster.apply_stage(FULL)
+        outcome = cluster.await_stable()
+        print("primary claimants:", outcome.primaries)
+        snapshots = {pid: cluster.snapshot(pid) for pid in range(5)}
+        print("replica contents:", snapshots[0]["data"])
+        converged = (
+            len(
+                {
+                    tuple(sorted(snap["data"].items()))
+                    for snap in snapshots.values()
+                }
+            )
+            == 1
+        )
+        print("all replicas converged on the primary's history:", converged)
+        assert converged
+        assert snapshots[0]["data"]["motd"] == "majority rules"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--transport",
+        default="memory",
+        choices=("memory", "udp", "tcp"),
+        help="memory: single-process simulation (default); udp/tcp: "
+        "real OS processes over real localhost sockets",
+    )
+    args = parser.parse_args()
+    if args.transport == "memory":
+        main_memory()
+    else:
+        main_proc(args.transport)
 
 
 if __name__ == "__main__":

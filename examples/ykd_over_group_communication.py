@@ -61,10 +61,10 @@ def main() -> None:
     ticks = service.run_until_stable()
     show(service, f"network heals (stable after {ticks} ticks)")
 
-    network = service.cluster.network
+    transport = service.cluster.transport
     print(
-        f"traffic totals: {network.sent_count} datagrams sent, "
-        f"{network.delivered_count} delivered, {network.dropped_count} "
+        f"traffic totals: {transport.sent_count} datagrams sent, "
+        f"{transport.delivered_count} delivered, {transport.dropped_count} "
         "dropped at partition boundaries"
     )
     assert service.primary_members() == (0, 1, 2, 3, 4)

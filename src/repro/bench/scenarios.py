@@ -26,7 +26,7 @@ from repro.core.registry import algorithm_names
 from repro.core.session import Session, initial_session
 from repro.errors import BenchError
 from repro.net.changes import MergeChange, PartitionChange
-from repro.obs import CampaignMetrics, PhaseProfiler
+from repro.obs import CampaignMetrics, PhaseProfiler, Subscriber
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
 from repro.sim.explore import explore, explore_replay
@@ -289,6 +289,74 @@ def _run_explore(quick: bool) -> WorkloadResult:
     )
 
 
+# ----------------------------------------------------------------------
+# service_gcs: the group-communication substrate — repeated pinned
+# partition/heal schedules through the full negotiated-membership stack
+# (failure detection, coordinator agreement, view synchrony, primary
+# voting) on the in-memory transport.  The work unit is GCS ticks, so
+# the headline figure reads as membership-protocol ticks per second;
+# the detail records how many views that negotiated.  This is the
+# deterministic baseline the network transports are differentially
+# pinned against (``tests/test_proc_cluster.py``) — their throughput is
+# wall-clock-bound by design, so only the memory backend is priced.
+# ----------------------------------------------------------------------
+
+
+class _InstallCounter(Subscriber):
+    """Counts every view installation the cluster publishes."""
+
+    def __init__(self) -> None:
+        self.installs = 0
+
+    def on_gcs_event(self, cluster, pid, event) -> None:
+        from repro.gcs.stack import ViewInstalled
+
+        if isinstance(event, ViewInstalled):
+            self.installs += 1
+
+
+def _run_service_gcs(quick: bool) -> WorkloadResult:
+    from repro.gcs import PrimaryComponentService
+    from repro.net.topology import Topology
+
+    repeats = 10 if quick else 80
+    n = 8
+    ticks = 0
+    installs = 0
+    datagrams = 0
+    for _ in range(repeats):
+        counter = _InstallCounter()
+        service = PrimaryComponentService("ykd", n, observers=(counter,))
+        service.run_until_stable()
+        # A fixed cascade: shed {5,6,7}, split the survivors, heal all.
+        service.set_topology(
+            service.cluster.topology.partition(
+                frozenset(range(n)), frozenset({5, 6, 7})
+            )
+        )
+        service.run_until_stable()
+        service.set_topology(
+            service.cluster.topology.partition(
+                frozenset({0, 1, 2, 3, 4}), frozenset({0, 1})
+            )
+        )
+        service.run_until_stable()
+        service.set_topology(Topology.fully_connected(n))
+        service.run_until_stable()
+        if service.primary_members() != tuple(range(n)):
+            raise BenchError("service_gcs schedule lost its primary")
+        ticks += service.cluster.ticks
+        installs += counter.installs
+        datagrams += service.cluster.transport.delivered_count
+    return WorkloadResult(
+        rounds=ticks,
+        detail=(
+            f"{repeats} partition/heal schedules on {n} processes, "
+            f"{installs} views installed, {datagrams} datagrams delivered"
+        ),
+    )
+
+
 SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -331,6 +399,15 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "and blame metrics attached (forensics overhead)"
             ),
             runner=_run_campaign_causal,
+        ),
+        BenchScenario(
+            name="service_gcs",
+            description=(
+                "group communication substrate: pinned partition/heal "
+                "schedules through negotiated membership on the memory "
+                "transport (work unit: GCS ticks)"
+            ),
+            runner=_run_service_gcs,
         ),
         BenchScenario(
             name="explore",

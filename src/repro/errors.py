@@ -81,6 +81,30 @@ class UnsupportedBatchConfig(ReproError):
     """
 
 
+class UnsupportedTransportConfig(ReproError):
+    """A transport was requested in a combination that cannot work.
+
+    Mirrors :class:`UnsupportedBatchConfig`: the pluggable GCS
+    transports (:mod:`repro.gcs.transport`) refuse loudly instead of
+    silently degrading.  Examples: the batched campaign kernel combined
+    with a network transport (the kernel has no packet boundary to
+    attach one to), wire loss or reordering injected into the TCP
+    backend (a byte stream cannot lose or reorder frames), or an
+    unknown transport name.
+    """
+
+
+class WireFormatError(ReproError):
+    """A datagram failed to decode from the canonical wire format.
+
+    Raised for truncated frames, oversized length prefixes, garbage
+    bytes, JSON that does not follow the tagged encoding, or payload
+    classes outside the decode registry — the transport-level analogue
+    of the driver's Byzantine "tamper detected, message rejected"
+    handling: the frame is refused at the boundary, never half-applied.
+    """
+
+
 class BenchError(ReproError):
     """A benchmark scenario is unknown, misconfigured, or self-checked
     its workload and found it did not execute as pinned."""

@@ -337,6 +337,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run each scenario N times and report the fastest (noise guard)",
     )
 
+    gcs_parser = sub.add_parser(
+        "gcs",
+        help="run a recorded partition schedule on a real multi-process "
+        "GCS cluster (UDP/TCP sockets) and compare against the "
+        "simulated reference — see `python -m repro.gcs.proc --help`",
+        add_help=False,
+    )
+    gcs_parser.add_argument(
+        "gcs_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.gcs.proc",
+    )
+
     return parser
 
 
@@ -943,7 +955,14 @@ def _bench(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "gcs":
+        # argparse's REMAINDER cannot start with an option-like token,
+        # so forward everything after `gcs` to the proc runner directly.
+        from repro.gcs.proc.__main__ import main as gcs_main
+
+        return gcs_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     if args.command == "list":
         print("Experiments:")
         for spec_id in all_spec_ids():
@@ -986,6 +1005,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _explain(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "gcs":
+        from repro.gcs.proc.__main__ import main as gcs_main
+
+        return gcs_main(args.gcs_args)
     return 2  # pragma: no cover - argparse guards commands
 
 

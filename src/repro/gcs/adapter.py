@@ -81,8 +81,12 @@ class PrimaryComponentService:
         check_invariants: bool = True,
         endpoint_factory=ProcessEndpoint,
         observers=(),
+        *,
+        transport=None,
     ) -> None:
-        self.cluster = GCSCluster(n_processes, observers=observers)
+        self.cluster = GCSCluster(
+            n_processes, observers=observers, transport=transport
+        )
         first_view = initial_view(n_processes)
         self.processes: Dict[ProcessId, AlgorithmOnGCS] = {
             pid: AlgorithmOnGCS(
@@ -117,7 +121,7 @@ class PrimaryComponentService:
         for pid in sorted(self.processes):
             stack = self.cluster.stacks[pid]
             for dst, payload in stack.drain_outgoing():
-                self.cluster.network.send(pid, dst, payload)
+                self.cluster.transport.send(pid, dst, payload)
                 moved = True
         self.checker.check_round(
             self.algorithms, self.cluster.topology.active_processes()
@@ -126,17 +130,31 @@ class PrimaryComponentService:
 
     def run_until_stable(self, max_ticks: int = 300) -> int:
         """Tick until neither the GCS nor the algorithms move traffic,
-        then run the strict stable-point safety checks."""
+        then run the strict stable-point safety checks.
+
+        Stability mirrors :meth:`GCSCluster.run_until_stable`: a quiet
+        tick only counts when the transport holds nothing in flight,
+        and realtime backends need several consecutive quiet ticks.
+        """
         from repro.errors import SimulationError
 
+        transport = self.cluster.transport
+        quiet_needed = transport.quiet_ticks_for_stability
+        quiet = 0
         for elapsed in range(max_ticks):
-            if not self.tick():
-                self.checker.check_stable_primary(
-                    self.algorithms,
-                    self.cluster.topology.components,
-                    self.cluster.topology.active_processes(),
-                )
-                return elapsed + 1
+            if self.tick() or transport.pending() > 0:
+                quiet = 0
+            else:
+                quiet += 1
+                if quiet >= quiet_needed:
+                    self.checker.check_stable_primary(
+                        self.algorithms,
+                        self.cluster.topology.components,
+                        self.cluster.topology.active_processes(),
+                    )
+                    return elapsed + 1
+            if transport.realtime:
+                transport.idle_wait()
         raise SimulationError(
             f"system did not stabilize within {max_ticks} ticks"
         )
@@ -144,6 +162,10 @@ class PrimaryComponentService:
     def set_topology(self, topology) -> None:
         """Reshape the network; membership renegotiates from here."""
         self.cluster.set_topology(topology)
+
+    def close(self) -> None:
+        """Release the cluster's transport (network backends only)."""
+        self.cluster.close()
 
     def primary_members(self) -> Optional[Tuple[ProcessId, ...]]:
         """The member tuple of the live primary, or None."""

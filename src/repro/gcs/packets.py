@@ -1,89 +1,46 @@
-"""Datagram-level network simulation for the group communication stack.
+"""Deprecated: the packet network is now the in-memory transport.
 
-The driver loop of `repro.sim` routes *broadcasts* directly, as the
-thesis' testing system did.  The GCS package instead builds the stack
-the thesis originally deployed YKD on (a Transis-like service), and
-that needs a lower-level substrate: point-to-point FIFO channels whose
-connectivity follows the component topology.
+This module is the pre-transport name of the GCS substrate.  The
+routing semantics live, unchanged, in
+:class:`repro.gcs.transport.memory.MemoryTransport`; the
+:class:`PacketNetwork` class below is a thin constructor shim that
+emits a :class:`DeprecationWarning` and forwards — the same migration
+pattern the driver used for ``checker=``/``extra_observers=``.
 
-Semantics:
+New code should construct transports explicitly::
 
-* unicast only — multicast is built above, in the view-synchrony layer;
-* per-(src, dst) FIFO ordering;
-* one simulation tick of latency (sent this tick, deliverable next);
-* a datagram is delivered only if its endpoints are connected *at
-  delivery time*; partitions drop in-flight traffic across the new
-  boundary, which is how mid-protocol interruption arises naturally
-  here (no explicit "cut" modelling is needed at this level).
+    from repro.gcs.transport import MemoryTransport
+    cluster = GCSCluster(5, transport=MemoryTransport())
+
+or simply pass ``transport="memory"`` (the default) / ``"udp"`` /
+``"tcp"`` to :class:`~repro.gcs.stack.GCSCluster`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterator, List, Tuple
+import warnings
 
+from repro.gcs.transport.base import Datagram  # noqa: F401  (legacy re-export)
+from repro.gcs.transport.memory import MemoryTransport
 from repro.net.topology import Topology
-from repro.types import ProcessId
+
+__all__ = ["Datagram", "PacketNetwork"]
 
 
-@dataclass(frozen=True)
-class Datagram:
-    """One unicast packet."""
+class PacketNetwork(MemoryTransport):
+    """Deprecated alias of the in-memory transport.
 
-    src: ProcessId
-    dst: ProcessId
-    payload: Any
-
-
-class PacketNetwork:
-    """FIFO unicast channels gated by the component topology."""
+    Behaviour is byte-identical to the historical packet network (the
+    fault-free fast path of :class:`MemoryTransport` *is* the old
+    delivery loop); only the name is deprecated.
+    """
 
     def __init__(self, topology: Topology) -> None:
-        self.topology = topology
-        self._in_flight: Deque[Datagram] = deque()
-        self.sent_count = 0
-        self.delivered_count = 0
-        self.dropped_count = 0
-
-    def connected(self, a: ProcessId, b: ProcessId) -> bool:
-        """Whether a datagram from ``a`` can currently reach ``b``."""
-        if a == b:
-            return True
-        if self.topology.is_crashed(a) or self.topology.is_crashed(b):
-            return False
-        return b in self.topology.component_of(a)
-
-    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
-        """Queue a datagram; it becomes deliverable on the next tick."""
-        self.sent_count += 1
-        self._in_flight.append(Datagram(src=src, dst=dst, payload=payload))
-
-    def send_many(
-        self, src: ProcessId, dsts: Iterator[ProcessId], payload: Any
-    ) -> None:
-        """Queue one payload to several destinations, in order."""
-        for dst in dsts:
-            self.send(src, dst, payload)
-
-    def set_topology(self, topology: Topology) -> None:
-        """Install a new topology; in-flight cross-boundary traffic will
-        be dropped when its delivery tick arrives."""
-        self.topology = topology
-
-    def deliver_tick(self) -> List[Datagram]:
-        """Deliver everything queued before this tick, in send order."""
-        deliverable: List[Datagram] = []
-        pending = self._in_flight
-        self._in_flight = deque()
-        for datagram in pending:
-            if self.connected(datagram.src, datagram.dst):
-                deliverable.append(datagram)
-                self.delivered_count += 1
-            else:
-                self.dropped_count += 1
-        return deliverable
-
-    @property
-    def in_flight(self) -> int:
-        return len(self._in_flight)
+        warnings.warn(
+            "PacketNetwork is deprecated; use "
+            "repro.gcs.transport.MemoryTransport (or pass transport= "
+            "to GCSCluster) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(topology=topology)

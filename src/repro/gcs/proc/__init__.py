@@ -1,0 +1,49 @@
+"""A real multi-process GCS cluster over network transports.
+
+Where :class:`repro.gcs.stack.GCSCluster` hosts every stack inside one
+interpreter and ticks them in lock-step, this package spawns **one OS
+process per group member**: each child hosts a single
+:class:`~repro.gcs.stack.GCStack` plus its algorithm endpoint,
+exchanges length-prefixed canonical-JSON datagrams over real UDP or
+TCP sockets (:mod:`repro.gcs.transport.asyncnet`), and elects primaries
+across genuine packet loss.  A controller in the parent process applies
+recorded partition schedules as per-node reachability filters and
+harvests view/primary logs over control pipes.
+
+The supported surface:
+
+* :class:`~repro.gcs.proc.controller.ProcCluster` — spawn, drive,
+  harvest, stop.
+* :class:`~repro.gcs.proc.schedule.RecordedSchedule` and the stock
+  :data:`~repro.gcs.proc.schedule.STOCK_SCHEDULES` — replayable
+  partition scripts.
+* :func:`~repro.gcs.proc.schedule.simulate_reference` — the same
+  schedule on the deterministic in-memory substrate.
+* :func:`~repro.gcs.proc.controller.run_differential` — the
+  convergence battery: the real cluster must reach the same stable
+  views and primaries as the simulated reference, stage by stage.
+"""
+
+from repro.gcs.proc.controller import (
+    DifferentialResult,
+    ProcCluster,
+    run_differential,
+)
+from repro.gcs.proc.schedule import (
+    STOCK_SCHEDULES,
+    RecordedSchedule,
+    StageOutcome,
+    generated_schedule,
+    simulate_reference,
+)
+
+__all__ = [
+    "ProcCluster",
+    "DifferentialResult",
+    "run_differential",
+    "RecordedSchedule",
+    "StageOutcome",
+    "STOCK_SCHEDULES",
+    "generated_schedule",
+    "simulate_reference",
+]

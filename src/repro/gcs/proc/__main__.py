@@ -1,0 +1,131 @@
+"""Command line for the multi-process GCS cluster.
+
+``python -m repro.gcs.proc`` runs one recorded partition schedule on a
+real multi-process cluster and — unless ``--skip-reference`` — checks
+the differential convergence property: the cluster must reach the same
+stable views and primary claimants as the deterministic in-memory
+simulation of the same schedule.  Exit code 0 means converged and
+matching; 1 means a divergence (printed per stage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults.model import LinkFaults
+from repro.gcs.proc.controller import ProcCluster, run_differential
+from repro.gcs.proc.schedule import (
+    STOCK_SCHEDULES,
+    RecordedSchedule,
+    generated_schedule,
+    simulate_reference,
+)
+
+
+def _resolve_schedule(name: str) -> RecordedSchedule:
+    if name in STOCK_SCHEDULES:
+        return STOCK_SCHEDULES[name]
+    if name.startswith("generated:"):
+        return generated_schedule(int(name.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown schedule {name!r}; stock schedules: "
+        f"{', '.join(sorted(STOCK_SCHEDULES))} (or generated:<seed>)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gcs.proc",
+        description=(
+            "Run a recorded partition schedule on a real multi-process "
+            "GCS cluster and compare against the simulated reference."
+        ),
+    )
+    parser.add_argument(
+        "--schedule",
+        default="flip_flop",
+        help="stock schedule name or generated:<seed> "
+        f"(stock: {', '.join(sorted(STOCK_SCHEDULES))})",
+    )
+    parser.add_argument("--algorithm", default="ykd")
+    parser.add_argument(
+        "--transport", default="udp", choices=("udp", "tcp")
+    )
+    parser.add_argument(
+        "--loss-permille",
+        type=int,
+        default=0,
+        help="injected per-transmission wire loss (udp only)",
+    )
+    parser.add_argument(
+        "--link-seed", type=int, default=0, help="wire-fault draw seed"
+    )
+    parser.add_argument("--stage-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.005,
+        help="node tick pacing in seconds",
+    )
+    parser.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="run the real cluster only, without the differential check",
+    )
+    args = parser.parse_args(argv)
+
+    schedule = _resolve_schedule(args.schedule)
+    link = None
+    if args.loss_permille:
+        link = LinkFaults(
+            loss_permille=args.loss_permille, seed=args.link_seed
+        )
+
+    if args.skip_reference:
+        with ProcCluster(
+            schedule.n_processes,
+            algorithm=args.algorithm,
+            transport=args.transport,
+            link=link,
+            tick_interval=args.tick_interval,
+        ) as cluster:
+            outcomes = cluster.run_schedule(
+                schedule, stage_timeout=args.stage_timeout
+            )
+        for index, outcome in enumerate(outcomes):
+            print(f"stage {index}: views={dict(outcome.views)} "
+                  f"primaries={outcome.primaries}")
+        return 0
+
+    result = run_differential(
+        schedule,
+        algorithm=args.algorithm,
+        transport=args.transport,
+        link=link,
+        stage_timeout=args.stage_timeout,
+        tick_interval=args.tick_interval,
+    )
+    for index, (ref, obs) in enumerate(
+        zip(result.reference, result.observed)
+    ):
+        marker = "ok" if (ref == obs) else "DIVERGED"
+        print(
+            f"stage {index} [{marker}]: primaries={obs.primaries} "
+            f"views={dict(obs.views)}"
+        )
+    if result.matches:
+        print(
+            f"MATCH: {result.schedule} x {result.algorithm} over "
+            f"{result.transport} converged to the simulated reference"
+        )
+        return 0
+    print("DIVERGENCE:")
+    for line in result.divergences():
+        print("  " + line)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

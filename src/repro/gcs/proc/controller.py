@@ -1,0 +1,345 @@
+"""The parent-side controller of a multi-process GCS cluster.
+
+:class:`ProcCluster` spawns one OS process per group member (spawn
+context — every child is a fresh interpreter), performs the two-phase
+port rendezvous (children bind port 0 and report; the controller
+broadcasts the full map), then drives recorded partition schedules by
+pushing per-node reachability filters and polling status until the
+cluster goes *quiet*: views, primary claims and traffic counters all
+unchanged across several consecutive polls with nothing pending.
+
+:func:`run_differential` is the convergence battery of the transports
+work: the same :class:`~repro.gcs.proc.schedule.RecordedSchedule` runs
+on the deterministic in-memory substrate and on the real cluster, and
+the per-stage stable views and primary claimant sets must agree.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    SimulationError,
+    UnsupportedTransportConfig,
+)
+from repro.faults.model import LinkFaults
+from repro.gcs.proc.node import node_main
+from repro.gcs.proc.schedule import (
+    RecordedSchedule,
+    StageOutcome,
+    simulate_reference,
+)
+from repro.types import ProcessId
+
+NETWORK_TRANSPORTS = ("udp", "tcp")
+
+
+class ProcCluster:
+    """N real OS processes, each hosting one GCS stack on real sockets.
+
+    Use as a context manager — the children are daemonic but holding
+    sockets; :meth:`close` stops them deterministically::
+
+        with ProcCluster(5, algorithm="ykd", transport="udp") as cluster:
+            outcomes = cluster.run_schedule(STOCK_SCHEDULES["cascade"])
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        algorithm: str = "ykd",
+        transport: str = "udp",
+        link: Optional[LinkFaults] = None,
+        endpoint_kind: str = "bare",
+        tick_interval: float = 0.005,
+        start_timeout: float = 30.0,
+    ) -> None:
+        if transport not in NETWORK_TRANSPORTS:
+            raise UnsupportedTransportConfig(
+                f"a multi-process cluster needs a network transport "
+                f"(udp or tcp), not {transport!r} — the in-memory "
+                "backend cannot cross process boundaries"
+            )
+        if transport == "tcp" and link is not None and (
+            link.loss_permille > 0 or link.link_loss or link.reorder
+        ):
+            raise UnsupportedTransportConfig(
+                "the TCP backend cannot lose or reorder frames; run "
+                "wire-fault schedules over udp"
+            )
+        self.n_processes = n_processes
+        self.algorithm = algorithm
+        self.transport = transport
+        self.tick_interval = tick_interval
+        self._closed = False
+        ctx = multiprocessing.get_context("spawn")
+        self._conns: Dict[ProcessId, Any] = {}
+        self._procs: Dict[ProcessId, Any] = {}
+        for pid in range(n_processes):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=node_main,
+                args=(
+                    pid,
+                    n_processes,
+                    algorithm,
+                    transport,
+                    link,
+                    child_conn,
+                    endpoint_kind,
+                    tick_interval,
+                ),
+                daemon=True,
+                name=f"gcs-node-{pid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns[pid] = parent_conn
+            self._procs[pid] = proc
+        # Phase two of port allocation: collect, then broadcast.
+        ports: Dict[ProcessId, int] = {}
+        deadline = time.monotonic() + start_timeout
+        for pid, conn in self._conns.items():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                self.close()
+                raise SimulationError(
+                    f"node {pid} did not report its port within "
+                    f"{start_timeout}s"
+                )
+            message = conn.recv()
+            self._require_ok(pid, message, "port")
+            ports[message[1]] = message[2]
+        for conn in self._conns.values():
+            conn.send(("ports", ports))
+        self.ports = ports
+
+    # ------------------------------------------------------------------
+    # Schedule driving.
+    # ------------------------------------------------------------------
+
+    def apply_stage(self, stage: Tuple[Tuple[int, ...], ...]) -> None:
+        """Install one schedule stage as per-node reachability filters."""
+        for component in stage:
+            members = tuple(sorted(component))
+            for pid in component:
+                self._conns[pid].send(("reachable", members))
+
+    def statuses(self) -> Dict[ProcessId, Dict[str, Any]]:
+        """One status round-trip to every node."""
+        for conn in self._conns.values():
+            conn.send(("status",))
+        out: Dict[ProcessId, Dict[str, Any]] = {}
+        for pid, conn in self._conns.items():
+            if not conn.poll(10.0):
+                raise SimulationError(f"node {pid} stopped answering status")
+            message = conn.recv()
+            self._require_ok(pid, message, "status")
+            out[pid] = message[2]
+        return out
+
+    def await_stable(
+        self,
+        timeout: float = 30.0,
+        settle_polls: int = 3,
+        poll_interval: float = 0.05,
+    ) -> StageOutcome:
+        """Poll until views, primaries and traffic counters all freeze.
+
+        Stability needs ``settle_polls`` *consecutive* identical
+        snapshots with nothing pending in any transport — the realtime
+        analogue of the tick-loop's quiet-tick rule.
+        """
+        deadline = time.monotonic() + timeout
+        previous: Optional[Tuple] = None
+        settled = 0
+        while time.monotonic() < deadline:
+            snapshot = self.statuses()
+            key = tuple(
+                (pid, status["view"], status["in_primary"], status["traffic"])
+                for pid, status in sorted(snapshot.items())
+            )
+            quiet = all(
+                status["pending"] == 0 for status in snapshot.values()
+            )
+            if quiet and key == previous:
+                settled += 1
+                if settled >= settle_polls:
+                    return StageOutcome.build(
+                        views={
+                            pid: tuple(status["view"])
+                            for pid, status in snapshot.items()
+                        },
+                        primaries=[
+                            pid
+                            for pid, status in sorted(snapshot.items())
+                            if status["in_primary"]
+                        ],
+                    )
+            else:
+                settled = 0
+                previous = key
+            time.sleep(poll_interval)
+        raise SimulationError(
+            f"multi-process cluster did not stabilize within {timeout}s"
+        )
+
+    def run_schedule(
+        self, schedule: RecordedSchedule, stage_timeout: float = 30.0
+    ) -> List[StageOutcome]:
+        """Apply every stage in order, harvesting each stable outcome."""
+        if schedule.n_processes != self.n_processes:
+            raise SimulationError(
+                f"schedule {schedule.name!r} wants "
+                f"{schedule.n_processes} processes, cluster has "
+                f"{self.n_processes}"
+            )
+        outcomes: List[StageOutcome] = []
+        for stage in schedule.stages:
+            self.apply_stage(stage)
+            outcomes.append(self.await_stable(timeout=stage_timeout))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Replicated-store operations (endpoint_kind="store" clusters).
+    # ------------------------------------------------------------------
+
+    def put(self, pid: ProcessId, key: str, value: Any) -> Tuple[bool, Any]:
+        """Write through one replica → (accepted, stamp-or-reason)."""
+        self._conns[pid].send(("put", key, value))
+        message = self._recv(pid)
+        if message[0] == "put_ok":
+            return True, message[2]
+        if message[0] == "put_refused":
+            return False, message[2]
+        raise SimulationError(f"node {pid} answered {message[0]!r} to put")
+
+    def get(self, pid: ProcessId, key: str) -> Any:
+        """Read a key from one replica (possibly stale outside primary)."""
+        self._conns[pid].send(("get", key))
+        message = self._recv(pid)
+        self._require_ok(pid, message, "get_ok")
+        return message[2]
+
+    def snapshot(self, pid: ProcessId) -> Dict[str, Any]:
+        """One replica's full store contents and stamp."""
+        self._conns[pid].send(("snapshot",))
+        message = self._recv(pid)
+        self._require_ok(pid, message, "snapshot")
+        return message[2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every node; terminate stragglers after a grace period."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProcCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _recv(self, pid: ProcessId, timeout: float = 10.0):
+        if not self._conns[pid].poll(timeout):
+            raise SimulationError(f"node {pid} did not answer")
+        return self._conns[pid].recv()
+
+    def _require_ok(self, pid: ProcessId, message, expected: str) -> None:
+        if message[0] == "error":
+            raise SimulationError(f"node {pid} failed:\n{message[2]}")
+        if message[0] != expected:
+            raise SimulationError(
+                f"node {pid} answered {message[0]!r}, expected {expected!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """The verdict of one schedule × algorithm differential run."""
+
+    schedule: str
+    algorithm: str
+    transport: str
+    reference: Tuple[StageOutcome, ...]
+    observed: Tuple[StageOutcome, ...]
+
+    @property
+    def matches(self) -> bool:
+        return self.reference == self.observed
+
+    def divergences(self) -> List[str]:
+        """Human-readable per-stage mismatches (empty when matching)."""
+        out: List[str] = []
+        for index, (ref, obs) in enumerate(
+            zip(self.reference, self.observed)
+        ):
+            if ref.views != obs.views:
+                out.append(
+                    f"stage {index}: views differ — reference "
+                    f"{ref.views}, observed {obs.views}"
+                )
+            if ref.primaries != obs.primaries:
+                out.append(
+                    f"stage {index}: primaries differ — reference "
+                    f"{ref.primaries}, observed {obs.primaries}"
+                )
+        return out
+
+
+def run_differential(
+    schedule: RecordedSchedule,
+    algorithm: str = "ykd",
+    transport: str = "udp",
+    link: Optional[LinkFaults] = None,
+    stage_timeout: float = 30.0,
+    tick_interval: float = 0.005,
+) -> DifferentialResult:
+    """The convergence battery for one (schedule, algorithm) pair.
+
+    Runs the deterministic in-memory reference first, then the real
+    multi-process cluster on the requested network transport, and
+    packages both outcome sequences for comparison.
+    """
+    reference = simulate_reference(schedule, algorithm)
+    with ProcCluster(
+        schedule.n_processes,
+        algorithm=algorithm,
+        transport=transport,
+        link=link,
+        tick_interval=tick_interval,
+    ) as cluster:
+        observed = cluster.run_schedule(schedule, stage_timeout=stage_timeout)
+    return DifferentialResult(
+        schedule=schedule.name,
+        algorithm=algorithm,
+        transport=transport,
+        reference=tuple(reference),
+        observed=tuple(observed),
+    )

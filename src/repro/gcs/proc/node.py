@@ -1,0 +1,165 @@
+"""The child-process main loop: one GCS stack on a real socket.
+
+Each node hosts exactly one :class:`~repro.gcs.stack.GCStack` and its
+algorithm endpoint, bound to a network transport
+(:mod:`repro.gcs.transport.asyncnet`) that carries length-prefixed
+canonical-JSON datagrams over localhost UDP or TCP.  The parent
+controller speaks a small tuple protocol over a multiprocessing pipe:
+
+* ``("ports", {pid: port})`` — the full rendezvous map (phase two of
+  port allocation; the node sent ``("port", pid, port)`` in phase one);
+* ``("reachable", (pids...))`` — the oracle failure detector: which
+  peers this node can currently reach (a recorded partition schedule's
+  view of the world);
+* ``("status",)`` → ``("status", pid, {...})`` — current view members,
+  view id, primary claim and traffic counters;
+* ``("put", key, value)`` / ``("get", key)`` / ``("snapshot",)`` —
+  replicated-store operations (store endpoints only);
+* ``("stop",)`` — shut down cleanly.
+
+The node loop is the single-process twin of
+:meth:`repro.gcs.stack.GCSCluster.tick`: drain the transport, advance
+membership against the reachable set, pump the application, flush the
+stack's outgoing unicasts, pace by the transport's tick interval.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Optional
+
+from repro.core.registry import create_algorithm
+from repro.core.view import initial_view
+from repro.errors import ReproError
+from repro.faults.model import LinkFaults
+from repro.gcs.adapter import AlgorithmOnGCS
+from repro.gcs.stack import GCStack
+from repro.gcs.transport.asyncnet import TcpTransport, UdpTransport
+from repro.types import ProcessId
+
+
+def _build_transport(
+    kind: str, link: Optional[LinkFaults], tick_interval: float
+):
+    if kind == "udp":
+        return UdpTransport(link=link, tick_interval=tick_interval)
+    if kind == "tcp":
+        return TcpTransport(link=link, tick_interval=tick_interval)
+    raise ReproError(f"node cannot host a {kind!r} transport")
+
+
+def _build_endpoint(endpoint_kind: str, algorithm: str, pid: ProcessId, n: int):
+    algo = create_algorithm(algorithm, pid, initial_view(n))
+    if endpoint_kind == "store":
+        from repro.app.replicated_store import ReplicatedStore
+
+        return ReplicatedStore(algo)
+    from repro.sim.driver import ProcessEndpoint
+
+    return ProcessEndpoint(algo)
+
+
+def node_main(
+    pid: ProcessId,
+    n_processes: int,
+    algorithm: str,
+    transport_kind: str,
+    link: Optional[LinkFaults],
+    conn: Any,
+    endpoint_kind: str = "bare",
+    tick_interval: float = 0.005,
+) -> None:
+    """Entry point of one spawned group member (runs until ``stop``)."""
+    transport = None
+    try:
+        universe = frozenset(range(n_processes))
+        transport = _build_transport(transport_kind, link, tick_interval)
+        transport.bind(universe, frozenset({pid}))
+        conn.send(("port", pid, transport.ports[pid]))
+
+        stack = GCStack(pid, universe)
+        endpoint = _build_endpoint(endpoint_kind, algorithm, pid, n_processes)
+        process = AlgorithmOnGCS(endpoint, stack)
+        reachable = universe
+        transport.set_reachable(pid, reachable)
+
+        running = True
+        rendezvoused = False
+        while running:
+            while conn.poll(0):
+                command = conn.recv()
+                kind = command[0]
+                if kind == "ports":
+                    transport.set_peer_ports(dict(command[1]))
+                    rendezvoused = True
+                elif kind == "reachable":
+                    reachable = frozenset(command[1]) | {pid}
+                    transport.set_reachable(pid, reachable)
+                elif kind == "status":
+                    view = stack.membership.current_view
+                    conn.send(
+                        (
+                            "status",
+                            pid,
+                            {
+                                "view": tuple(sorted(view.members)),
+                                "view_id": tuple(view.view_id),
+                                "in_primary": process.in_primary(),
+                                "traffic": (
+                                    transport.sent_count,
+                                    transport.delivered_count,
+                                    transport.dropped_count,
+                                ),
+                                "pending": transport.pending(),
+                            },
+                        )
+                    )
+                elif kind == "put":
+                    try:
+                        op = endpoint.put(command[1], command[2])
+                        conn.send(("put_ok", pid, op.stamp))
+                    except ReproError as exc:
+                        conn.send(("put_refused", pid, str(exc)))
+                elif kind == "get":
+                    conn.send(("get_ok", pid, endpoint.get(command[1])))
+                elif kind == "snapshot":
+                    conn.send(
+                        (
+                            "snapshot",
+                            pid,
+                            {
+                                "data": dict(endpoint.data),
+                                "stamp": tuple(endpoint.stamp),
+                            },
+                        )
+                    )
+                elif kind == "stop":
+                    running = False
+                else:
+                    conn.send(("error", pid, f"unknown command {kind!r}"))
+            if not rendezvoused:
+                # No peer ports yet: sending would be routed nowhere.
+                transport.idle_wait()
+                continue
+            for datagram in transport.deliver_tick():
+                stack.on_datagram(datagram.src, datagram.payload)
+            stack.tick(reachable)
+            process.pump()
+            for dst, payload in stack.drain_outgoing():
+                transport.send(pid, dst, payload)
+            transport.idle_wait()
+        conn.send(("stopped", pid))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass  # the controller went away; just exit
+    except Exception:  # pragma: no cover - surfaced to the controller
+        try:
+            conn.send(("error", pid, traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        if transport is not None:
+            transport.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

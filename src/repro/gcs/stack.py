@@ -5,16 +5,19 @@ layer, exposing the two-primitive API the thesis' interface needs:
 ``multicast(payload)`` and an event stream of view installations and
 delivered messages.
 
-``GCSCluster`` is the simulation harness: it owns the packet network
-and one stack per process, advances everything in lock-step ticks, and
-lets tests reshape the topology between ticks.  Unlike the `repro.sim`
-driver — which plays the group communication role itself, as the
-thesis' testing system did — every view here is *negotiated* by the
-membership protocol over point-to-point packets.
+``GCSCluster`` is the simulation harness: it owns a pluggable packet
+:class:`~repro.gcs.transport.Transport` (in-memory by default, real
+UDP/TCP sockets on request) and one stack per process, advances
+everything in lock-step ticks, and lets tests reshape the topology
+between ticks.  Unlike the `repro.sim` driver — which plays the group
+communication role itself, as the thesis' testing system did — every
+view here is *negotiated* by the membership protocol over
+point-to-point packets.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -29,7 +32,7 @@ from repro.gcs.membership import (
     Propose,
     ViewId,
 )
-from repro.gcs.packets import PacketNetwork
+from repro.gcs.transport.base import Transport, resolve_transport
 from repro.gcs.vsync import ViewMessage, VSyncLayer
 from repro.net.topology import Topology
 from repro.types import Members, ProcessId
@@ -155,16 +158,30 @@ class GCSCluster:
     the cluster publishes ``on_gcs_event(cluster, pid, event)`` the
     moment any stack raises a view installation or delivery, and
     ``on_gcs_tick(cluster)`` after each completed tick.
+
+    ``transport`` is the single packet-backend attachment point: pass
+    ``None`` (in-memory default), a backend name (``"memory"``,
+    ``"udp"``, ``"tcp"``) or a constructed
+    :class:`~repro.gcs.transport.Transport` — e.g. a
+    ``MemoryTransport(link=LinkFaults(...))`` to inject wire faults.
+    The legacy ``.network`` attribute remains readable as a deprecated
+    alias of ``.transport``.
     """
 
     def __init__(
-        self, n_processes: int, observers: Iterable[Subscriber] = ()
+        self,
+        n_processes: int,
+        observers: Iterable[Subscriber] = (),
+        *,
+        transport: "Optional[Transport | str]" = None,
     ) -> None:
         if n_processes < 2:
             raise SimulationError("a group needs at least two processes")
         universe = frozenset(range(n_processes))
         self.topology = Topology.fully_connected(n_processes)
-        self.network = PacketNetwork(self.topology)
+        self.transport = resolve_transport(transport)
+        self.transport.bind(universe, universe)
+        self.transport.set_topology(self.topology)
         self.bus = EventBus(observers)
         self._tick_hooks = self.bus.hooks("on_gcs_tick")
         event_hooks = self.bus.hooks("on_gcs_event")
@@ -179,6 +196,16 @@ class GCSCluster:
         }
         self.ticks = 0
 
+    @property
+    def network(self) -> Transport:
+        """Deprecated alias of :attr:`transport` (the pre-seam name)."""
+        warnings.warn(
+            "GCSCluster.network is deprecated; use GCSCluster.transport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.transport
+
     # ------------------------------------------------------------------
     # Topology control.
     # ------------------------------------------------------------------
@@ -186,7 +213,7 @@ class GCSCluster:
     def set_topology(self, topology: Topology) -> None:
         """Reshape the network; failure detectors notice next tick."""
         self.topology = topology
-        self.network.set_topology(topology)
+        self.transport.set_topology(topology)
 
     def reachable(self, pid: ProcessId) -> Members:
         """The oracle reachable set fed to one process's detector."""
@@ -201,8 +228,8 @@ class GCSCluster:
     def tick(self) -> bool:
         """One lock-step tick; returns True when any traffic moved."""
         self.ticks += 1
-        # 1. Deliver last tick's datagrams.
-        deliveries = self.network.deliver_tick()
+        # 1. Deliver whatever the transport has matured.
+        deliveries = self.transport.deliver_tick()
         for datagram in deliveries:
             if self.topology.is_crashed(datagram.dst):
                 continue
@@ -213,21 +240,38 @@ class GCSCluster:
         for pid in sorted(self.stacks):
             if not self.topology.is_crashed(pid):
                 self.stacks[pid].tick(self.reachable(pid))
-        # 3. Flush everything the stacks produced onto the network.
+        # 3. Flush everything the stacks produced into the transport.
         moved = bool(deliveries)
         for pid in sorted(self.stacks):
             for dst, payload in self.stacks[pid].drain_outgoing():
-                self.network.send(pid, dst, payload)
+                self.transport.send(pid, dst, payload)
                 moved = True
         for hook in self._tick_hooks:
             hook(self)
         return moved
 
     def run_until_stable(self, max_ticks: int = 200) -> int:
-        """Tick until a tick moves no traffic; returns ticks used."""
+        """Tick until the system is quiet; returns ticks used.
+
+        A tick is *quiet* when it moved no traffic **and** the
+        transport holds nothing in flight — backends may defer delivery
+        across ticks (injected delay, sockets, retransmission), and a
+        packet still pending means the silence is not stability.
+        Realtime backends additionally require several consecutive
+        quiet ticks (their traffic moves on the wall clock, not the
+        tick clock) with a short blocking wait between them.
+        """
+        quiet_needed = self.transport.quiet_ticks_for_stability
+        quiet = 0
         for elapsed in range(max_ticks):
-            if not self.tick():
-                return elapsed + 1
+            if self.tick() or self.transport.pending() > 0:
+                quiet = 0
+            else:
+                quiet += 1
+                if quiet >= quiet_needed:
+                    return elapsed + 1
+            if self.transport.realtime:
+                self.transport.idle_wait()
         raise SimulationError(
             f"group communication did not stabilize in {max_ticks} ticks"
         )
@@ -251,3 +295,7 @@ class GCSCluster:
             view = stack.membership.current_view
             views[view.view_id] = view.members
         return views
+
+    def close(self) -> None:
+        """Release the transport (sockets/threads of network backends)."""
+        self.transport.close()

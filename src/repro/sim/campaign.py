@@ -141,7 +141,10 @@ def run_case(
     config: CaseConfig,
     observers: Sequence[Subscriber] = (),
     extra_observers: Optional[Sequence[Subscriber]] = None,
+    *,
     kernel: str = "scalar",
+    transport: Optional[str] = None,
+    collect_metrics: Optional[bool] = None,
 ) -> CaseResult:
     """Execute every run of a case and aggregate the statistics.
 
@@ -149,6 +152,8 @@ def run_case(
     they see the case-level hooks (``on_case_start``/``on_case_end``)
     here and every driver-level event of every run.  ``extra_observers``
     is the deprecated name for the same parameter.
+
+    The keyword-only knob group:
 
     ``kernel`` selects the execution backend: ``"scalar"`` (default)
     runs the object-graph :class:`DriverLoop` per run; ``"batched"``
@@ -161,9 +166,33 @@ def run_case(
     :func:`repro.sim.batch.run_case_batched` directly to get a loud
     :class:`~repro.errors.UnsupportedBatchConfig` instead of the
     fallback.
+
+    ``transport`` exists for symmetry with the GCS surface and accepts
+    only ``None`` or ``"memory"``: the campaign driver plays the group
+    communication role itself (thesis testing-system style), so there
+    is no socket underneath to swap.  Requesting a network backend here
+    raises :class:`~repro.errors.UnsupportedTransportConfig` loudly —
+    network transports live on the GCS stack
+    (``GCSCluster(transport=...)``) and the multi-process runner
+    (:mod:`repro.gcs.proc`).
+
+    ``collect_metrics`` overrides :attr:`CaseConfig.collect_metrics`
+    per call (``None`` keeps the config's value).
     """
     if kernel not in ("scalar", "batched"):
         raise ValueError(f"unknown kernel {kernel!r}")
+    if transport not in (None, "memory"):
+        from repro.errors import UnsupportedTransportConfig
+
+        raise UnsupportedTransportConfig(
+            f"run_case cannot execute over the {transport!r} transport: "
+            "the campaign driver routes broadcasts in-process (and the "
+            "batched kernel has no packet layer at all); run network "
+            "transports through GCSCluster(transport=...) or "
+            "repro.gcs.proc instead"
+        )
+    if collect_metrics is not None and collect_metrics != config.collect_metrics:
+        config = replace(config, collect_metrics=collect_metrics)
     if kernel == "batched" and not observers and extra_observers is None:
         from repro.errors import UnsupportedBatchConfig
         from repro.sim.batch import run_case_batched

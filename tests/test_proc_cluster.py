@@ -1,0 +1,145 @@
+"""The multi-process cluster and its differential convergence battery.
+
+The acceptance bar of the transports redesign: N **real OS processes**,
+each hosting a full GCS stack on real localhost sockets, driven through
+recorded partition schedules, must converge to exactly the same stable
+views and primary claimant sets as the deterministic in-memory
+reference — per stage, per algorithm, schedule after schedule.
+
+The battery below covers the three stock schedules × three algorithms
+over UDP (ISSUE 8's ≥ 3 × ≥ 3 floor), one TCP pair, and one UDP pair
+under injected packet loss.  Real processes and real sockets make this
+the slowest file in the suite; everything else about the proc layer
+(schedule validation, refusals, outcome comparison) is tested cheaply
+alongside.
+"""
+
+import pytest
+
+from repro.errors import SimulationError, UnsupportedTransportConfig
+from repro.faults import LinkFaults
+from repro.gcs.proc import (
+    DifferentialResult,
+    ProcCluster,
+    RecordedSchedule,
+    STOCK_SCHEDULES,
+    StageOutcome,
+    generated_schedule,
+    run_differential,
+    simulate_reference,
+)
+
+
+class TestScheduleValidation:
+    def test_stock_schedules_are_well_formed(self):
+        assert set(STOCK_SCHEDULES) == {"split_restore", "cascade", "flip_flop"}
+        for schedule in STOCK_SCHEDULES.values():
+            assert len(schedule.stages) >= 3
+            for topology in schedule.topologies():
+                assert topology.components  # constructible and valid
+
+    def test_non_partition_stage_refused(self):
+        with pytest.raises(SimulationError, match="does not partition"):
+            RecordedSchedule("bad", 4, (((0, 1),),))
+        with pytest.raises(SimulationError, match="reuses"):
+            RecordedSchedule("bad", 4, (((0, 1), (1, 2, 3)),))
+        with pytest.raises(SimulationError, match="empty component"):
+            RecordedSchedule("bad", 4, (((0, 1, 2, 3), ()),))
+
+    def test_stages_normalize_to_canonical_order(self):
+        schedule = RecordedSchedule("norm", 4, (((3, 2), (1, 0)),))
+        assert schedule.stages == ((((0, 1), (2, 3))),)
+
+    def test_generated_schedules_are_pure_hash(self):
+        assert generated_schedule(3) == generated_schedule(3)
+        assert generated_schedule(3) != generated_schedule(4)
+        for seed in range(5):
+            schedule = generated_schedule(seed)
+            # Always book-ended by full connectivity.
+            full = (tuple(range(schedule.n_processes)),)
+            assert schedule.stages[0] == full
+            assert schedule.stages[-1] == full
+
+
+class TestRefusals:
+    def test_memory_transport_refused(self):
+        with pytest.raises(UnsupportedTransportConfig, match="network"):
+            ProcCluster(3, transport="memory")
+
+    def test_tcp_with_loss_refused(self):
+        with pytest.raises(UnsupportedTransportConfig, match="lose or reorder"):
+            ProcCluster(
+                3, transport="tcp", link=LinkFaults(loss_permille=100, seed=0)
+            )
+
+    def test_schedule_size_mismatch_refused(self):
+        schedule = STOCK_SCHEDULES["flip_flop"]  # wants 4 processes
+        with pytest.raises(SimulationError, match="wants 4 processes"):
+            with ProcCluster(3, transport="udp") as cluster:
+                cluster.run_schedule(schedule)
+
+
+class TestOutcomeComparison:
+    def test_divergences_are_per_stage_and_readable(self):
+        ref = StageOutcome.build({0: (0, 1), 1: (0, 1)}, [0, 1])
+        obs = StageOutcome.build({0: (0, 1), 1: (1,)}, [1])
+        result = DifferentialResult(
+            schedule="s", algorithm="ykd", transport="udp",
+            reference=(ref, ref), observed=(ref, obs),
+        )
+        assert not result.matches
+        lines = result.divergences()
+        assert any(line.startswith("stage 1: views differ") for line in lines)
+        assert any("primaries differ" in line for line in lines)
+
+    def test_matching_outcomes_have_no_divergences(self):
+        ref = StageOutcome.build({0: (0,)}, [0])
+        result = DifferentialResult(
+            schedule="s", algorithm="ykd", transport="udp",
+            reference=(ref,), observed=(ref,),
+        )
+        assert result.matches and result.divergences() == []
+
+
+class TestSimulatedReference:
+    def test_flip_flop_forces_a_quorum_handoff(self):
+        # The cross-cutting re-split is the schedule's point: after
+        # ({0,1},{2,3}) nobody holds a primary (an even split of 4 with
+        # the tie-break deciding), and the re-cut ({0,2},{1,3}) mixes
+        # the halves.  The reference pins how YKD resolves it so the
+        # differential battery compares against a meaningful oracle.
+        outcomes = simulate_reference(STOCK_SCHEDULES["flip_flop"], "ykd")
+        assert outcomes[0].primaries == (0, 1, 2, 3)
+        final = outcomes[-1]
+        assert final.primaries == (0, 1, 2, 3)
+        assert all(members == (0, 1, 2, 3) for _, members in final.views)
+
+
+@pytest.mark.parametrize("algorithm", ["ykd", "dfls", "mr1p"])
+@pytest.mark.parametrize(
+    "schedule_name", ["split_restore", "cascade", "flip_flop"]
+)
+def test_differential_battery_udp(schedule_name, algorithm):
+    """Real processes over UDP converge exactly like the simulation."""
+    result = run_differential(
+        STOCK_SCHEDULES[schedule_name], algorithm=algorithm, transport="udp"
+    )
+    assert result.matches, "\n".join(result.divergences())
+
+
+def test_differential_battery_tcp():
+    result = run_differential(
+        STOCK_SCHEDULES["split_restore"], algorithm="dfls", transport="tcp"
+    )
+    assert result.matches, "\n".join(result.divergences())
+
+
+def test_differential_battery_udp_under_packet_loss():
+    """10% injected loss: the ARQ recovers, the outcomes still agree."""
+    result = run_differential(
+        STOCK_SCHEDULES["split_restore"],
+        algorithm="ykd",
+        transport="udp",
+        link=LinkFaults(loss_permille=100, seed=7),
+    )
+    assert result.matches, "\n".join(result.divergences())

@@ -1,0 +1,96 @@
+"""Seeded-randomness audit for the transport layer (PR 1/PR 6 style).
+
+The network transports sit *below* the fault layer's draws: loss,
+delay and reorder decisions execute inside the transmit path of a real
+socket backend.  The discipline that keeps those runs replayable is
+structural, so it is pinned structurally, exactly like the
+``repro.faults`` audit:
+
+* no module in ``repro.gcs.transport`` may import ``random``,
+  ``secrets``, ``time`` or ``os`` — wall-clock *pacing* comes from the
+  event loop (``loop.time()``), and every fault draw is a pure hash of
+  the link seed and the transmission serial;
+* the modules that draw (memory delivery, async transmission) must
+  draw through :mod:`repro.faults.link` / ``repro.sim.rng`` — never a
+  hand-rolled hash that could collide with the driver's streams.
+
+The ARQ has the strongest obligation — it is a protocol state machine
+whose every decision must be replayable from the call trace — so it is
+additionally forbidden from importing ``asyncio``/``threading``: time
+is an argument there, not an ambient service.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.gcs.transport
+
+TRANSPORT_DIR = Path(repro.gcs.transport.__file__).parent
+TRANSPORT_MODULES = sorted(TRANSPORT_DIR.glob("*.py"))
+
+FORBIDDEN_MODULES = {"random", "secrets", "time", "os"}
+
+
+def imported_roots(tree: ast.AST):
+    """Top-level module names imported anywhere in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module.split(".")[0]
+
+
+def test_transport_modules_exist():
+    assert [path.name for path in TRANSPORT_MODULES] == [
+        "__init__.py",
+        "arq.py",
+        "asyncnet.py",
+        "base.py",
+        "memory.py",
+        "wire.py",
+    ]
+
+
+@pytest.mark.parametrize(
+    "path", TRANSPORT_MODULES, ids=lambda path: path.name
+)
+def test_no_unseeded_randomness_sources(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offenders = sorted(set(imported_roots(tree)) & FORBIDDEN_MODULES)
+    assert not offenders, (
+        f"{path.name} imports {offenders}: transport fault draws must "
+        "be pure functions of the link seed and transmission serial "
+        "(repro.faults.link / repro.sim.rng), and pacing must come "
+        "from the event loop, never ambient clocks"
+    )
+
+
+@pytest.mark.parametrize("name", ["memory.py", "asyncnet.py"])
+def test_fault_injecting_modules_draw_through_fault_layer(name):
+    tree = ast.parse((TRANSPORT_DIR / name).read_text(encoding="utf-8"))
+    imports = {
+        f"{node.module}.{alias.name}"
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ImportFrom) and node.module
+        for alias in node.names
+    }
+    assert "repro.faults.link.delivery_lost" in imports, (
+        f"{name} must draw loss through repro.faults.link"
+    )
+    assert "repro.faults.link.delivery_delay" in imports, (
+        f"{name} must draw delay through repro.faults.link"
+    )
+
+
+def test_arq_is_a_pure_state_machine():
+    tree = ast.parse((TRANSPORT_DIR / "arq.py").read_text(encoding="utf-8"))
+    roots = set(imported_roots(tree))
+    offenders = sorted(roots & (FORBIDDEN_MODULES | {"asyncio", "threading"}))
+    assert not offenders, (
+        f"arq.py imports {offenders}: the ARQ takes `now` as an "
+        "argument so every retransmission decision replays from the "
+        "call trace — it must not reach for clocks or event loops"
+    )
