@@ -16,6 +16,10 @@ Semantics
 * Accepted writes are stamped with the store's *epoch* — the order key
   of the latest formed primary its algorithm knows — plus a per-epoch
   operation counter, and broadcast to the component.
+* Concurrent writes inside the same primary may carry equal stamps
+  (each replica counts its own ops); per-key ``(stamp, origin)`` write
+  tags break the tie deterministically, so every replica converges on
+  the same winner regardless of delivery order.
 * On every view change each replica announces its ``(epoch, op_count)``
   stamp and full contents; replicas adopt the lexicographically
   greatest announcement.  Because writes happen only inside primary
@@ -56,12 +60,17 @@ class PutOp:
     origin: ProcessId
 
 
+#: Per-key write tag: who wrote the current value, under which stamp.
+WriteTag = Tuple[Stamp, ProcessId]
+
+
 @dataclass(frozen=True)
 class SyncOffer:
     """A replica's announcement after a view change: stamp + contents."""
 
     stamp: Stamp
     contents: Tuple[Tuple[str, Any], ...]
+    tags: Tuple[Tuple[str, WriteTag], ...] = ()
 
     @property
     def as_dict(self) -> Dict[str, Any]:
@@ -74,6 +83,7 @@ class ReplicatedStore(ProcessEndpoint):
     def __init__(self, algorithm: PrimaryComponentAlgorithm) -> None:
         super().__init__(algorithm)
         self.data: Dict[str, Any] = {}
+        self._tags: Dict[str, WriteTag] = {}
         #: (epoch of latest primary the data was written under, op count).
         self.stamp: Stamp = (self._current_epoch(), 0)
         self._outbox: List[Message] = []
@@ -123,6 +133,25 @@ class ReplicatedStore(ProcessEndpoint):
         """A copy of the replica's current contents."""
         return dict(self.data)
 
+    @property
+    def outbox_size(self) -> int:
+        """Broadcasts queued but not yet offered to the substrate.
+
+        The service layer uses this to pump a loaded replica's outbox
+        fully within one tick instead of one message per event.
+        """
+        return len(self._outbox)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters for health endpoints and ops views."""
+        return {
+            "keys": len(self.data),
+            "stamp": list(self.stamp),
+            "writes_accepted": self.writes_accepted,
+            "writes_refused": self.writes_refused,
+            "syncs_adopted": self.syncs_adopted,
+        }
+
     # ------------------------------------------------------------------
     # Endpoint hooks (the Fig. 2-2 integration).
     # ------------------------------------------------------------------
@@ -158,10 +187,20 @@ class ReplicatedStore(ProcessEndpoint):
 
     def _sync_offer(self) -> SyncOffer:
         return SyncOffer(
-            stamp=self.stamp, contents=tuple(sorted(self.data.items()))
+            stamp=self.stamp,
+            contents=tuple(sorted(self.data.items())),
+            tags=tuple(sorted(self._tags.items())),
         )
 
     def _apply_put(self, op: PutOp) -> None:
+        # Concurrent puts inside one primary stamp independently, so
+        # two writes to the same key may tie on stamp; the (stamp,
+        # origin) tag makes the winner delivery-order independent.
+        tag = (op.stamp, op.origin)
+        existing = self._tags.get(op.key)
+        if existing is not None and existing > tag:
+            return
+        self._tags[op.key] = tag
         self.data[op.key] = op.value
         if op.origin != self.pid and op.stamp > self.stamp:
             self.stamp = op.stamp
@@ -169,5 +208,6 @@ class ReplicatedStore(ProcessEndpoint):
     def _consider_sync(self, offer: SyncOffer) -> None:
         if offer.stamp > self.stamp:
             self.data = offer.as_dict
+            self._tags = dict(offer.tags)
             self.stamp = offer.stamp
             self.syncs_adopted += 1

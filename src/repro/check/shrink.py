@@ -155,6 +155,15 @@ def _remap_faults(
                 if s in mapping and r in mapping
             ),
         )
+    if link.link_delay:
+        link = replace(
+            link,
+            link_delay=tuple(
+                (mapping[s], mapping[r], permille, delay_max)
+                for s, r, permille, delay_max in link.link_delay
+                if s in mapping and r in mapping
+            ),
+        )
     byzantine = model.byzantine
     if byzantine.members:
         byzantine = replace(
@@ -257,13 +266,17 @@ def _shrink_faults(plan: SchedulePlan) -> Iterator[SchedulePlan]:
                         model, link=replace(link, loss_permille=permille)
                     ),
                 )
-        if link.delay_max or link.delay_permille:
+        if link.delay_max or link.delay_permille or link.link_delay:
             yield replace(
                 plan,
                 faults=replace(
                     model,
                     link=replace(
-                        link, delay_permille=0, delay_max=0, reorder=False
+                        link,
+                        delay_permille=0,
+                        delay_max=0,
+                        link_delay=(),
+                        reorder=False,
                     ),
                 ),
             )
@@ -276,6 +289,12 @@ def _shrink_faults(plan: SchedulePlan) -> Iterator[SchedulePlan]:
             yield replace(
                 plan,
                 faults=replace(model, link=replace(link, link_loss=remaining)),
+            )
+        for index in range(len(link.link_delay)):
+            remaining = link.link_delay[:index] + link.link_delay[index + 1:]
+            yield replace(
+                plan,
+                faults=replace(model, link=replace(link, link_delay=remaining)),
             )
     byzantine = model.byzantine
     if byzantine.is_active():

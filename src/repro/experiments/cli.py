@@ -18,6 +18,8 @@ Examples::
     repro-experiments explain --replay case.trace.jsonl
     repro-experiments bench
     repro-experiments bench campaign --quick --max-regression 0.25
+    repro-experiments serve --replicas 3 --port 8080
+    repro-experiments load --seed 7 --schedule cascade --verify-replay
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ from repro.experiments.spec import SCALES, SPECS, all_spec_ids, get_scale
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
 from repro.sim.explore import explore
+from repro.service.cli import add_service_parsers, run_load, run_serve
 from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceRecorder, render_timeline
 
@@ -336,6 +339,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run each scenario N times and report the fastest (noise guard)",
     )
+
+    add_service_parsers(sub)
 
     gcs_parser = sub.add_parser(
         "gcs",
@@ -1005,6 +1010,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _explain(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "load":
+        return run_load(args)
     if args.command == "gcs":
         from repro.gcs.proc.__main__ import main as gcs_main
 

@@ -51,23 +51,34 @@ def delivery_lost(
     return _unit(link.seed, "loss", round_index, sender, recipient) * 1000 < permille
 
 
+def _delay_params(
+    link: LinkFaults, sender: int, recipient: int
+) -> Tuple[int, int]:
+    """Effective ``(delay_permille, delay_max)`` for one directed link."""
+    for entry_sender, entry_recipient, permille, delay_max in link.link_delay:
+        if entry_sender == sender and entry_recipient == recipient:
+            return permille, delay_max
+    return link.delay_permille, link.delay_max
+
+
 def delivery_delay(
     link: LinkFaults, round_index: int, sender: int, recipient: int
 ) -> int:
     """Rounds this delivery is held back (0 = delivered in-round)."""
-    if link.delay_permille <= 0 or link.delay_max <= 0:
+    delay_permille, delay_max = _delay_params(link, sender, recipient)
+    if delay_permille <= 0 or delay_max <= 0:
         return 0
-    if link.delay_permille < 1000:
+    if delay_permille < 1000:
         hit = (
             _unit(link.seed, "delay", round_index, sender, recipient) * 1000
-            < link.delay_permille
+            < delay_permille
         )
         if not hit:
             return 0
-    if link.delay_max == 1:
+    if delay_max == 1:
         return 1
     span = _unit(link.seed, "delay.len", round_index, sender, recipient)
-    return 1 + int(span * link.delay_max) % link.delay_max
+    return 1 + int(span * delay_max) % delay_max
 
 
 def reorder_key(
@@ -94,4 +105,16 @@ def loss_matrix(
         for recipient in range(n_processes):
             if sender != recipient:
                 out[(sender, recipient)] = _loss_permille(link, sender, recipient)
+    return out
+
+
+def delay_matrix(
+    link: LinkFaults, n_processes: int
+) -> Dict[Tuple[int, int], Tuple[int, int]]:
+    """Effective ``(permille, delay_max)`` for every directed link."""
+    out: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for sender in range(n_processes):
+        for recipient in range(n_processes):
+            if sender != recipient:
+                out[(sender, recipient)] = _delay_params(link, sender, recipient)
     return out

@@ -78,9 +78,10 @@ class LinkFaults:
     probability ``loss_permille``/1000 (overridable per directed link
     via ``link_loss``), and each surviving delivery is independently
     held back for 1..``delay_max`` rounds with probability
-    ``delay_permille``/1000.  Held deliveries mature after their delay;
-    with ``reorder`` they are released in a deterministically shuffled
-    order instead of FIFO.  All draws are pure functions of
+    ``delay_permille``/1000 (both delay knobs overridable per directed
+    link via ``link_delay``).  Held deliveries mature after their
+    delay; with ``reorder`` they are released in a deterministically
+    shuffled order instead of FIFO.  All draws are pure functions of
     ``(seed, round, sender, recipient)`` — see :mod:`repro.faults.link`.
     """
 
@@ -89,6 +90,11 @@ class LinkFaults:
     link_loss: Tuple[Tuple[int, int, int], ...] = ()
     delay_permille: int = 0
     delay_max: int = 0
+    #: Directed-link delay overrides:
+    #: ((sender, recipient, permille, delay_max), ...) — both knobs
+    #: replaced together for that link, so a single link can be slowed
+    #: (or exempted) without touching the global delay environment.
+    link_delay: Tuple[Tuple[int, int, int, int], ...] = ()
     reorder: bool = False
     seed: int = 0
 
@@ -119,6 +125,29 @@ class LinkFaults:
                 (sender, recipient, _permille(permille, "link_loss"))
             )
         object.__setattr__(self, "link_loss", tuple(sorted(normalized)))
+        delays = []
+        seen_delay = set()
+        for entry in self.link_delay:
+            sender, recipient, permille, delay_max = entry
+            sender, recipient = int(sender), int(recipient)
+            _require(
+                sender != recipient, "link_delay entries must name distinct ends"
+            )
+            _require(
+                (sender, recipient) not in seen_delay,
+                f"duplicate link_delay entry for link {sender}->{recipient}",
+            )
+            seen_delay.add((sender, recipient))
+            _require(int(delay_max) >= 0, "link_delay delay_max must be >= 0")
+            delays.append(
+                (
+                    sender,
+                    recipient,
+                    _permille(permille, "link_delay"),
+                    int(delay_max),
+                )
+            )
+        object.__setattr__(self, "link_delay", tuple(sorted(delays)))
 
     def is_active(self) -> bool:
         """Whether this sub-model changes delivery behaviour at all."""
@@ -126,6 +155,10 @@ class LinkFaults:
             self.loss_permille
             or any(permille for _, _, permille in self.link_loss)
             or (self.delay_permille and self.delay_max)
+            or any(
+                permille and delay_max
+                for _, _, permille, delay_max in self.link_delay
+            )
             or self.reorder
         )
 
@@ -136,6 +169,10 @@ class LinkFaults:
             + self.delay_permille
             + self.delay_max
             + sum(1 + permille for _, _, permille in self.link_loss)
+            + sum(
+                1 + permille + delay_max
+                for _, _, permille, delay_max in self.link_delay
+            )
             + (1 if self.reorder else 0)
         )
 
@@ -327,6 +364,12 @@ class FaultModel:
                 f"link_loss link {sender}->{recipient} outside the "
                 f"{n_processes}-process system",
             )
+        for sender, recipient, _, _ in self.link.link_delay:
+            _require(
+                sender < n_processes and recipient < n_processes,
+                f"link_delay link {sender}->{recipient} outside the "
+                f"{n_processes}-process system",
+            )
 
 
 # ----------------------------------------------------------------------
@@ -361,7 +404,7 @@ def faults_to_dict(model: FaultModel) -> Dict[str, Any]:
         model.link,
         _LINK_DEFAULT,
         ("loss_permille", "link_loss", "delay_permille", "delay_max",
-         "reorder", "seed"),
+         "link_delay", "reorder", "seed"),
     )
     if link:
         out["link"] = link
@@ -396,6 +439,10 @@ def faults_from_dict(data: Mapping[str, Any]) -> FaultModel:
             ),
             delay_permille=link.get("delay_permille", 0),
             delay_max=link.get("delay_max", 0),
+            link_delay=tuple(
+                (int(s), int(r), int(p), int(m))
+                for s, r, p, m in link.get("link_delay", ())
+            ),
             reorder=bool(link.get("reorder", False)),
             seed=link.get("seed", 0),
         ),

@@ -110,7 +110,13 @@ class ProcCluster:
                     f"node {pid} did not report its port within "
                     f"{start_timeout}s"
                 )
-            message = conn.recv()
+            try:
+                message = conn.recv()
+            except EOFError:
+                self.close()
+                raise SimulationError(
+                    f"node {pid} died before reporting its port"
+                ) from None
             self._require_ok(pid, message, "port")
             ports[message[1]] = message[2]
         for conn in self._conns.values():
@@ -130,13 +136,19 @@ class ProcCluster:
 
     def statuses(self) -> Dict[ProcessId, Dict[str, Any]]:
         """One status round-trip to every node."""
-        for conn in self._conns.values():
-            conn.send(("status",))
+        for pid, conn in self._conns.items():
+            try:
+                conn.send(("status",))
+            except (OSError, BrokenPipeError):
+                raise SimulationError(f"node {pid} died") from None
         out: Dict[ProcessId, Dict[str, Any]] = {}
         for pid, conn in self._conns.items():
             if not conn.poll(10.0):
                 raise SimulationError(f"node {pid} stopped answering status")
-            message = conn.recv()
+            try:
+                message = conn.recv()
+            except EOFError:
+                raise SimulationError(f"node {pid} died") from None
             self._require_ok(pid, message, "status")
             out[pid] = message[2]
         return out
@@ -269,7 +281,10 @@ class ProcCluster:
     def _recv(self, pid: ProcessId, timeout: float = 10.0):
         if not self._conns[pid].poll(timeout):
             raise SimulationError(f"node {pid} did not answer")
-        return self._conns[pid].recv()
+        try:
+            return self._conns[pid].recv()
+        except EOFError:
+            raise SimulationError(f"node {pid} died") from None
 
     def _require_ok(self, pid: ProcessId, message, expected: str) -> None:
         if message[0] == "error":

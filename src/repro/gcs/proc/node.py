@@ -97,23 +97,20 @@ def node_main(
                     transport.set_reachable(pid, reachable)
                 elif kind == "status":
                     view = stack.membership.current_view
-                    conn.send(
-                        (
-                            "status",
-                            pid,
-                            {
-                                "view": tuple(sorted(view.members)),
-                                "view_id": tuple(view.view_id),
-                                "in_primary": process.in_primary(),
-                                "traffic": (
-                                    transport.sent_count,
-                                    transport.delivered_count,
-                                    transport.dropped_count,
-                                ),
-                                "pending": transport.pending(),
-                            },
-                        )
-                    )
+                    status = {
+                        "view": tuple(sorted(view.members)),
+                        "view_id": tuple(view.view_id),
+                        "in_primary": process.in_primary(),
+                        "traffic": (
+                            transport.sent_count,
+                            transport.delivered_count,
+                            transport.dropped_count,
+                        ),
+                        "pending": transport.pending(),
+                    }
+                    if hasattr(endpoint, "stats"):
+                        status["store"] = endpoint.stats()
+                    conn.send(("status", pid, status))
                 elif kind == "put":
                     try:
                         op = endpoint.put(command[1], command[2])

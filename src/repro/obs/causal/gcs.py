@@ -127,6 +127,27 @@ class GCSViewSpans(Subscriber):
             )
         )
 
+    def open_views(self) -> List[Dict[str, Any]]:
+        """The in-progress agreement windows, as JSON-ready dicts.
+
+        This is the *live* face of the span model: while a view is
+        still being installed member by member, the service ops view
+        can show which window the cluster is inside and who has (and
+        has not) installed it yet — an in-progress outage explained
+        while it happens, before :meth:`finalize` ever runs.
+        """
+        return [
+            {
+                "view_id": list(tuple(view.view_id)),
+                "members": sorted(view.members),
+                "open_tick": view.open_tick,
+                "installed": sorted(view.installed),
+            }
+            for _, view in sorted(
+                self._open.items(), key=lambda item: tuple(item[0])
+            )
+        ]
+
     def finalize(self, at_tick: int = -1) -> List[ViewSpan]:
         """Close still-open views as pending and return every span.
 

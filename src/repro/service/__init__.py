@@ -1,0 +1,58 @@
+"""User-perceived availability: the replicated store as a service.
+
+The thesis measures availability by rounds-with-a-primary; this package
+measures what a *client* of the replicated store experiences under
+heavy traffic while the cluster partitions and heals.  It provides:
+
+* :mod:`repro.service.frontend` — per-replica asyncio HTTP front ends
+  with structured ``NotPrimaryError`` redirects, ``/healthz`` and a
+  live ``/ops`` view backed by the causal observability layer;
+* :mod:`repro.service.load` — an open-loop load generator replaying
+  seeded heavy-tailed workloads (Zipf keys, arrival bursts, reconnect
+  storms) where every draw is a pure hash, so workloads replay
+  bit-exactly and shard by client;
+* :mod:`repro.service.scenario` — the runner that partitions the
+  cluster mid-load via recorded schedules and emits a canonical-JSON
+  availability report contrasting requests-served with round-level
+  availability, split by causal blame category.
+"""
+
+from repro.service.blame import (
+    BLAME_PRIMARY_UNREACHABLE,
+    SERVICE_BLAME_CATEGORIES,
+    classify_unserved,
+)
+from repro.service.cluster import StoreCluster
+from repro.service.load import (
+    ClientOp,
+    LoadProfile,
+    client_ops,
+    replica_for,
+    workload,
+    workload_digest,
+)
+from repro.service.report import (
+    REPORT_KIND,
+    describe_report,
+    render_report,
+    write_report,
+)
+from repro.service.scenario import run_scenario
+
+__all__ = [
+    "BLAME_PRIMARY_UNREACHABLE",
+    "SERVICE_BLAME_CATEGORIES",
+    "classify_unserved",
+    "StoreCluster",
+    "ClientOp",
+    "LoadProfile",
+    "client_ops",
+    "replica_for",
+    "workload",
+    "workload_digest",
+    "REPORT_KIND",
+    "describe_report",
+    "render_report",
+    "write_report",
+    "run_scenario",
+]

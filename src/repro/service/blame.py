@@ -1,0 +1,80 @@
+"""Why a request went unserved: causal blame at the service layer.
+
+The availability figures count *rounds* with a primary; a user of the
+replicated store experiences something different — their request either
+completed or it did not.  When a write goes unserved, this module names
+the cause using the same causal vocabulary the forensics layer
+(:mod:`repro.obs.causal`) applies to round-level unavailability, plus
+one category that only exists once real clients enter the picture:
+
+* ``primary_unreachable`` — a primary component *does* exist, but the
+  client's replica is partitioned away from it.  Round-level
+  availability counts this round as available; the user does not.
+* ``no_quorum_possible`` — the client's side of the partition can
+  never form a primary (it is at most half the universe); no algorithm
+  could have served this write.
+* ``attempt_in_flight`` — the component could hold a primary and is
+  mid-transition: either a claimant exists locally but the client's
+  replica has not installed the new view yet, or the members' views
+  still disagree.  Algorithmic latency, not algorithmic refusal.
+* ``ambiguous_blocked`` — the component is majority-sized and its
+  views agree, yet nobody claims the primary: the algorithm is stuck
+  on the ambiguity of a previous transition (the thesis' blocking
+  case).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.obs.causal.spans import (
+    BLAME_AMBIGUOUS,
+    BLAME_IN_FLIGHT,
+    BLAME_NO_QUORUM,
+)
+from repro.types import ProcessId
+
+#: The category round-level accounting cannot see: the primary exists,
+#: just not where the client is connected.
+BLAME_PRIMARY_UNREACHABLE = "primary_unreachable"
+
+#: Every category an unserved request can land in, in severity order.
+SERVICE_BLAME_CATEGORIES: Tuple[str, ...] = (
+    BLAME_PRIMARY_UNREACHABLE,
+    BLAME_NO_QUORUM,
+    BLAME_IN_FLIGHT,
+    BLAME_AMBIGUOUS,
+)
+
+
+def classify_unserved(
+    n_processes: int,
+    component: Iterable[ProcessId],
+    claimants: Iterable[ProcessId],
+    views: Dict[ProcessId, Tuple[ProcessId, ...]],
+) -> str:
+    """Name the cause of one unserved write.
+
+    ``component`` is the connectivity component holding the client's
+    pinned replica, ``claimants`` the current primary claimants across
+    the whole cluster, and ``views`` each process's installed view
+    membership.  The order of checks matters: reachability first (can
+    the request even get to a primary?), then possibility (could this
+    side ever form one?), then progress (is the algorithm moving or
+    stuck?).
+    """
+    members = frozenset(component)
+    claiming = frozenset(claimants)
+    if claiming:
+        if claiming & members:
+            # A primary claimant is right here — the client's replica
+            # simply has not caught up with the installation yet.
+            return BLAME_IN_FLIGHT
+        return BLAME_PRIMARY_UNREACHABLE
+    if 2 * len(members) <= n_processes:
+        return BLAME_NO_QUORUM
+    target = tuple(sorted(members))
+    installed = {tuple(sorted(views.get(pid, ()))) for pid in members}
+    if installed != {target}:
+        return BLAME_IN_FLIGHT
+    return BLAME_AMBIGUOUS

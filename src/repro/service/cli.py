@@ -1,0 +1,277 @@
+"""The ``serve`` and ``load`` subcommands of ``repro-experiments``.
+
+``serve`` boots the HTTP front ends — one per replica — over either
+the in-process :class:`~repro.service.cluster.StoreCluster` or a real
+multi-process :class:`~repro.gcs.proc.controller.ProcCluster`, and
+``load`` runs a seeded scenario (workload + optional partition
+schedule) to a canonical availability report.  Both live here so the
+experiments CLI only pays the import when the parser is built.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.core.registry import algorithm_names
+
+
+def add_service_parsers(sub) -> None:
+    """Register ``serve`` and ``load`` on the experiments subparsers."""
+    serve = sub.add_parser(
+        "serve",
+        help="front a replicated-store cluster with per-replica HTTP "
+        "endpoints (put/get/snapshot/healthz/ops with NotPrimary "
+        "redirects)",
+    )
+    serve.add_argument("--replicas", type=int, default=3)
+    serve.add_argument(
+        "--algorithm", choices=algorithm_names(), default="ykd"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["memory", "proc"],
+        default="memory",
+        help="in-process lock-step cluster, or one HTTP front end over "
+        "a real multi-process UDP cluster",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="base port; replica i listens on port+i (0: ephemeral)",
+    )
+    serve.add_argument("--tick-interval", type=float, default=0.005)
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot, run a put/get/healthz self-check over HTTP, print "
+        "the results and exit (used by CI)",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="replay a seeded heavy-traffic workload against a "
+        "partitioning cluster and emit the canonical availability "
+        "report",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument(
+        "--algorithm", choices=algorithm_names(), default="ykd"
+    )
+    load.add_argument(
+        "--schedule",
+        default="split_restore",
+        help="a stock schedule name, 'generated:<seed>', or 'none' "
+        "for the fault-free baseline",
+    )
+    load.add_argument(
+        "--replicas",
+        type=int,
+        default=5,
+        help="cluster size (schedules carry their own)",
+    )
+    load.add_argument("--clients", type=int, default=8)
+    load.add_argument("--ticks", type=int, default=120)
+    load.add_argument("--keys", type=int, default=64)
+    load.add_argument("--zipf-s-milli", type=int, default=1100)
+    load.add_argument("--arrival-permille", type=int, default=350)
+    load.add_argument("--put-permille", type=int, default=500)
+    load.add_argument("--burst-gap-mean", type=int, default=40)
+    load.add_argument("--burst-len", type=int, default=5)
+    load.add_argument("--burst-boost-permille", type=int, default=450)
+    load.add_argument("--storm-gap-mean", type=int, default=60)
+    load.add_argument(
+        "--report-out", type=Path, default=None, metavar="PATH",
+        help="write the canonical availability report JSON",
+    )
+    load.add_argument(
+        "--ops-out", type=Path, default=None, metavar="PATH",
+        help="also write the final ops view (post-run cluster state)",
+    )
+    load.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="run the scenario twice and fail unless the two reports "
+        "are byte-identical",
+    )
+
+
+def _resolve_schedule(spec: str):
+    from repro.errors import ReproError
+    from repro.gcs.proc.schedule import STOCK_SCHEDULES, generated_schedule
+
+    if spec == "none":
+        return None
+    if spec.startswith("generated:"):
+        return generated_schedule(int(spec.split(":", 1)[1]))
+    if spec in STOCK_SCHEDULES:
+        return STOCK_SCHEDULES[spec]
+    raise ReproError(
+        f"unknown schedule {spec!r}: pick one of "
+        f"{', '.join(sorted(STOCK_SCHEDULES))}, generated:<seed>, none"
+    )
+
+
+def run_load(args: argparse.Namespace) -> int:
+    """Handle ``repro-experiments load``; returns the exit code."""
+    from repro.errors import ReproError
+    from repro.service.load import LoadProfile
+    from repro.service.report import (
+        describe_report,
+        render_report,
+        write_report,
+    )
+    from repro.service.scenario import run_scenario
+
+    try:
+        schedule = _resolve_schedule(args.schedule)
+        profile = LoadProfile(
+            clients=args.clients,
+            ticks=args.ticks,
+            n_keys=args.keys,
+            zipf_s_milli=args.zipf_s_milli,
+            arrival_permille=args.arrival_permille,
+            put_permille=args.put_permille,
+            burst_gap_mean=args.burst_gap_mean,
+            burst_len=args.burst_len,
+            burst_boost_permille=args.burst_boost_permille,
+            storm_gap_mean=args.storm_gap_mean,
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    report = run_scenario(
+        profile,
+        schedule=schedule,
+        algorithm=args.algorithm,
+        n_processes=args.replicas,
+    )
+    print(describe_report(report))
+    if args.verify_replay:
+        replay = run_scenario(
+            profile,
+            schedule=schedule,
+            algorithm=args.algorithm,
+            n_processes=args.replicas,
+        )
+        if render_report(replay) != render_report(report):
+            print(
+                "replay FAILED: second run produced a different report",
+                file=sys.stderr,
+            )
+            return 1
+        print("replay verified: byte-identical report")
+    if args.report_out is not None:
+        path = write_report(report, args.report_out)
+        print(f"report written: {path}")
+    if args.ops_out is not None:
+        # Re-run the cluster state for the final ops view would be
+        # wasteful; the report already carries per-stage rows, so the
+        # ops view here is the fault-free shape of the same cluster.
+        from repro.obs.canonical import canonical_line
+        from repro.service.cluster import StoreCluster
+
+        n = schedule.n_processes if schedule else args.replicas
+        cluster = StoreCluster(n, args.algorithm)
+        cluster.warm_up()
+        args.ops_out.parent.mkdir(parents=True, exist_ok=True)
+        args.ops_out.write_bytes(canonical_line(cluster.ops_view()))
+        print(f"ops view written: {args.ops_out}")
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Handle ``repro-experiments serve``; returns the exit code."""
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    from repro.service.cluster import StoreCluster
+    from repro.service.frontend import (
+        FrontendGroup,
+        ProcNodeBackend,
+        ServiceFrontend,
+    )
+
+    if args.backend == "proc":
+        from repro.gcs.proc.controller import ProcCluster
+
+        with ProcCluster(
+            args.replicas,
+            algorithm=args.algorithm,
+            endpoint_kind="store",
+            tick_interval=args.tick_interval,
+        ) as cluster:
+            cluster.await_stable()
+            frontend = ServiceFrontend(ProcNodeBackend(cluster, 0))
+            address = await frontend.start(args.host, args.port)
+            print(f"replica 0 of {args.replicas} (proc/udp) on "
+                  f"http://{address[0]}:{address[1]}")
+            try:
+                if args.smoke:
+                    return await _smoke({0: address})
+                while True:
+                    await asyncio.sleep(3600)
+            finally:
+                await frontend.stop()
+
+    cluster = StoreCluster(args.replicas, args.algorithm)
+    cluster.apply_stage((tuple(range(args.replicas)),))
+    cluster.warm_up()
+    group = FrontendGroup(cluster, tick_interval=args.tick_interval)
+    peers = await group.start(args.host, args.port)
+    for pid, (host, port) in sorted(peers.items()):
+        print(f"replica {pid} on http://{host}:{port}")
+    try:
+        if args.smoke:
+            return await _smoke(peers)
+        while True:
+            await asyncio.sleep(3600)
+    finally:
+        await group.stop()
+
+
+async def _http(address, method: str, path: str, body: bytes = b""):
+    host, port = address
+    reader, writer = await asyncio.open_connection(host, port)
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(header.split()[1])
+    return status, json.loads(payload.decode("utf-8"))
+
+
+async def _smoke(peers) -> int:
+    """One put/get/healthz pass over HTTP; non-200s fail the boot."""
+    pid, address = sorted(peers.items())[0]
+    checks = []
+    status, answer = await _http(
+        address, "PUT", "/kv/smoke", b'{"value": "ok"}'
+    )
+    checks.append(("put", status in (200, 307), status, answer))
+    status, answer = await _http(address, "GET", "/kv/smoke")
+    checks.append(("get", status == 200, status, answer))
+    status, answer = await _http(address, "GET", "/healthz")
+    checks.append(("healthz", status == 200, status, answer))
+    ok = all(passed for _, passed, _, _ in checks)
+    for name, passed, status, answer in checks:
+        print(f"  {name}: {'ok' if passed else 'FAIL'} "
+              f"({status} {json.dumps(answer, sort_keys=True)})")
+    print("smoke passed" if ok else "smoke FAILED")
+    return 0 if ok else 1

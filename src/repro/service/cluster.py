@@ -1,0 +1,192 @@
+"""A replicated-store cluster with a service-facing surface.
+
+:class:`StoreCluster` wraps :class:`~repro.gcs.adapter
+.PrimaryComponentService` with a :class:`~repro.app.replicated_store
+.ReplicatedStore` endpoint per process, and adds the three things the
+service layer needs on top of the raw substrate:
+
+* a **tick that drains write outboxes fully** — the plain adapter pump
+  offers one application message per GCS event, which is fine for the
+  idle Fig. 2-2 app but starves a replica absorbing dozens of client
+  writes per tick; here every queued broadcast leaves within the tick
+  it was written;
+* **partition staging** from the recorded-schedule vocabulary
+  (:meth:`apply_stage` takes the same component tuples a
+  :class:`~repro.gcs.proc.schedule.RecordedSchedule` carries);
+* a live **ops view**: per-node store stats, primary claimants, the
+  in-progress view-agreement windows from
+  :class:`~repro.obs.causal.gcs.GCSViewSpans`, and a causal blame tag
+  for every component that cannot currently serve writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.app.replicated_store import ReplicatedStore
+from repro.errors import SimulationError
+from repro.gcs.adapter import PrimaryComponentService
+from repro.net.topology import Topology
+from repro.obs.causal.gcs import GCSViewSpans
+from repro.service.blame import classify_unserved
+from repro.types import ProcessId
+
+
+class StoreCluster:
+    """N replicated-store processes on the deterministic GCS substrate."""
+
+    def __init__(
+        self,
+        n_processes: int,
+        algorithm: str = "ykd",
+        check_invariants: bool = True,
+    ) -> None:
+        self.n_processes = n_processes
+        self.algorithm = algorithm
+        self.view_spans = GCSViewSpans()
+        self.service = PrimaryComponentService(
+            algorithm,
+            n_processes,
+            check_invariants=check_invariants,
+            endpoint_factory=ReplicatedStore,
+            observers=[self.view_spans],
+        )
+
+    # ------------------------------------------------------------------
+    # Substrate driving.
+    # ------------------------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        """Lock-step ticks elapsed since the cluster was built."""
+        return self.service.cluster.ticks
+
+    def store(self, pid: ProcessId) -> ReplicatedStore:
+        """The replica endpoint hosted by one process."""
+        return self.service.endpoints[pid]  # type: ignore[return-value]
+
+    def tick(self) -> bool:
+        """One lock-step tick, then flush every replica's write outbox."""
+        moved = self.service.tick()
+        transport = self.service.cluster.transport
+        for pid in sorted(self.service.processes):
+            if self.service.cluster.topology.is_crashed(pid):
+                continue
+            proc = self.service.processes[pid]
+            while proc.endpoint.outbox_size:  # type: ignore[attr-defined]
+                outgoing = proc.endpoint.poll()
+                if outgoing is None:
+                    break
+                proc.stack.multicast(outgoing)
+            for dst, payload in proc.stack.drain_outgoing():
+                transport.send(pid, dst, payload)
+                moved = True
+        return moved
+
+    def warm_up(self, max_ticks: int = 300) -> int:
+        """Tick until quiet (views installed, outboxes empty, nothing
+        in flight), then run the strict stable-point safety checks."""
+        transport = self.service.cluster.transport
+        quiet_needed = transport.quiet_ticks_for_stability
+        quiet = 0
+        for elapsed in range(max_ticks):
+            if self.tick() or transport.pending() > 0:
+                quiet = 0
+            else:
+                quiet += 1
+                if quiet >= quiet_needed:
+                    self.service.checker.check_stable_primary(
+                        self.service.algorithms,
+                        self.service.cluster.topology.components,
+                        self.service.cluster.topology.active_processes(),
+                    )
+                    return elapsed + 1
+        raise SimulationError(
+            f"store cluster did not settle within {max_ticks} ticks"
+        )
+
+    def apply_stage(self, stage: Iterable[Iterable[ProcessId]]) -> None:
+        """Reshape connectivity from recorded-schedule component tuples."""
+        self.service.set_topology(
+            Topology(components=tuple(frozenset(c) for c in stage))
+        )
+
+    # ------------------------------------------------------------------
+    # Service surface.
+    # ------------------------------------------------------------------
+
+    def put(self, pid: ProcessId, key: str, value: Any):
+        """Write through one replica (raises NotPrimaryError outside)."""
+        return self.store(pid).put(key, value)
+
+    def get(self, pid: ProcessId, key: str, default: Any = None) -> Any:
+        """Read a key from one replica (possibly stale outside primary)."""
+        return self.store(pid).get(key, default)
+
+    def snapshot(self, pid: ProcessId) -> Dict[str, Any]:
+        """One replica's full contents."""
+        return self.store(pid).snapshot()
+
+    def primary_claimants(self) -> Tuple[ProcessId, ...]:
+        """Every live process currently claiming the primary."""
+        return self.service.primary_members() or ()
+
+    def component_of(self, pid: ProcessId) -> frozenset:
+        """The connectivity component one process currently sits in."""
+        return self.service.cluster.topology.component_of(pid)
+
+    def views(self) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """Each process's currently installed view membership."""
+        return {
+            pid: tuple(sorted(self.service.cluster.stacks[pid].view_members))
+            for pid in range(self.n_processes)
+        }
+
+    def blame_for(self, pid: ProcessId) -> Optional[str]:
+        """Why a write pinned to ``pid`` would go unserved (None: served)."""
+        claimants = self.primary_claimants()
+        component = self.component_of(pid)
+        if set(claimants) & component:
+            return None
+        return classify_unserved(
+            self.n_processes, component, claimants, self.views()
+        )
+
+    def ops_view(self) -> Dict[str, Any]:
+        """The live operational picture, JSON-ready.
+
+        This is what ``GET /ops`` serves: enough to explain an outage
+        while it happens — who claims the primary, which component is
+        blocked on what, and which view windows are still installing.
+        """
+        claimants = self.primary_claimants()
+        views = self.views()
+        topology = self.service.cluster.topology
+        components = []
+        for component in topology.components:
+            members = sorted(component)
+            if set(claimants) & component:
+                blame = None
+            else:
+                blame = classify_unserved(
+                    self.n_processes, component, claimants, views
+                )
+            components.append({"members": members, "blame": blame})
+        return {
+            "kind": "repro.service/ops",
+            "tick": self.ticks,
+            "algorithm": self.algorithm,
+            "primary": sorted(claimants),
+            "components": components,
+            "nodes": [
+                {
+                    "pid": pid,
+                    "in_primary": self.store(pid).in_primary(),
+                    "view": list(views[pid]),
+                    "component": sorted(self.component_of(pid)),
+                    "store": self.store(pid).stats(),
+                }
+                for pid in range(self.n_processes)
+            ],
+            "view_windows": self.view_spans.open_views(),
+        }

@@ -1,0 +1,294 @@
+"""An asyncio HTTP front end for replicated-store nodes (stdlib only).
+
+One :class:`ServiceFrontend` fronts one replica.  The HTTP dialect is
+deliberately tiny — HTTP/1.1, ``Content-Length`` framing, one request
+per connection — because the point is not a web server but the service
+*contract*:
+
+* ``GET /kv/<key>`` — read from this replica (possibly stale outside
+  the primary; the guarantee protects writes, not reads);
+* ``PUT /kv/<key>`` with a JSON body ``{"value": ...}`` — write; a
+  replica outside the primary answers **307** with a ``Location``
+  naming the current primary's front end (the structured
+  ``NotPrimaryError`` redirect), or **503** with a causal blame tag
+  when no primary exists anywhere;
+* ``GET /snapshot`` — full contents plus the ``(epoch, ops)`` stamp;
+* ``GET /healthz`` — liveness plus the store's operational counters;
+* ``GET /ops`` — the cluster's live ops view (claimants, per-component
+  blame, in-progress view-agreement windows).
+
+Backends are pluggable: :class:`MemoryNodeBackend` fronts a
+:class:`~repro.service.cluster.StoreCluster` replica in-process (a
+:class:`FrontendGroup` runs one front end per replica plus the tick
+driver), and :class:`ProcNodeBackend` fronts one node of a real
+multi-process :class:`~repro.gcs.proc.controller.ProcCluster`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.app.replicated_store import NotPrimaryError
+from repro.obs.canonical import canonical_json
+from repro.types import ProcessId
+
+_REASONS = {200: "OK", 307: "Temporary Redirect", 400: "Bad Request",
+            404: "Not Found", 503: "Service Unavailable"}
+_MAX_BODY = 1 << 20
+
+
+class MemoryNodeBackend:
+    """One in-process replica of a :class:`StoreCluster`."""
+
+    def __init__(self, cluster, pid: ProcessId) -> None:
+        self.cluster = cluster
+        self.pid = pid
+
+    def get(self, key: str) -> Any:
+        """Read a key from this replica's local state."""
+        return self.cluster.get(self.pid, key)
+
+    def put(self, key: str, value: Any):
+        """Write through this replica; raises NotPrimaryError outside."""
+        return list(self.cluster.put(self.pid, key, value).stamp)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full contents plus the replica's ``(epoch, ops)`` stamp."""
+        store = self.cluster.store(self.pid)
+        return {"data": store.snapshot(), "stamp": list(store.stamp)}
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness plus the store's operational counters."""
+        store = self.cluster.store(self.pid)
+        return {
+            "ok": True,
+            "pid": self.pid,
+            "in_primary": store.in_primary(),
+            "store": store.stats(),
+        }
+
+    def ops(self) -> Dict[str, Any]:
+        """The cluster-wide live ops view."""
+        return self.cluster.ops_view()
+
+    def primary_claimants(self) -> Tuple[ProcessId, ...]:
+        """Who currently claims the primary (for redirects)."""
+        return tuple(self.cluster.primary_claimants())
+
+    def blame(self) -> Optional[str]:
+        """Why a write here would go unserved (None when servable)."""
+        return self.cluster.blame_for(self.pid)
+
+
+class ProcNodeBackend:
+    """One node of a real multi-process cluster, over the pipe protocol."""
+
+    def __init__(self, cluster, pid: ProcessId) -> None:
+        self.cluster = cluster
+        self.pid = pid
+
+    def get(self, key: str) -> Any:
+        """Read a key from this node over the pipe protocol."""
+        return self.cluster.get(self.pid, key)
+
+    def put(self, key: str, value: Any):
+        """Write through this node; refusals become NotPrimaryError."""
+        accepted, info = self.cluster.put(self.pid, key, value)
+        if not accepted:
+            raise NotPrimaryError(info)
+        return list(info)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full contents plus the node's ``(epoch, ops)`` stamp."""
+        snap = self.cluster.snapshot(self.pid)
+        return {"data": snap["data"], "stamp": list(snap["stamp"])}
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness plus the node's store counters (one status poll)."""
+        status = self.cluster.statuses()[self.pid]
+        return {
+            "ok": True,
+            "pid": self.pid,
+            "in_primary": status["in_primary"],
+            "store": status.get("store"),
+        }
+
+    def ops(self) -> Dict[str, Any]:
+        """A cross-node ops view assembled from status round-trips."""
+        statuses = self.cluster.statuses()
+        return {
+            "kind": "repro.service/ops",
+            "primary": sorted(
+                pid for pid, status in statuses.items()
+                if status["in_primary"]
+            ),
+            "nodes": [
+                {
+                    "pid": pid,
+                    "in_primary": status["in_primary"],
+                    "view": list(status["view"]),
+                    "store": status.get("store"),
+                }
+                for pid, status in sorted(statuses.items())
+            ],
+        }
+
+    def primary_claimants(self) -> Tuple[ProcessId, ...]:
+        """Who currently claims the primary, per the latest statuses."""
+        return tuple(
+            pid for pid, status in sorted(self.cluster.statuses().items())
+            if status["in_primary"]
+        )
+
+    def blame(self) -> Optional[str]:
+        """No causal blame is available over the pipe protocol."""
+        return None
+
+
+class ServiceFrontend:
+    """The HTTP face of one replica; ``peers`` maps pid → (host, port)."""
+
+    def __init__(
+        self,
+        backend,
+        peers: Optional[Dict[ProcessId, Tuple[str, int]]] = None,
+    ) -> None:
+        self.backend = backend
+        self.peers = peers if peers is not None else {}
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Bind and serve; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        """Close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Request handling.
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            status, payload, headers = await self._respond(reader)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload, headers = 400, {"error": str(exc)}, []
+        body = canonical_json(payload).encode("utf-8") + b"\n"
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(headers)
+        writer.write("\r\n".join(head).encode("ascii") + b"\r\n\r\n" + body)
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(self, reader):
+        request = await reader.readline()
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}, []
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = min(int(value.strip()), _MAX_BODY)
+        body = await reader.readexactly(length) if length else b""
+        return self._route(method, path, body)
+
+    def _route(self, method: str, path: str, body: bytes):
+        if method == "GET" and path == "/healthz":
+            return 200, self.backend.healthz(), []
+        if method == "GET" and path == "/ops":
+            return 200, self.backend.ops(), []
+        if method == "GET" and path == "/snapshot":
+            return 200, self.backend.snapshot(), []
+        if path.startswith("/kv/") and len(path) > len("/kv/"):
+            key = path[len("/kv/"):]
+            if method == "GET":
+                return 200, {"key": key, "value": self.backend.get(key)}, []
+            if method == "PUT":
+                return self._put(key, body)
+        return 404, {"error": f"no route for {method} {path}"}, []
+
+    def _put(self, key: str, body: bytes):
+        try:
+            value = json.loads(body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body must be JSON"}, []
+        if not isinstance(value, dict) or "value" not in value:
+            return 400, {"error": 'body must be {"value": ...}'}, []
+        try:
+            stamp = self.backend.put(key, value["value"])
+            return 200, {"key": key, "stamp": stamp}, []
+        except NotPrimaryError:
+            return self._not_primary(key)
+
+    def _not_primary(self, key: str):
+        claimants = sorted(self.backend.primary_claimants())
+        if claimants:
+            payload = {"error": "not_primary", "primary": claimants}
+            headers = []
+            address = self.peers.get(claimants[0])
+            if address is not None:
+                host, port = address
+                headers.append(f"Location: http://{host}:{port}/kv/{key}")
+            return 307, payload, headers
+        return 503, {"error": "no_primary", "blame": self.backend.blame()}, []
+
+
+class FrontendGroup:
+    """Every replica's front end plus the loop that ticks the cluster."""
+
+    def __init__(self, cluster, tick_interval: float = 0.005) -> None:
+        self.cluster = cluster
+        self.tick_interval = tick_interval
+        self.peers: Dict[ProcessId, Tuple[str, int]] = {}
+        self.frontends: Dict[ProcessId, ServiceFrontend] = {
+            pid: ServiceFrontend(MemoryNodeBackend(cluster, pid), self.peers)
+            for pid in range(cluster.n_processes)
+        }
+        self._ticker: Optional[asyncio.Task] = None
+
+    async def start(self, host: str = "127.0.0.1", base_port: int = 0):
+        """Start every front end plus the tick driver; returns peers."""
+        for pid in sorted(self.frontends):
+            port = base_port + pid if base_port else 0
+            self.peers[pid] = await self.frontends[pid].start(host, port)
+        self._ticker = asyncio.ensure_future(self._run_ticker())
+        return dict(self.peers)
+
+    async def _run_ticker(self) -> None:
+        while True:
+            self.cluster.tick()
+            await asyncio.sleep(self.tick_interval)
+
+    async def stop(self) -> None:
+        """Cancel the ticker and close every front end."""
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+        for frontend in self.frontends.values():
+            await frontend.stop()

@@ -1,0 +1,50 @@
+"""Pickleable ``node_main`` stand-ins for the controller error paths.
+
+The spawn context pickles child targets by module and qualname, so
+these must live in an importable module — monkeypatching
+``repro.gcs.proc.controller.node_main`` with a test-local closure
+would fail to unpickle in the child.  Each stub models one way a real
+node can die on the controller:
+
+* :func:`silent_node_main` — exits before the port rendezvous, so the
+  controller's constructor sees EOF on the pipe;
+* :func:`mute_node_main` — completes the rendezvous (with a fake port;
+  no socket is ever bound) and then drops dead on the first status
+  poll, so ``statuses()`` sees EOF mid-conversation.
+"""
+
+
+def silent_node_main(
+    pid,
+    n_processes,
+    algorithm,
+    transport_kind,
+    link,
+    conn,
+    endpoint_kind="bare",
+    tick_interval=0.005,
+):
+    """A node that dies before ever reporting its port."""
+    conn.close()
+
+
+def mute_node_main(
+    pid,
+    n_processes,
+    algorithm,
+    transport_kind,
+    link,
+    conn,
+    endpoint_kind="bare",
+    tick_interval=0.005,
+):
+    """A node that rendezvouses, then dies on the first status poll."""
+    conn.send(("port", pid, 40000 + pid))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message[0] in ("status", "stop"):
+            conn.close()
+            return

@@ -495,6 +495,36 @@ class TestGCSViewSpans:
         )
         assert result.view_spans == []
 
+    def test_open_views_exposes_live_agreement_windows(self):
+        from types import SimpleNamespace
+
+        from repro.obs.causal import GCSViewSpans, VIEW_AGREED
+
+        spans = GCSViewSpans()
+        cluster = SimpleNamespace(
+            ticks=0,
+            topology=SimpleNamespace(is_crashed=lambda pid: False),
+        )
+        event = SimpleNamespace(view_id=(1, 0), members=(0, 1, 2))
+        spans.on_gcs_event(cluster, 0, event)
+        cluster.ticks = 2
+        spans.on_gcs_event(cluster, 1, event)
+        # Two of three members installed: the window is live, showing
+        # exactly who the cluster is still waiting on.
+        assert spans.open_views() == [{
+            "view_id": [1, 0],
+            "members": [0, 1, 2],
+            "open_tick": 0,
+            "installed": [0, 1],
+        }]
+        cluster.ticks = 5
+        spans.on_gcs_event(cluster, 2, event)
+        # The last member closes the window: nothing live any more,
+        # and the finalized span records the agreement.
+        assert spans.open_views() == []
+        assert spans.spans[-1].outcome == VIEW_AGREED
+        assert spans.spans[-1].close_tick == 5
+
 
 # ----------------------------------------------------------------------
 # The explain CLI.

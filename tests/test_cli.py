@@ -242,3 +242,61 @@ class TestMetricsOut:
         ]) == 0
         assert "not campaign-backed" in capsys.readouterr().out
         assert not path.exists()
+
+
+class TestLoad:
+    def test_load_runs_and_verifies_replay(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main([
+            "load", "--seed", "3", "--clients", "4", "--ticks", "60",
+            "--schedule", "split_restore", "--verify-replay",
+            "--report-out", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "user-perceived availability" in out
+        assert "replay verified: byte-identical report" in out
+        assert report_path.exists()
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "repro.service/availability_report"
+        assert report["schedule"] == "split_restore"
+
+    def test_load_fault_free_baseline(self, capsys):
+        assert main([
+            "load", "--clients", "4", "--ticks", "40",
+            "--schedule", "none",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "100.00%" in out
+
+    def test_load_ops_out(self, capsys, tmp_path):
+        ops_path = tmp_path / "ops.json"
+        assert main([
+            "load", "--clients", "2", "--ticks", "20",
+            "--schedule", "none", "--replicas", "3",
+            "--ops-out", str(ops_path),
+        ]) == 0
+        import json
+
+        ops = json.loads(ops_path.read_text())
+        assert ops["kind"] == "repro.service/ops"
+        assert [node["pid"] for node in ops["nodes"]] == [0, 1, 2]
+
+    def test_load_unknown_schedule_exits_2(self, capsys):
+        assert main(["load", "--schedule", "bogus"]) == 2
+        assert "unknown schedule" in capsys.readouterr().err
+
+    def test_load_bad_profile_exits_2(self, capsys):
+        assert main(["load", "--clients", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_smoke_memory_backend(self, capsys):
+        assert main([
+            "serve", "--replicas", "3", "--smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replica 0 on http://" in out
+        assert "smoke passed" in out

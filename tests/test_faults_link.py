@@ -2,6 +2,7 @@
 
 from repro.faults import LinkFaults
 from repro.faults.link import (
+    delay_matrix,
     delivery_delay,
     delivery_lost,
     loss_matrix,
@@ -96,6 +97,43 @@ class TestDeliveryDelay:
         delays = [delivery_delay(link, r, 0, 1) for r in range(100)]
         assert 0 in delays and max(delays) >= 1
 
+    def test_per_link_override_beats_the_global_knobs(self):
+        # ROADMAP item 4 leftover: only loss had a per-link matrix.
+        link = LinkFaults(link_delay=((0, 1, 1000, 2),))
+        assert delivery_delay(link, 0, 0, 1) in (1, 2)
+        assert delivery_delay(link, 0, 1, 0) == 0
+        assert delivery_delay(link, 0, 0, 2) == 0
+
+    def test_per_link_override_can_exempt_a_link(self):
+        link = LinkFaults(
+            delay_permille=1000, delay_max=3, link_delay=((0, 1, 0, 0),)
+        )
+        assert delivery_delay(link, 0, 0, 1) == 0
+        assert delivery_delay(link, 0, 1, 0) >= 1
+
+    def test_override_bound_is_per_link(self):
+        link = LinkFaults(
+            delay_permille=1000,
+            delay_max=1,
+            link_delay=((2, 0, 1000, 5),),
+            seed=9,
+        )
+        slow = {delivery_delay(link, r, 2, 0) for r in range(200)}
+        assert slow <= {1, 2, 3, 4, 5} and max(slow) > 1
+        assert {delivery_delay(link, r, 0, 1) for r in range(50)} == {1}
+
+    def test_without_overrides_draws_are_unchanged(self):
+        # The override plumbing must not move the pure-hash draws of a
+        # plain global-knob model (bit-exact replay of old plans).
+        base = LinkFaults(delay_permille=700, delay_max=4, seed=13)
+        with_empty = LinkFaults(
+            delay_permille=700, delay_max=4, link_delay=(), seed=13
+        )
+        for r in range(100):
+            assert delivery_delay(base, r, 0, 1) == delivery_delay(
+                with_empty, r, 0, 1
+            )
+
 
 class TestReorderKey:
     def test_off_means_sender_order(self):
@@ -118,4 +156,16 @@ class TestLossMatrix:
         assert matrix[(0, 1)] == 900
         assert matrix[(1, 0)] == 100
         assert (0, 0) not in matrix
+        assert len(matrix) == 6
+
+
+class TestDelayMatrix:
+    def test_matrix_reflects_overrides(self):
+        link = LinkFaults(
+            delay_permille=200, delay_max=1, link_delay=((1, 2, 800, 6),)
+        )
+        matrix = delay_matrix(link, 3)
+        assert matrix[(1, 2)] == (800, 6)
+        assert matrix[(2, 1)] == (200, 1)
+        assert (1, 1) not in matrix
         assert len(matrix) == 6

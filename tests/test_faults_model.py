@@ -65,6 +65,41 @@ class TestLinkFaults:
         assert a == b
         assert a.link_loss == ((0, 1, 50), (2, 0, 100))
 
+    def test_link_delay_override_alone_activates(self):
+        assert LinkFaults(link_delay=((0, 1, 500, 2),)).is_active()
+        # A toothless override (either knob zero) changes nothing.
+        assert not LinkFaults(link_delay=((0, 1, 0, 2),)).is_active()
+        assert not LinkFaults(link_delay=((0, 1, 500, 0),)).is_active()
+
+    def test_link_delay_validated_like_link_loss(self):
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_delay=((2, 2, 100, 1),))
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_delay=((0, 1, 100, 1), (0, 1, 200, 2)))
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_delay=((0, 1, 2000, 1),))
+        with pytest.raises(FaultModelError):
+            LinkFaults(link_delay=((0, 1, 100, -1),))
+
+    def test_link_delay_is_normalized_sorted(self):
+        a = LinkFaults(link_delay=((2, 0, 100, 1), (0, 1, 50, 3)))
+        assert a.link_delay == ((0, 1, 50, 3), (2, 0, 100, 1))
+
+    def test_link_delay_round_trips_through_the_codec(self):
+        model = FaultModel(link=LinkFaults(link_delay=((0, 1, 500, 2),)))
+        data = faults_to_dict(model)
+        assert data == {"link": {"link_delay": [[0, 1, 500, 2]]}}
+        assert faults_from_dict(data) == model
+        # Default stays normalized away: clean plans are byte-identical.
+        assert "link_delay" not in faults_to_dict(
+            FaultModel(link=LinkFaults(loss_permille=10))
+        )["link"]
+
+    def test_link_delay_out_of_range_pid_rejected(self):
+        model = FaultModel(link=LinkFaults(link_delay=((0, 7, 500, 2),)))
+        with pytest.raises(FaultModelError):
+            model.validate_for(3)
+
     def test_relaxing_a_knob_strictly_shrinks_cost(self):
         heavy = LinkFaults(loss_permille=300, delay_permille=200,
                            delay_max=2, reorder=True)

@@ -143,3 +143,62 @@ def test_differential_battery_udp_under_packet_loss():
         link=LinkFaults(loss_permille=100, seed=7),
     )
     assert result.matches, "\n".join(result.divergences())
+
+
+# ----------------------------------------------------------------------
+# Controller error paths (stubbed children; no sockets involved).
+# ----------------------------------------------------------------------
+
+
+class TestControllerErrorPaths:
+    """Dead children must surface as SimulationError, never hangs."""
+
+    def test_child_death_before_rendezvous_is_reported(self, monkeypatch):
+        from repro.gcs.proc import controller as controller_module
+        from tests._proc_stubs import silent_node_main
+
+        monkeypatch.setattr(
+            controller_module, "node_main", silent_node_main
+        )
+        with pytest.raises(
+            SimulationError, match="died before reporting its port"
+        ):
+            ProcCluster(2, algorithm="ykd", start_timeout=10.0)
+
+    @pytest.fixture
+    def mute_cluster(self, monkeypatch):
+        from repro.gcs.proc import controller as controller_module
+        from tests._proc_stubs import mute_node_main
+
+        monkeypatch.setattr(controller_module, "node_main", mute_node_main)
+        cluster = ProcCluster(2, algorithm="ykd", start_timeout=10.0)
+        yield cluster
+        cluster.close()
+
+    def test_rendezvous_with_stub_ports_completes(self, mute_cluster):
+        assert mute_cluster.ports == {0: 40000, 1: 40001}
+
+    def test_child_crash_mid_conversation_is_reported(self, mute_cluster):
+        with pytest.raises(SimulationError, match="died"):
+            mute_cluster.statuses()
+
+    def test_await_stable_zero_timeout_raises_without_polling(
+        self, mute_cluster
+    ):
+        # timeout=0.0 expires before the first poll, so even a cluster
+        # whose children would crash on contact reports the timeout.
+        with pytest.raises(
+            SimulationError, match="did not stabilize within 0.0s"
+        ):
+            mute_cluster.await_stable(timeout=0.0)
+
+    def test_double_close_is_idempotent(self, mute_cluster):
+        mute_cluster.close()
+        mute_cluster.close()  # must be a no-op, not an OSError
+
+    def test_operations_after_close_are_reported_not_hung(
+        self, mute_cluster
+    ):
+        mute_cluster.close()
+        with pytest.raises(SimulationError, match="died"):
+            mute_cluster.statuses()

@@ -1,0 +1,114 @@
+"""End-to-end failover acceptance: 5 replicas, deterministic substrate.
+
+The service tentpole's acceptance story in one file: a five-node
+replicated store on the in-memory GCS substrate is split so that a
+minority loses the primary — its writes must be fenced with
+``NotPrimaryError`` while the majority keeps serving — and after the
+heal every replica must converge on byte-identical snapshots with no
+lost primary writes.
+"""
+
+import pytest
+
+from repro.app.replicated_store import NotPrimaryError
+from repro.obs.canonical import canonical_json
+from repro.service import StoreCluster
+
+FULL = (tuple(range(5)),)
+SPLIT = ((0, 1), (2, 3, 4))
+
+
+def canonical_state(cluster: StoreCluster, pid: int) -> str:
+    """One replica's full state as canonical JSON (data + stamp)."""
+    store = cluster.store(pid)
+    return canonical_json(
+        {"data": store.snapshot(), "stamp": list(store.stamp)}
+    )
+
+
+@pytest.fixture
+def cluster():
+    built = StoreCluster(5)
+    built.apply_stage(FULL)
+    built.warm_up()
+    return built
+
+
+class TestFailover:
+    def test_initial_primary_spans_the_full_universe(self, cluster):
+        assert cluster.primary_claimants() == (0, 1, 2, 3, 4)
+        for pid in range(5):
+            assert cluster.store(pid).in_primary()
+
+    def test_minority_writes_are_fenced_majority_keeps_serving(
+        self, cluster
+    ):
+        cluster.put(0, "pre", "split")
+        cluster.warm_up()
+        cluster.apply_stage(SPLIT)
+        cluster.warm_up()
+        # The majority re-formed the primary; the minority lost it.
+        assert cluster.primary_claimants() == (2, 3, 4)
+        for pid in (0, 1):
+            with pytest.raises(NotPrimaryError):
+                cluster.put(pid, "minority", pid)
+            assert cluster.store(pid).writes_refused >= 1
+        for pid in (2, 3, 4):
+            cluster.put(pid, f"major{pid}", pid)
+        cluster.warm_up()
+        # Majority writes replicated within the majority component only.
+        for pid in (2, 3, 4):
+            assert cluster.get(pid, "major2") == 2
+        assert cluster.get(0, "major2") is None
+        # The pre-split write survives everywhere.
+        for pid in range(5):
+            assert cluster.get(pid, "pre") == "split"
+
+    def test_post_heal_snapshots_converge_byte_identically(self, cluster):
+        cluster.put(3, "epoch0", "first")
+        cluster.warm_up()
+        cluster.apply_stage(SPLIT)
+        cluster.warm_up()
+        # Concurrent same-key writes tie on stamp; the deterministic
+        # (stamp, origin) tag makes the higher origin win everywhere.
+        cluster.put(2, "failover", "second")
+        cluster.put(4, "failover", "third")
+        cluster.warm_up()
+        cluster.apply_stage(FULL)
+        cluster.warm_up()
+        states = {canonical_state(cluster, pid) for pid in range(5)}
+        assert len(states) == 1, "replicas diverged after the heal"
+        # No lost primary writes: both epochs' data survived the merge.
+        for pid in range(5):
+            assert cluster.get(pid, "epoch0") == "first"
+            assert cluster.get(pid, "failover") == "third"
+        # The minority adopted the majority's history via sync offers.
+        assert any(
+            cluster.store(pid).syncs_adopted > 0 for pid in (0, 1)
+        )
+
+    def test_stamps_advance_across_the_failover_epoch(self, cluster):
+        cluster.put(0, "a", 1)
+        cluster.warm_up()
+        stamp_before = cluster.store(0).stamp
+        cluster.apply_stage(SPLIT)
+        cluster.warm_up()
+        cluster.put(3, "b", 2)
+        cluster.warm_up()
+        cluster.apply_stage(FULL)
+        cluster.warm_up()
+        # The failover write carries a strictly greater stamp, so the
+        # lexicographic sync rule cannot resurrect pre-split state.
+        assert cluster.store(0).stamp > stamp_before
+
+    def test_fault_free_run_never_fences_a_write(self, cluster):
+        for tick in range(10):
+            pid = tick % 5
+            cluster.put(pid, f"k{tick}", tick)
+            cluster.tick()
+        cluster.warm_up()
+        assert all(
+            cluster.store(pid).writes_refused == 0 for pid in range(5)
+        )
+        states = {canonical_state(cluster, pid) for pid in range(5)}
+        assert len(states) == 1

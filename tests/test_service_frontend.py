@@ -1,0 +1,211 @@
+"""The HTTP face of the service: routes, redirects and blame payloads.
+
+Exercises real sockets through real ``asyncio`` servers — no HTTP
+library, no pytest plugin — with the cluster ticked deterministically
+from the test (writes apply synchronously at the replica, so requests
+need no concurrent tick driver).  The contract under test:
+
+* 200s for put/get/snapshot/healthz/ops on a healthy primary replica;
+* **307** with a ``Location`` naming the current primary when a fenced
+  minority replica refuses a write;
+* **503** carrying the causal blame category when no primary exists
+  anywhere in the universe;
+* 400/404 for malformed bodies and unknown routes.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import StoreCluster
+from repro.service.frontend import (
+    FrontendGroup,
+    MemoryNodeBackend,
+    ServiceFrontend,
+)
+
+FULL5 = (tuple(range(5)),)
+SPLIT5 = ((0, 1), (2, 3, 4))
+SINGLETONS5 = tuple((pid,) for pid in range(5))
+
+
+async def http(address, method, path, body=b""):
+    """A minimal HTTP/1.1 client: returns (status, headers, payload)."""
+    host, port = address
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode("ascii")
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(payload.decode("utf-8"))
+
+
+def serve(cluster, pids, requests):
+    """Boot one frontend per pid (shared peers), run the coroutine."""
+
+    async def body():
+        peers = {}
+        frontends = {
+            pid: ServiceFrontend(MemoryNodeBackend(cluster, pid), peers)
+            for pid in pids
+        }
+        for pid, frontend in frontends.items():
+            peers[pid] = await frontend.start()
+        try:
+            return await requests(peers)
+        finally:
+            for frontend in frontends.values():
+                await frontend.stop()
+
+    return asyncio.run(body())
+
+
+@pytest.fixture
+def cluster():
+    built = StoreCluster(5)
+    built.apply_stage(FULL5)
+    built.warm_up()
+    return built
+
+
+class TestRoutes:
+    def test_put_get_snapshot_roundtrip(self, cluster):
+        async def requests(peers):
+            status, _, answer = await http(
+                peers[0], "PUT", "/kv/alpha", b'{"value": 41}'
+            )
+            assert status == 200
+            assert answer["key"] == "alpha"
+            assert answer["stamp"] == list(cluster.store(0).stamp)
+            cluster.warm_up()  # replicate before reading elsewhere
+            status, _, answer = await http(peers[3], "GET", "/kv/alpha")
+            assert status == 200
+            assert answer == {"key": "alpha", "value": 41}
+            status, _, answer = await http(peers[3], "GET", "/snapshot")
+            assert status == 200
+            assert answer["data"] == {"alpha": 41}
+            assert answer["stamp"] == list(cluster.store(3).stamp)
+
+        serve(cluster, range(5), requests)
+
+    def test_healthz_and_ops_views(self, cluster):
+        async def requests(peers):
+            status, headers, answer = await http(
+                peers[2], "GET", "/healthz"
+            )
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+            assert answer["ok"] is True
+            assert answer["pid"] == 2
+            assert answer["in_primary"] is True
+            assert answer["store"]["writes_refused"] == 0
+            status, _, answer = await http(peers[2], "GET", "/ops")
+            assert status == 200
+            assert answer["kind"] == "repro.service/ops"
+            assert answer["primary"] == [0, 1, 2, 3, 4]
+            assert [node["pid"] for node in answer["nodes"]] == [
+                0, 1, 2, 3, 4,
+            ]
+
+        serve(cluster, range(5), requests)
+
+    def test_unknown_routes_and_bad_bodies(self, cluster):
+        async def requests(peers):
+            status, _, answer = await http(peers[0], "GET", "/nope")
+            assert status == 404
+            assert "no route" in answer["error"]
+            status, _, _ = await http(peers[0], "PUT", "/kv/x", b"not json")
+            assert status == 400
+            status, _, answer = await http(
+                peers[0], "PUT", "/kv/x", b'{"wrong": 1}'
+            )
+            assert status == 400
+            assert "value" in answer["error"]
+            status, _, _ = await http(peers[0], "DELETE", "/kv/x")
+            assert status == 404
+
+        serve(cluster, range(5), requests)
+
+
+class TestRedirects:
+    def test_minority_put_redirects_to_the_primary(self, cluster):
+        cluster.apply_stage(SPLIT5)
+        cluster.warm_up()
+
+        async def requests(peers):
+            status, headers, answer = await http(
+                peers[0], "PUT", "/kv/fenced", b'{"value": 1}'
+            )
+            assert status == 307
+            assert answer == {"error": "not_primary", "primary": [2, 3, 4]}
+            host, port = peers[2]
+            assert headers["location"] == f"http://{host}:{port}/kv/fenced"
+            # Following the redirect serves the write.
+            status, _, answer = await http(
+                peers[2], "PUT", "/kv/fenced", b'{"value": 1}'
+            )
+            assert status == 200
+            assert answer["key"] == "fenced"
+
+        serve(cluster, range(5), requests)
+
+    def test_no_primary_anywhere_is_503_with_blame(self, cluster):
+        cluster.apply_stage(SINGLETONS5)
+        for _ in range(80):
+            cluster.tick()
+        assert cluster.primary_claimants() == ()
+
+        async def requests(peers):
+            status, headers, answer = await http(
+                peers[0], "PUT", "/kv/doomed", b'{"value": 1}'
+            )
+            assert status == 503
+            assert "location" not in headers
+            assert answer["error"] == "no_primary"
+            assert answer["blame"] == "no_quorum_possible"
+
+        serve(cluster, range(5), requests)
+
+
+class TestFrontendGroup:
+    def test_group_serves_while_its_ticker_replicates(self):
+        async def body():
+            cluster = StoreCluster(3)
+            cluster.apply_stage((tuple(range(3)),))
+            cluster.warm_up()
+            group = FrontendGroup(cluster, tick_interval=0.001)
+            peers = await group.start()
+            try:
+                assert sorted(peers) == [0, 1, 2]
+                status, _, _ = await http(
+                    peers[0], "PUT", "/kv/g", b'{"value": "v"}'
+                )
+                assert status == 200
+                # The background ticker replicates without any manual
+                # warm_up from the client side.
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    _, _, answer = await http(peers[2], "GET", "/kv/g")
+                    if answer["value"] == "v":
+                        break
+                assert answer["value"] == "v"
+                status, _, answer = await http(peers[1], "GET", "/healthz")
+                assert status == 200 and answer["ok"] is True
+            finally:
+                await group.stop()
+
+        asyncio.run(body())

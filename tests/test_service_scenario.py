@@ -1,0 +1,162 @@
+"""The scenario runner, the blame classifier and the canonical report.
+
+Pins the tentpole's acceptance criteria: a fault-free schedule yields
+100% user-perceived availability; the same seeded scenario replays to
+a byte-identical report; and every unserved request lands in exactly
+one causal blame category whose counts sum to the unserved total.
+"""
+
+import pytest
+
+from repro.gcs.proc.schedule import STOCK_SCHEDULES, generated_schedule
+from repro.obs.causal.spans import (
+    BLAME_AMBIGUOUS,
+    BLAME_IN_FLIGHT,
+    BLAME_NO_QUORUM,
+)
+from repro.service import (
+    BLAME_PRIMARY_UNREACHABLE,
+    LoadProfile,
+    REPORT_KIND,
+    SERVICE_BLAME_CATEGORIES,
+    classify_unserved,
+    describe_report,
+    render_report,
+    run_scenario,
+    workload,
+    workload_digest,
+)
+from repro.service.scenario import stage_start_ticks
+
+PROFILE = LoadProfile(clients=4, ticks=60, seed=3)
+
+
+class TestBlameClassifier:
+    VIEWS_AGREED = {0: (0, 1), 1: (0, 1), 2: (2, 3, 4), 3: (2, 3, 4),
+                    4: (2, 3, 4)}
+
+    def test_reachable_claimant_is_an_install_race(self):
+        category = classify_unserved(
+            5, {2, 3, 4}, {2, 3, 4}, self.VIEWS_AGREED
+        )
+        assert category == BLAME_IN_FLIGHT
+
+    def test_unreachable_claimant_blames_the_partition(self):
+        category = classify_unserved(5, {0, 1}, {2, 3, 4}, self.VIEWS_AGREED)
+        assert category == BLAME_PRIMARY_UNREACHABLE
+
+    def test_minority_side_can_never_form_a_primary(self):
+        assert classify_unserved(
+            5, {0, 1}, (), self.VIEWS_AGREED
+        ) == BLAME_NO_QUORUM
+        # Exactly half is still not a quorum.
+        assert classify_unserved(
+            4, {0, 1}, (), {0: (0, 1), 1: (0, 1)}
+        ) == BLAME_NO_QUORUM
+
+    def test_disagreeing_views_mean_a_transition_in_flight(self):
+        views = {2: (0, 1, 2, 3, 4), 3: (2, 3, 4), 4: (2, 3, 4)}
+        assert classify_unserved(
+            5, {2, 3, 4}, (), views
+        ) == BLAME_IN_FLIGHT
+
+    def test_agreed_majority_without_a_claimant_is_ambiguous(self):
+        views = {2: (2, 3, 4), 3: (2, 3, 4), 4: (2, 3, 4)}
+        assert classify_unserved(
+            5, {2, 3, 4}, (), views
+        ) == BLAME_AMBIGUOUS
+
+
+class TestFaultFreeBaseline:
+    def test_fault_free_schedule_is_100_percent_available(self):
+        # The pinned acceptance criterion: with no partitions, every
+        # single request is served — user-perceived availability is
+        # exactly 100%, matching round-level.
+        report = run_scenario(PROFILE)
+        availability = report["availability"]
+        assert availability["user_perceived_percent"] == 100.0
+        assert availability["round_level_percent"] == 100.0
+        assert report["requests"]["unserved"]["total"] == 0
+        assert report["schedule"] is None
+
+
+class TestPartitionedScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scenario(
+            PROFILE, schedule=STOCK_SCHEDULES["split_restore"]
+        )
+
+    def test_report_identity_and_workload_digest(self, report):
+        assert report["kind"] == REPORT_KIND
+        assert report["workload_digest"] == workload_digest(PROFILE)
+        assert report["profile"] == PROFILE.to_dict()
+        assert report["schedule"] == "split_restore"
+
+    def test_every_request_is_accounted_for(self, report):
+        requests = report["requests"]
+        served = requests["served"]
+        total_served = (
+            served["gets"] + served["puts_direct"] + served["puts_redirected"]
+        )
+        assert total_served + requests["unserved"]["total"] == (
+            requests["total"]
+        )
+        assert requests["total"] == len(workload(PROFILE))
+
+    def test_blame_breakdown_covers_every_category_and_sums(self, report):
+        by_category = report["requests"]["unserved"]["by_category"]
+        assert tuple(by_category) == SERVICE_BLAME_CATEGORIES
+        assert sum(by_category.values()) == (
+            report["requests"]["unserved"]["total"]
+        )
+        # The split fences a minority while a primary exists elsewhere:
+        # the category round-level accounting cannot see must show up.
+        assert by_category[BLAME_PRIMARY_UNREACHABLE] > 0
+
+    def test_user_perceived_availability_undershoots_round_level(
+        self, report
+    ):
+        availability = report["availability"]
+        assert (
+            availability["user_perceived_percent"]
+            < availability["round_level_percent"]
+        )
+
+    def test_stage_rows_tile_the_run(self, report):
+        rows = report["stages"]
+        assert [row["stage"] for row in rows] == [0, 1, 2]
+        assert sum(row["ticks"] for row in rows) == PROFILE.ticks
+        assert sum(row["requests"] for row in rows) == (
+            report["requests"]["total"]
+        )
+        assert sum(row["unserved"] for row in rows) == (
+            report["requests"]["unserved"]["total"]
+        )
+
+    def test_replay_is_byte_identical(self, report):
+        replay = run_scenario(
+            PROFILE, schedule=STOCK_SCHEDULES["split_restore"]
+        )
+        assert render_report(replay) == render_report(report)
+
+    def test_describe_is_terminal_friendly(self, report):
+        text = describe_report(report)
+        assert "user-perceived availability" in text
+        assert "split_restore" in text
+
+
+class TestGeneratedSchedules:
+    def test_generated_schedule_runs_and_replays(self):
+        schedule = generated_schedule(4)
+        first = run_scenario(PROFILE, schedule=schedule)
+        second = run_scenario(PROFILE, schedule=schedule)
+        assert render_report(first) == render_report(second)
+        assert first["n_processes"] == schedule.n_processes
+
+
+class TestStageTiming:
+    def test_stage_starts_partition_the_tick_range(self):
+        assert stage_start_ticks(3, 60) == [0, 20, 40]
+        assert stage_start_ticks(1, 10) == [0]
+        assert stage_start_ticks(4, 10) == [0, 2, 5, 7]
