@@ -408,6 +408,59 @@ def _run_service(quick: bool) -> WorkloadResult:
     )
 
 
+# ----------------------------------------------------------------------
+# service_obs: the identical service workload with the distributed
+# telemetry plane fully engaged — per-replica flight recorders, trace
+# minting on every request, the scenario-level metric notes, and the
+# collector pull at the end of each run.  Comparing its rounds/sec
+# against ``service`` prices the flight-recorder overhead (the CI gate
+# requires the recorder-*off* path to stay within 5% of its committed
+# baseline); the run doubles as the telemetry replay oracle: the
+# aggregated stream must replay byte-identically, trace ids included.
+# ----------------------------------------------------------------------
+
+
+def _run_service_obs(quick: bool) -> WorkloadResult:
+    from repro.gcs.proc.schedule import STOCK_SCHEDULES
+    from repro.obs.telemetry import TelemetryCollector
+    from repro.service.load import LoadProfile
+    from repro.service.scenario import run_scenario
+
+    # Quick mode runs the full workload, for the same reason as the
+    # ``service`` scenario it mirrors.
+    repeats = 8
+    schedule = STOCK_SCHEDULES["split_restore"]
+    requests = 0
+    events = 0
+    first_stream = ""
+    for seed in range(repeats):
+        profile = LoadProfile(clients=8, ticks=240, seed=seed)
+        collector = TelemetryCollector()
+        report = run_scenario(
+            profile, schedule=schedule, collector=collector
+        )
+        requests += report["requests"]["total"]
+        events += len(collector.aggregated_jsonl().splitlines())
+        if seed == 0:
+            first_stream = collector.aggregated_jsonl()
+    replay = TelemetryCollector()
+    run_scenario(
+        LoadProfile(clients=8, ticks=240, seed=0),
+        schedule=schedule,
+        collector=replay,
+    )
+    if replay.aggregated_jsonl() != first_stream:
+        raise BenchError("service_obs telemetry replay diverged")
+    return WorkloadResult(
+        rounds=requests,
+        detail=(
+            f"{repeats} seeded 240-tick workloads over split_restore "
+            f"with flight recorders on, {events} telemetry lines, "
+            "aggregated stream replay byte-identical"
+        ),
+    )
+
+
 SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -468,6 +521,15 @@ SCENARIOS: Dict[str, BenchScenario] = {
                 "(work unit: requests routed)"
             ),
             runner=_run_service,
+        ),
+        BenchScenario(
+            name="service_obs",
+            description=(
+                "the service workload with per-replica flight "
+                "recorders, trace minting and the collector pull "
+                "attached (telemetry overhead)"
+            ),
+            runner=_run_service_obs,
         ),
         BenchScenario(
             name="explore",

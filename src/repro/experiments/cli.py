@@ -55,7 +55,12 @@ from repro.experiments.spec import SCALES, SPECS, all_spec_ids, get_scale
 from repro.sim.campaign import CaseConfig, run_case
 from repro.sim.driver import DriverLoop
 from repro.sim.explore import explore
-from repro.service.cli import add_service_parsers, run_load, run_serve
+from repro.service.cli import (
+    add_service_parsers,
+    run_load,
+    run_serve,
+    run_telemetry,
+)
 from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceRecorder, render_timeline
 
@@ -1014,6 +1019,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_serve(args)
     if args.command == "load":
         return run_load(args)
+    if args.command == "telemetry":
+        return run_telemetry(args)
     if args.command == "gcs":
         from repro.gcs.proc.__main__ import main as gcs_main
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -56,6 +57,8 @@ class ProcCluster:
         endpoint_kind: str = "bare",
         tick_interval: float = 0.005,
         start_timeout: float = 30.0,
+        telemetry_dir: Optional[str] = None,
+        flight_capacity: int = 2048,
     ) -> None:
         if transport not in NETWORK_TRANSPORTS:
             raise UnsupportedTransportConfig(
@@ -74,6 +77,9 @@ class ProcCluster:
         self.algorithm = algorithm
         self.transport = transport
         self.tick_interval = tick_interval
+        self.telemetry_dir = (
+            str(telemetry_dir) if telemetry_dir is not None else None
+        )
         self._closed = False
         ctx = multiprocessing.get_context("spawn")
         self._conns: Dict[ProcessId, Any] = {}
@@ -91,6 +97,8 @@ class ProcCluster:
                     child_conn,
                     endpoint_kind,
                     tick_interval,
+                    self.telemetry_dir,
+                    flight_capacity,
                 ),
                 daemon=True,
                 name=f"gcs-node-{pid}",
@@ -219,9 +227,15 @@ class ProcCluster:
     # Replicated-store operations (endpoint_kind="store" clusters).
     # ------------------------------------------------------------------
 
-    def put(self, pid: ProcessId, key: str, value: Any) -> Tuple[bool, Any]:
+    def put(
+        self,
+        pid: ProcessId,
+        key: str,
+        value: Any,
+        trace: Optional[str] = None,
+    ) -> Tuple[bool, Any]:
         """Write through one replica → (accepted, stamp-or-reason)."""
-        self._conns[pid].send(("put", key, value))
+        self._conns[pid].send(("put", key, value, trace))
         message = self._recv(pid)
         if message[0] == "put_ok":
             return True, message[2]
@@ -229,9 +243,11 @@ class ProcCluster:
             return False, message[2]
         raise SimulationError(f"node {pid} answered {message[0]!r} to put")
 
-    def get(self, pid: ProcessId, key: str) -> Any:
+    def get(
+        self, pid: ProcessId, key: str, trace: Optional[str] = None
+    ) -> Any:
         """Read a key from one replica (possibly stale outside primary)."""
-        self._conns[pid].send(("get", key))
+        self._conns[pid].send(("get", key, trace))
         message = self._recv(pid)
         self._require_ok(pid, message, "get_ok")
         return message[2]
@@ -242,6 +258,36 @@ class ProcCluster:
         message = self._recv(pid)
         self._require_ok(pid, message, "snapshot")
         return message[2]
+
+    # ------------------------------------------------------------------
+    # Telemetry (the scrape plane's pipe pull).
+    # ------------------------------------------------------------------
+
+    def node_telemetry(self, pid: ProcessId) -> Dict[str, Any]:
+        """One node's flight-recorder snapshot (events, drop counts)."""
+        self._conns[pid].send(("telemetry",))
+        message = self._recv(pid)
+        self._require_ok(pid, message, "telemetry")
+        return message[2]
+
+    def collect_telemetry(self) -> Dict[ProcessId, Dict[str, Any]]:
+        """Every live node's flight snapshot, keyed by pid."""
+        return {
+            pid: self.node_telemetry(pid) for pid in sorted(self._conns)
+        }
+
+    def crash_dumps(self) -> List[Path]:
+        """Post-mortem flight dumps written so far (telemetry_dir only)."""
+        if self.telemetry_dir is None:
+            return []
+        from repro.obs.telemetry.recorder import crash_dump_path
+
+        return [
+            path
+            for pid in range(self.n_processes)
+            for path in [crash_dump_path(self.telemetry_dir, pid)]
+            if path.exists()
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle.

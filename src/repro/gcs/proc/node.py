@@ -12,10 +12,20 @@ controller speaks a small tuple protocol over a multiprocessing pipe:
   peers this node can currently reach (a recorded partition schedule's
   view of the world);
 * ``("status",)`` → ``("status", pid, {...})`` — current view members,
-  view id, primary claim and traffic counters;
-* ``("put", key, value)`` / ``("get", key)`` / ``("snapshot",)`` —
-  replicated-store operations (store endpoints only);
+  view id, primary claim, traffic counters and aggregate ARQ counters;
+* ``("put", key, value[, trace])`` / ``("get", key[, trace])`` /
+  ``("snapshot",)`` — replicated-store operations (store endpoints
+  only); the optional trace id is recorded with the store op;
+* ``("telemetry",)`` → ``("telemetry", pid, {...})`` — the node's
+  flight-recorder snapshot (the scrape plane's pipe pull);
 * ``("stop",)`` — shut down cleanly.
+
+Every node carries a :class:`~repro.obs.telemetry.recorder
+.FlightRecorder`: view installs (via the stack's event sink), ARQ
+counter movements, store ops with their trace ids.  When the node dies
+on an unhandled exception and the controller passed a
+``telemetry_dir``, the ring is dumped there as a post-mortem before
+the error crosses the pipe — dead children leave a readable black box.
 
 The node loop is the single-process twin of
 :meth:`repro.gcs.stack.GCSCluster.tick`: drain the transport, advance
@@ -33,8 +43,9 @@ from repro.core.view import initial_view
 from repro.errors import ReproError
 from repro.faults.model import LinkFaults
 from repro.gcs.adapter import AlgorithmOnGCS
-from repro.gcs.stack import GCStack
+from repro.gcs.stack import GCStack, ViewInstalled
 from repro.gcs.transport.asyncnet import TcpTransport, UdpTransport
+from repro.obs.telemetry.recorder import FlightRecorder, write_crash_dump
 from repro.types import ProcessId
 
 
@@ -68,20 +79,32 @@ def node_main(
     conn: Any,
     endpoint_kind: str = "bare",
     tick_interval: float = 0.005,
+    telemetry_dir: Optional[str] = None,
+    flight_capacity: int = 2048,
 ) -> None:
     """Entry point of one spawned group member (runs until ``stop``)."""
     transport = None
+    recorder = FlightRecorder(pid, capacity=flight_capacity)
     try:
         universe = frozenset(range(n_processes))
         transport = _build_transport(transport_kind, link, tick_interval)
         transport.bind(universe, frozenset({pid}))
         conn.send(("port", pid, transport.ports[pid]))
 
-        stack = GCStack(pid, universe)
+        def sink(_sink_pid: ProcessId, event: Any) -> None:
+            if isinstance(event, ViewInstalled):
+                recorder.record(
+                    "view_change",
+                    view_id=list(event.view_id),
+                    members=sorted(event.members),
+                )
+
+        stack = GCStack(pid, universe, event_sink=sink)
         endpoint = _build_endpoint(endpoint_kind, algorithm, pid, n_processes)
         process = AlgorithmOnGCS(endpoint, stack)
         reachable = universe
         transport.set_reachable(pid, reachable)
+        arq_seen = {}
 
         running = True
         rendezvoused = False
@@ -95,6 +118,7 @@ def node_main(
                 elif kind == "reachable":
                     reachable = frozenset(command[1]) | {pid}
                     transport.set_reachable(pid, reachable)
+                    recorder.record("reachable", peers=sorted(reachable))
                 elif kind == "status":
                     view = stack.membership.current_view
                     status = {
@@ -107,17 +131,38 @@ def node_main(
                             transport.dropped_count,
                         ),
                         "pending": transport.pending(),
+                        "arq": transport.arq_stats(),
                     }
                     if hasattr(endpoint, "stats"):
                         status["store"] = endpoint.stats()
                     conn.send(("status", pid, status))
+                elif kind == "telemetry":
+                    conn.send(("telemetry", pid, recorder.snapshot()))
                 elif kind == "put":
+                    trace = command[3] if len(command) > 3 else None
                     try:
                         op = endpoint.put(command[1], command[2])
+                        recorder.record(
+                            "store_put",
+                            key=command[1],
+                            accepted=True,
+                            stamp=list(op.stamp),
+                            trace=trace,
+                        )
                         conn.send(("put_ok", pid, op.stamp))
                     except ReproError as exc:
+                        recorder.record(
+                            "store_put",
+                            key=command[1],
+                            accepted=False,
+                            trace=trace,
+                        )
                         conn.send(("put_refused", pid, str(exc)))
                 elif kind == "get":
+                    trace = command[2] if len(command) > 2 else None
+                    recorder.record(
+                        "store_get", key=command[1], trace=trace
+                    )
                     conn.send(("get_ok", pid, endpoint.get(command[1])))
                 elif kind == "snapshot":
                     conn.send(
@@ -144,13 +189,25 @@ def node_main(
             process.pump()
             for dst, payload in stack.drain_outgoing():
                 transport.send(pid, dst, payload)
+            arq_now = transport.arq_stats()
+            if arq_now != arq_seen:
+                moved = {
+                    key: value - arq_seen.get(key, 0)
+                    for key, value in arq_now.items()
+                    if value != arq_seen.get(key, 0)
+                }
+                recorder.record("arq", **moved)
+                arq_seen = arq_now
             transport.idle_wait()
         conn.send(("stopped", pid))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         pass  # the controller went away; just exit
     except Exception:  # pragma: no cover - surfaced to the controller
+        error = traceback.format_exc()
+        if telemetry_dir is not None:
+            write_crash_dump(recorder, telemetry_dir, error)
         try:
-            conn.send(("error", pid, traceback.format_exc()))
+            conn.send(("error", pid, error))
         except (OSError, ValueError):
             pass
     finally:

@@ -51,7 +51,10 @@ class ArqSender:
         #: seq → (body, last transmission time or None if never sent).
         self._unacked: Dict[int, Tuple[Any, Optional[float]]] = {}
         self._base = 0  # lowest unacknowledged seq
+        self.transmissions = 0
         self.retransmissions = 0
+        self.acks_received = 0
+        self.hold_backs = 0
 
     def queue(self, body: Any) -> int:
         """Accept one datagram body for reliable delivery; returns seq."""
@@ -73,6 +76,7 @@ class ArqSender:
                 break
             body, last_sent = self._unacked[seq]
             if last_sent is None or now - last_sent >= self.rto:
+                self.transmissions += 1
                 if last_sent is not None:
                     self.retransmissions += 1
                 self._unacked[seq] = (body, now)
@@ -89,6 +93,7 @@ class ArqSender:
 
     def on_ack(self, ack: int) -> None:
         """A cumulative ack arrived: everything below ``ack`` is done."""
+        self.acks_received += 1
         for seq in [s for s in self._unacked if s < ack]:
             del self._unacked[seq]
         self._base = max(self._base, ack)
@@ -102,8 +107,20 @@ class ArqSender:
         destination becomes unreachable: transmission pauses without
         losing the queue, and resumes from the base when reachability
         returns)."""
-        for seq, (body, _) in list(self._unacked.items()):
+        for seq, (body, last_sent) in list(self._unacked.items()):
+            if last_sent is not None:
+                self.hold_backs += 1
             self._unacked[seq] = (body, None)
+
+    def stats(self) -> Dict[str, int]:
+        """The sender's counters as a JSON-ready dict."""
+        return {
+            "transmissions": self.transmissions,
+            "retransmissions": self.retransmissions,
+            "acks_received": self.acks_received,
+            "hold_backs": self.hold_backs,
+            "unacked": len(self._unacked),
+        }
 
 
 class ArqReceiver:
@@ -117,6 +134,8 @@ class ArqReceiver:
         #: Out-of-order frames buffered until the gap fills.
         self._buffer: Dict[int, Any] = {}
         self.duplicates = 0
+        self.delivered = 0
+        self.acks_sent = 0
 
     def on_data(self, frame: Dict[str, Any]) -> Tuple[List[Any], Dict[str, Any]]:
         """Process one data frame → (deliverable bodies, ack frame).
@@ -138,11 +157,22 @@ class ArqReceiver:
                 self._expected += 1
         # Beyond twice the window: drop silently; the sender's window
         # can never legitimately reach there, so it is garbage.
+        self.delivered += len(deliverable)
+        self.acks_sent += 1
         return deliverable, {
             "kind": "ack",
             "src": self.dst,
             "dst": self.src,
             "ack": self._expected,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """The receiver's counters as a JSON-ready dict."""
+        return {
+            "delivered": self.delivered,
+            "duplicates": self.duplicates,
+            "acks_sent": self.acks_sent,
+            "buffered": len(self._buffer),
         }
 
 
@@ -182,3 +212,40 @@ class ReliableLinkMap:
     def retransmissions(self) -> int:
         """Total timeout retransmissions across every sender."""
         return sum(s.retransmissions for s in self._senders.values())
+
+    def hold_back_towards(self, src: int, dsts: "frozenset[int]") -> None:
+        """Pause every ``src`` → ``dst in dsts`` link (partition onset).
+
+        Each held sender keeps its queue and resumes from its base when
+        reachability returns and the pump flushes it again.
+        """
+        for (sender_src, sender_dst), sender in self._senders.items():
+            if sender_src == src and sender_dst in dsts:
+                sender.hold_back()
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate ARQ counters across every link (the read path).
+
+        This is what a node's status report and ``/healthz`` surface:
+        total (re)transmissions, cumulative acks in both directions,
+        hold-backs from partition onsets, and the live queue depths.
+        """
+        totals = {
+            "links": len(self._senders),
+            "transmissions": 0,
+            "retransmissions": 0,
+            "acks_received": 0,
+            "hold_backs": 0,
+            "unacked": 0,
+            "delivered": 0,
+            "duplicates": 0,
+            "acks_sent": 0,
+            "buffered": 0,
+        }
+        for sender in self._senders.values():
+            for key, value in sender.stats().items():
+                totals[key] += value
+        for receiver in self._receivers.values():
+            for key, value in receiver.stats().items():
+                totals[key] += value
+        return totals

@@ -217,11 +217,33 @@ class _AsyncTransportBase(Transport):
                 self.set_reachable(pid, topology.component_of(pid))
 
     def set_reachable(self, pid: ProcessId, reachable: Members) -> None:
-        self._reachable[pid] = frozenset(reachable) | {pid}
+        previous = self._reachable.get(pid)
+        allowed = frozenset(reachable) | {pid}
+        self._reachable[pid] = allowed
+        # Partition onset: park the in-flight frames of every link that
+        # just lost its destination.  The ARQ keeps the queue and marks
+        # the frames never-sent, so no retransmission timer burns while
+        # the partition lasts and transmission resumes from the base
+        # when reachability returns.  Link state lives on the loop
+        # thread; marshal the hold over.
+        lost = (previous or self.universe or frozenset()) - allowed
+        if lost and self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                self._links.hold_back_towards, pid, lost
+            )
 
     def _can_reach(self, src: ProcessId, dst: ProcessId) -> bool:
         allowed = self._reachable.get(src)
         return allowed is None or dst in allowed
+
+    def arq_stats(self) -> Dict[str, int]:
+        """Aggregate ARQ counters across this transport's links.
+
+        Counters are plain ints mutated on the loop thread; reading
+        them from the driving thread is a consistent-enough dirty read
+        for telemetry (each value is internally exact).
+        """
+        return self._links.stats()
 
     # ------------------------------------------------------------------
     # ARQ pump and fault injection (loop thread only).

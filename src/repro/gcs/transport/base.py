@@ -124,6 +124,16 @@ class Transport(ABC):
     def idle_wait(self) -> None:
         """Block briefly while in-flight traffic arrives (realtime only)."""
 
+    def arq_stats(self) -> dict:
+        """Aggregate ARQ counters, empty for backends without an ARQ.
+
+        The network backends report their
+        :meth:`~repro.gcs.transport.arq.ReliableLinkMap.stats`; the
+        in-memory backend is reliable by construction and reports
+        nothing.  Node status polls and ``/healthz`` surface this.
+        """
+        return {}
+
     def close(self) -> None:
         """Release sockets/threads; further sends are undefined."""
 

@@ -84,11 +84,35 @@ _CAUSAL_EXPORTS = frozenset(
 )
 
 
+#: Names re-exported lazily from ``repro.obs.telemetry`` for the same
+#: reason: trace minting pulls in ``repro.sim.rng``, which must not be
+#: imported while this package is still initializing.
+_TELEMETRY_EXPORTS = frozenset(
+    {
+        "FLIGHT_HEADER_KIND",
+        "FLIGHT_KIND",
+        "FlightRecorder",
+        "TRACE_HEADER",
+        "TelemetryCollector",
+        "crash_dump_path",
+        "load_flight_dump",
+        "mint_trace_id",
+        "parse_flight_jsonl",
+        "render_prometheus",
+        "write_crash_dump",
+    }
+)
+
+
 def __getattr__(name: str):
     if name in _CAUSAL_EXPORTS:
         from repro.obs import causal
 
         return getattr(causal, name)
+    if name in _TELEMETRY_EXPORTS:
+        from repro.obs import telemetry
+
+        return getattr(telemetry, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -125,4 +149,5 @@ __all__ = [
     "write_metrics_csv",
     "write_metrics_jsonl",
     *sorted(_CAUSAL_EXPORTS),
+    *sorted(_TELEMETRY_EXPORTS),
 ]

@@ -1,0 +1,131 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry` (stdlib).
+
+The scrape plane's wire format: every series of the registry rendered
+in the Prometheus 0.0.4 text format, from the registry's canonical
+(name, labels) order — so two equal registries render byte-identically
+and a scrape diff is a metrics diff.
+
+The mapping is the obvious one:
+
+* **Counter** → one sample line (``# TYPE ... counter``);
+* **Gauge** → one sample line (``# TYPE ... gauge``);
+* **Histogram** → cumulative ``_bucket`` lines (one per bound plus
+  ``le="+Inf"``), ``_sum`` and ``_count`` (``# TYPE ... histogram``).
+
+Metric names are sanitized to the Prometheus charset (dots become
+underscores — ``service.http.requests`` scrapes as
+``service_http_requests``); label values are escaped per the format
+spec.  No client library is involved: the format is five rules and a
+loop, and the repo's no-new-dependencies constraint holds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """The Prometheus-legal form of a registry metric name."""
+    cleaned = _NAME_BAD.sub("_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _sanitize_label_name(name: str) -> str:
+    cleaned = _LABEL_BAD.sub("_", name)
+    if cleaned[:1].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):  # bool is an int; be explicit anyway
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _label_block(labels, extra: Dict[str, str] = {}) -> str:
+    items = [
+        (_sanitize_label_name(key), _escape_label_value(str(value)))
+        for key, value in labels
+    ]
+    items.extend(
+        (_sanitize_label_name(key), _escape_label_value(value))
+        for key, value in extra.items()
+    )
+    if not items:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text format (0.0.4)."""
+    lines: List[str] = []
+    typed: set = set()
+    for series in registry.series():
+        name = sanitize_metric_name(series.name)
+        if isinstance(series, Counter):
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(
+                f"{name}{_label_block(series.labels)} "
+                f"{_format_value(series.value)}"
+            )
+        elif isinstance(series, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(
+                f"{name}{_label_block(series.labels)} "
+                f"{_format_value(series.value)}"
+            )
+        elif isinstance(series, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            cumulative = 0
+            for bound, bucket in zip(series.bounds, series.bucket_counts):
+                cumulative += bucket
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_block(series.labels, {'le': str(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket"
+                f"{_label_block(series.labels, {'le': '+Inf'})} "
+                f"{series.count}"
+            )
+            lines.append(
+                f"{name}_sum{_label_block(series.labels)} "
+                f"{_format_value(series.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_label_block(series.labels)} {series.count}"
+            )
+        else:  # pragma: no cover - exhaustive over the series types
+            raise TypeError(f"unknown series type {type(series).__name__}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,32 @@
+"""Cross-process trace ids: pure hashes, carried in one HTTP header.
+
+A trace id names one client request across every hop it touches — the
+load generator that minted it, the frontend that accepted it, the
+store replica that served (or refused) it, and the GCS node whose tick
+loop moved the write.  Like every other draw in this repository it is
+a *pure hash* — :func:`~repro.sim.rng.derive_seed` over ``(seed,
+client, tick)`` under its own namespace — so replaying ``load --seed
+N`` reproduces the identical trace ids, and two flight-recorder dumps
+of the same seeded scenario join line-for-line.
+
+The id is deliberately *not* part of :class:`~repro.service.load
+.ClientOp` — the op stream's canonical digest predates tracing and
+must not shift under existing seeds.  Minting is a separate pure
+function of the same inputs, which is equivalent and compatible.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import derive_seed
+
+#: The header that carries a trace id into a frontend.  Anything the
+#: frontend reads here is propagated as-is; absent means untraced.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Namespace label separating trace draws from every other consumer.
+TRACE_NS = "service.trace"
+
+
+def mint_trace_id(seed: int, client: int, tick: int) -> str:
+    """The trace id of one ``(seed, client, tick)`` request: 16 hex."""
+    return format(derive_seed(seed, TRACE_NS, client, tick), "016x")

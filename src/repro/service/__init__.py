@@ -23,6 +23,13 @@ from repro.service.blame import (
     classify_unserved,
 )
 from repro.service.cluster import StoreCluster
+from repro.service.frontend import (
+    FrontendGroup,
+    MemoryNodeBackend,
+    ProcFrontendGroup,
+    ProcNodeBackend,
+    ServiceFrontend,
+)
 from repro.service.load import (
     ClientOp,
     LoadProfile,
@@ -44,6 +51,11 @@ __all__ = [
     "SERVICE_BLAME_CATEGORIES",
     "classify_unserved",
     "StoreCluster",
+    "FrontendGroup",
+    "MemoryNodeBackend",
+    "ProcFrontendGroup",
+    "ProcNodeBackend",
+    "ServiceFrontend",
     "ClientOp",
     "LoadProfile",
     "client_ops",

@@ -1,10 +1,13 @@
-"""The ``serve`` and ``load`` subcommands of ``repro-experiments``.
+"""The ``serve``, ``load`` and ``telemetry`` subcommands.
 
 ``serve`` boots the HTTP front ends — one per replica — over either
 the in-process :class:`~repro.service.cluster.StoreCluster` or a real
-multi-process :class:`~repro.gcs.proc.controller.ProcCluster`, and
-``load`` runs a seeded scenario (workload + optional partition
-schedule) to a canonical availability report.  Both live here so the
+multi-process :class:`~repro.gcs.proc.controller.ProcCluster` (every
+proc node gets its own front end), ``load`` runs a seeded scenario
+(workload + optional partition schedule) to a canonical availability
+report, and ``telemetry`` drives the distributed flight-recorder
+plane: live scenario tails, post-mortem dump reading, and replay
+verification of the aggregated stream.  All live here so the
 experiments CLI only pays the import when the parser is built.
 """
 
@@ -99,6 +102,54 @@ def add_service_parsers(sub) -> None:
         help="run the scenario twice and fail unless the two reports "
         "are byte-identical",
     )
+    load.add_argument(
+        "--telemetry-out", type=Path, default=None, metavar="PATH",
+        help="run with per-replica flight recorders and write the "
+        "aggregated telemetry JSONL (with --verify-replay the "
+        "aggregated stream must also replay byte-identically)",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="drive the flight-recorder plane: tail a live seeded "
+        "scenario, read a post-mortem dump, or verify that the "
+        "aggregated stream replays byte-identically",
+    )
+    telemetry.add_argument(
+        "--read", type=Path, default=None, metavar="PATH",
+        help="read a flight dump (a node's crash dump or an "
+        "aggregated stream) instead of running a scenario",
+    )
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--algorithm", choices=algorithm_names(), default="ykd"
+    )
+    telemetry.add_argument(
+        "--schedule",
+        default="split_restore",
+        help="a stock schedule name, 'generated:<seed>', or 'none'",
+    )
+    telemetry.add_argument("--replicas", type=int, default=5)
+    telemetry.add_argument("--clients", type=int, default=8)
+    telemetry.add_argument("--ticks", type=int, default=120)
+    telemetry.add_argument(
+        "--tail", type=int, default=10, metavar="N",
+        help="print the last N flight events per node (0: none)",
+    )
+    telemetry.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the aggregated telemetry JSONL",
+    )
+    telemetry.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="write the folded registry in Prometheus text format",
+    )
+    telemetry.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="run the scenario twice and fail unless the aggregated "
+        "telemetry streams (trace ids included) are byte-identical",
+    )
 
 
 def _resolve_schedule(spec: str):
@@ -147,19 +198,31 @@ def run_load(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    collector = None
+    if args.telemetry_out is not None:
+        from repro.obs.telemetry import TelemetryCollector
+
+        collector = TelemetryCollector()
     report = run_scenario(
         profile,
         schedule=schedule,
         algorithm=args.algorithm,
         n_processes=args.replicas,
+        collector=collector,
     )
     print(describe_report(report))
     if args.verify_replay:
+        from repro.obs.telemetry import TelemetryCollector
+
+        replay_collector = (
+            TelemetryCollector() if collector is not None else None
+        )
         replay = run_scenario(
             profile,
             schedule=schedule,
             algorithm=args.algorithm,
             n_processes=args.replicas,
+            collector=replay_collector,
         )
         if render_report(replay) != render_report(report):
             print(
@@ -167,7 +230,26 @@ def run_load(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+        if collector is not None and (
+            replay_collector.aggregated_jsonl()
+            != collector.aggregated_jsonl()
+        ):
+            print(
+                "replay FAILED: second run produced a different "
+                "telemetry stream",
+                file=sys.stderr,
+            )
+            return 1
         print("replay verified: byte-identical report")
+    if collector is not None:
+        args.telemetry_out.parent.mkdir(parents=True, exist_ok=True)
+        args.telemetry_out.write_text(
+            collector.aggregated_jsonl(), encoding="utf-8"
+        )
+        print(
+            f"telemetry written: {args.telemetry_out} "
+            f"(digest {collector.aggregated_digest()[:16]})"
+        )
     if args.report_out is not None:
         path = write_report(report, args.report_out)
         print(f"report written: {path}")
@@ -187,6 +269,121 @@ def run_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_dump(path: Path, tail: int) -> int:
+    """Read one flight dump (crash or aggregated) and summarise it."""
+    from repro.obs.telemetry import parse_flight_jsonl
+
+    try:
+        headers, events = parse_flight_jsonl(
+            path.read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    print(f"{path}: {len(headers)} node stream(s), {len(events)} events")
+    for header in headers:
+        print(
+            f"  node {header['node']}: recorded={header['recorded']} "
+            f"dropped={header['dropped']} capacity={header['capacity']}"
+        )
+    kinds: dict = {}
+    for event in events:
+        kinds[event["event"]] = kinds.get(event["event"], 0) + 1
+    if kinds:
+        joined = ", ".join(
+            f"{name}={count}" for name, count in sorted(kinds.items())
+        )
+        print(f"  events: {joined}")
+    crashes = [event for event in events if event["event"] == "crash"]
+    for crash in crashes:
+        first_line = str(crash.get("error", "")).strip().splitlines()
+        print(
+            f"  CRASH on node {crash['node']}: "
+            f"{first_line[-1] if first_line else 'unknown error'}"
+        )
+    if tail > 0:
+        from repro.obs.canonical import canonical_json
+
+        print(f"  last {min(tail, len(events))} event(s):")
+        for event in events[-tail:]:
+            print(f"    {canonical_json(event)}")
+    return 0
+
+
+def run_telemetry(args: argparse.Namespace) -> int:
+    """Handle ``repro-experiments telemetry``; returns the exit code."""
+    from repro.errors import ReproError
+    from repro.obs.telemetry import TelemetryCollector, render_prometheus
+    from repro.service.load import LoadProfile
+    from repro.service.scenario import run_scenario
+
+    if args.read is not None:
+        return _describe_dump(args.read, args.tail)
+
+    try:
+        schedule = _resolve_schedule(args.schedule)
+        profile = LoadProfile(
+            clients=args.clients, ticks=args.ticks, seed=args.seed
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    collector = TelemetryCollector()
+    run_scenario(
+        profile,
+        schedule=schedule,
+        algorithm=args.algorithm,
+        n_processes=args.replicas,
+        collector=collector,
+    )
+    if args.verify_replay:
+        replay = TelemetryCollector()
+        run_scenario(
+            profile,
+            schedule=schedule,
+            algorithm=args.algorithm,
+            n_processes=args.replicas,
+            collector=replay,
+        )
+        if replay.aggregated_jsonl() != collector.aggregated_jsonl():
+            print(
+                "replay FAILED: second run produced a different "
+                "telemetry stream",
+                file=sys.stderr,
+            )
+            return 1
+        print("replay verified: byte-identical telemetry stream")
+    collector.fold()
+    print(collector.describe())
+    print(f"aggregated digest: {collector.aggregated_digest()}")
+    if args.tail > 0:
+        from repro.obs.canonical import canonical_json
+        from repro.obs.telemetry import FLIGHT_HEADER_KIND
+
+        events = [
+            line
+            for line in collector.aggregated_events()
+            if line.get("kind") != FLIGHT_HEADER_KIND
+        ]
+        print(f"last {min(args.tail, len(events))} event(s):")
+        for event in events[-args.tail:]:
+            print(f"  {canonical_json(event)}")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            collector.aggregated_jsonl(), encoding="utf-8"
+        )
+        print(f"telemetry written: {args.out}")
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            render_prometheus(collector.registry), encoding="utf-8"
+        )
+        print(f"metrics written: {args.metrics_out}")
+    return 0
+
+
 def run_serve(args: argparse.Namespace) -> int:
     """Handle ``repro-experiments serve``; returns the exit code."""
     try:
@@ -197,11 +394,7 @@ def run_serve(args: argparse.Namespace) -> int:
 
 async def _serve(args: argparse.Namespace) -> int:
     from repro.service.cluster import StoreCluster
-    from repro.service.frontend import (
-        FrontendGroup,
-        ProcNodeBackend,
-        ServiceFrontend,
-    )
+    from repro.service.frontend import FrontendGroup, ProcFrontendGroup
 
     if args.backend == "proc":
         from repro.gcs.proc.controller import ProcCluster
@@ -213,17 +406,18 @@ async def _serve(args: argparse.Namespace) -> int:
             tick_interval=args.tick_interval,
         ) as cluster:
             cluster.await_stable()
-            frontend = ServiceFrontend(ProcNodeBackend(cluster, 0))
-            address = await frontend.start(args.host, args.port)
-            print(f"replica 0 of {args.replicas} (proc/udp) on "
-                  f"http://{address[0]}:{address[1]}")
+            group = ProcFrontendGroup(cluster)
+            peers = await group.start(args.host, args.port)
+            for pid, (host, port) in sorted(peers.items()):
+                print(f"replica {pid} of {args.replicas} (proc/udp) "
+                      f"on http://{host}:{port}")
             try:
                 if args.smoke:
-                    return await _smoke({0: address})
+                    return await _smoke(peers)
                 while True:
                     await asyncio.sleep(3600)
             finally:
-                await frontend.stop()
+                await group.stop()
 
     cluster = StoreCluster(args.replicas, args.algorithm)
     cluster.apply_stage((tuple(range(args.replicas)),))
@@ -241,7 +435,7 @@ async def _serve(args: argparse.Namespace) -> int:
         await group.stop()
 
 
-async def _http(address, method: str, path: str, body: bytes = b""):
+async def _http_raw(address, method: str, path: str, body: bytes = b""):
     host, port = address
     reader, writer = await asyncio.open_connection(host, port)
     head = (
@@ -254,11 +448,16 @@ async def _http(address, method: str, path: str, body: bytes = b""):
     writer.close()
     header, _, payload = raw.partition(b"\r\n\r\n")
     status = int(header.split()[1])
+    return status, payload
+
+
+async def _http(address, method: str, path: str, body: bytes = b""):
+    status, payload = await _http_raw(address, method, path, body)
     return status, json.loads(payload.decode("utf-8"))
 
 
 async def _smoke(peers) -> int:
-    """One put/get/healthz pass over HTTP; non-200s fail the boot."""
+    """One put/get/healthz/metrics pass over HTTP; failures fail the boot."""
     pid, address = sorted(peers.items())[0]
     checks = []
     status, answer = await _http(
@@ -269,9 +468,22 @@ async def _smoke(peers) -> int:
     checks.append(("get", status == 200, status, answer))
     status, answer = await _http(address, "GET", "/healthz")
     checks.append(("healthz", status == 200, status, answer))
+    status, payload = await _http_raw(address, "GET", "/metrics")
+    text = payload.decode("utf-8", "replace")
+    checks.append((
+        "metrics",
+        status == 200 and "service_http_requests" in text,
+        status,
+        f"{len(text.splitlines())} lines of Prometheus text",
+    ))
     ok = all(passed for _, passed, _, _ in checks)
     for name, passed, status, answer in checks:
+        detail = (
+            answer
+            if isinstance(answer, str)
+            else json.dumps(answer, sort_keys=True)
+        )
         print(f"  {name}: {'ok' if passed else 'FAIL'} "
-              f"({status} {json.dumps(answer, sort_keys=True)})")
+              f"({status} {detail})")
     print("smoke passed" if ok else "smoke FAILED")
     return 0 if ok else 1

@@ -23,13 +23,32 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.app.replicated_store import ReplicatedStore
+from repro.app.replicated_store import NotPrimaryError, ReplicatedStore
 from repro.errors import SimulationError
 from repro.gcs.adapter import PrimaryComponentService
+from repro.gcs.stack import ViewInstalled
 from repro.net.topology import Topology
+from repro.obs.bus import Subscriber
 from repro.obs.causal.gcs import GCSViewSpans
+from repro.obs.telemetry.recorder import FlightRecorder
 from repro.service.blame import classify_unserved
 from repro.types import ProcessId
+
+
+class _FlightViewChanges(Subscriber):
+    """Mirror every GCS view install into the owning replica's ring."""
+
+    def __init__(self, cluster: "StoreCluster") -> None:
+        self._cluster = cluster
+
+    def on_gcs_event(self, cluster, pid, event) -> None:
+        if isinstance(event, ViewInstalled):
+            self._cluster.record(
+                pid,
+                "view_change",
+                view_id=list(event.view_id),
+                members=sorted(event.members),
+            )
 
 
 class StoreCluster:
@@ -40,16 +59,28 @@ class StoreCluster:
         n_processes: int,
         algorithm: str = "ykd",
         check_invariants: bool = True,
+        record_flight: bool = False,
+        flight_capacity: int = 4096,
     ) -> None:
         self.n_processes = n_processes
         self.algorithm = algorithm
         self.view_spans = GCSViewSpans()
+        #: One flight recorder per replica when telemetry is on; empty
+        #: otherwise, so the recorder-off hot path stays a dict miss.
+        self.recorders: Dict[ProcessId, FlightRecorder] = {}
+        observers = [self.view_spans]
+        if record_flight:
+            self.recorders = {
+                pid: FlightRecorder(pid, capacity=flight_capacity)
+                for pid in range(n_processes)
+            }
+            observers.append(_FlightViewChanges(self))
         self.service = PrimaryComponentService(
             algorithm,
             n_processes,
             check_invariants=check_invariants,
             endpoint_factory=ReplicatedStore,
-            observers=[self.view_spans],
+            observers=observers,
         )
 
     # ------------------------------------------------------------------
@@ -115,13 +146,46 @@ class StoreCluster:
     # Service surface.
     # ------------------------------------------------------------------
 
-    def put(self, pid: ProcessId, key: str, value: Any):
+    def put(
+        self,
+        pid: ProcessId,
+        key: str,
+        value: Any,
+        trace: Optional[str] = None,
+    ):
         """Write through one replica (raises NotPrimaryError outside)."""
-        return self.store(pid).put(key, value)
+        try:
+            op = self.store(pid).put(key, value)
+        except NotPrimaryError:
+            self.record(pid, "store_put", key=key, accepted=False, trace=trace)
+            raise
+        self.record(
+            pid,
+            "store_put",
+            key=key,
+            accepted=True,
+            stamp=list(op.stamp),
+            trace=trace,
+        )
+        return op
 
-    def get(self, pid: ProcessId, key: str, default: Any = None) -> Any:
+    def get(
+        self,
+        pid: ProcessId,
+        key: str,
+        default: Any = None,
+        trace: Optional[str] = None,
+    ) -> Any:
         """Read a key from one replica (possibly stale outside primary)."""
-        return self.store(pid).get(key, default)
+        value = self.store(pid).get(key, default)
+        self.record(pid, "store_get", key=key, trace=trace)
+        return value
+
+    def record(self, pid: ProcessId, event: str, **fields: Any) -> None:
+        """Append one event to a replica's flight ring (no-op when off)."""
+        recorder = self.recorders.get(pid)
+        if recorder is not None:
+            recorder.record(event, tick=self.ticks, **fields)
 
     def snapshot(self, pid: ProcessId) -> Dict[str, Any]:
         """One replica's full contents."""

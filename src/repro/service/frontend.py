@@ -13,30 +13,53 @@ per connection — because the point is not a web server but the service
   ``NotPrimaryError`` redirect), or **503** with a causal blame tag
   when no primary exists anywhere;
 * ``GET /snapshot`` — full contents plus the ``(epoch, ops)`` stamp;
-* ``GET /healthz`` — liveness plus the store's operational counters;
+* ``GET /healthz`` — liveness plus the store's operational counters
+  and the transport's aggregate ARQ counters (transmissions,
+  retransmissions, cumulative acks, hold-backs);
 * ``GET /ops`` — the cluster's live ops view (claimants, per-component
-  blame, in-progress view-agreement windows).
+  blame, in-progress view-agreement windows);
+* ``GET /metrics`` — the scrape plane: this front end's request
+  counters and latency histogram plus the node's health gauges, in
+  Prometheus text format (:mod:`repro.obs.telemetry.prom`);
+* ``GET /telemetry`` — the flight-recorder streams visible from this
+  node (the front end's own ring plus the replica's), as canonical
+  JSONL.
+
+Every request may carry an ``X-Repro-Trace`` header; the id is
+propagated into the store op it triggers and recorded alongside the
+HTTP event in the front end's flight ring, which is how a replayed
+load generator's request joins against what each hop saw.
 
 Backends are pluggable: :class:`MemoryNodeBackend` fronts a
 :class:`~repro.service.cluster.StoreCluster` replica in-process (a
 :class:`FrontendGroup` runs one front end per replica plus the tick
 driver), and :class:`ProcNodeBackend` fronts one node of a real
-multi-process :class:`~repro.gcs.proc.controller.ProcCluster`.
+multi-process :class:`~repro.gcs.proc.controller.ProcCluster` (a
+:class:`ProcFrontendGroup` fronts *every* node, so redirects can be
+followed end-to-end and the scrape plane has a target per replica).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.app.replicated_store import NotPrimaryError
-from repro.obs.canonical import canonical_json
+from repro.obs.canonical import canonical_json, canonical_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.prom import render_prometheus
+from repro.obs.telemetry.recorder import FLIGHT_HEADER_KIND, FlightRecorder
+from repro.obs.telemetry.trace import TRACE_HEADER
 from repro.types import ProcessId
 
 _REASONS = {200: "OK", 307: "Temporary Redirect", 400: "Bad Request",
             404: "Not Found", 503: "Service Unavailable"}
 _MAX_BODY = 1 << 20
+
+#: Latency buckets in milliseconds (sub-ms loopback up to slow ticks).
+_LATENCY_BUCKETS_MS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 class MemoryNodeBackend:
@@ -46,13 +69,13 @@ class MemoryNodeBackend:
         self.cluster = cluster
         self.pid = pid
 
-    def get(self, key: str) -> Any:
+    def get(self, key: str, trace: Optional[str] = None) -> Any:
         """Read a key from this replica's local state."""
-        return self.cluster.get(self.pid, key)
+        return self.cluster.get(self.pid, key, trace=trace)
 
-    def put(self, key: str, value: Any):
+    def put(self, key: str, value: Any, trace: Optional[str] = None):
         """Write through this replica; raises NotPrimaryError outside."""
-        return list(self.cluster.put(self.pid, key, value).stamp)
+        return list(self.cluster.put(self.pid, key, value, trace=trace).stamp)
 
     def snapshot(self) -> Dict[str, Any]:
         """Full contents plus the replica's ``(epoch, ops)`` stamp."""
@@ -60,14 +83,20 @@ class MemoryNodeBackend:
         return {"data": store.snapshot(), "stamp": list(store.stamp)}
 
     def healthz(self) -> Dict[str, Any]:
-        """Liveness plus the store's operational counters."""
+        """Liveness plus the store's and the transport's ARQ counters."""
         store = self.cluster.store(self.pid)
         return {
             "ok": True,
             "pid": self.pid,
             "in_primary": store.in_primary(),
             "store": store.stats(),
+            "arq": self.cluster.service.cluster.transport.arq_stats(),
         }
+
+    def flight_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The replica's flight-recorder stream (None when off)."""
+        recorder = self.cluster.recorders.get(self.pid)
+        return None if recorder is None else recorder.snapshot()
 
     def ops(self) -> Dict[str, Any]:
         """The cluster-wide live ops view."""
@@ -89,13 +118,13 @@ class ProcNodeBackend:
         self.cluster = cluster
         self.pid = pid
 
-    def get(self, key: str) -> Any:
+    def get(self, key: str, trace: Optional[str] = None) -> Any:
         """Read a key from this node over the pipe protocol."""
-        return self.cluster.get(self.pid, key)
+        return self.cluster.get(self.pid, key, trace=trace)
 
-    def put(self, key: str, value: Any):
+    def put(self, key: str, value: Any, trace: Optional[str] = None):
         """Write through this node; refusals become NotPrimaryError."""
-        accepted, info = self.cluster.put(self.pid, key, value)
+        accepted, info = self.cluster.put(self.pid, key, value, trace=trace)
         if not accepted:
             raise NotPrimaryError(info)
         return list(info)
@@ -106,14 +135,19 @@ class ProcNodeBackend:
         return {"data": snap["data"], "stamp": list(snap["stamp"])}
 
     def healthz(self) -> Dict[str, Any]:
-        """Liveness plus the node's store counters (one status poll)."""
+        """Liveness plus the node's store and ARQ counters (one poll)."""
         status = self.cluster.statuses()[self.pid]
         return {
             "ok": True,
             "pid": self.pid,
             "in_primary": status["in_primary"],
             "store": status.get("store"),
+            "arq": status.get("arq", {}),
         }
+
+    def flight_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The node's flight-recorder stream, over the pipe."""
+        return self.cluster.node_telemetry(self.pid)
 
     def ops(self) -> Dict[str, Any]:
         """A cross-node ops view assembled from status round-trips."""
@@ -154,10 +188,17 @@ class ServiceFrontend:
         self,
         backend,
         peers: Optional[Dict[ProcessId, Tuple[str, int]]] = None,
+        recorder: Optional[FlightRecorder] = None,
+        flight_capacity: int = 1024,
     ) -> None:
         self.backend = backend
         self.peers = peers if peers is not None else {}
         self.address: Optional[Tuple[str, int]] = None
+        self.recorder = recorder if recorder is not None else FlightRecorder(
+            f"frontend-{getattr(backend, 'pid', '?')}",
+            capacity=flight_capacity,
+        )
+        self.metrics = MetricsRegistry()
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self, host: str = "127.0.0.1", port: int = 0):
@@ -179,57 +220,86 @@ class ServiceFrontend:
     # ------------------------------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
+        started = time.monotonic()
+        method = path = trace = None
         try:
-            status, payload, headers = await self._respond(reader)
-        except Exception as exc:  # pragma: no cover - defensive
+            method, path, body, trace = await self._read_request(reader)
+            status, payload, headers = self._route(method, path, body, trace)
+        except Exception as exc:  # defensive: a broken request
             status, payload, headers = 400, {"error": str(exc)}, []
-        body = canonical_json(payload).encode("utf-8") + b"\n"
+        self._observe(
+            method, path, status, trace, time.monotonic() - started
+        )
+        if isinstance(payload, str):
+            # Text routes (/metrics, /telemetry) set their own type.
+            body_bytes = payload.encode("utf-8")
+        else:
+            body_bytes = canonical_json(payload).encode("utf-8") + b"\n"
+            headers = ["Content-Type: application/json", *headers]
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
+            f"Content-Length: {len(body_bytes)}",
             "Connection: close",
         ]
         head.extend(headers)
-        writer.write("\r\n".join(head).encode("ascii") + b"\r\n\r\n" + body)
+        writer.write(
+            "\r\n".join(head).encode("ascii") + b"\r\n\r\n" + body_bytes
+        )
         try:
             await writer.drain()
         finally:
             writer.close()
 
-    async def _respond(self, reader):
+    async def _read_request(self, reader):
         request = await reader.readline()
         parts = request.decode("latin-1").split()
         if len(parts) < 2:
-            return 400, {"error": "malformed request line"}, []
+            raise ValueError("malformed request line")
         method, path = parts[0].upper(), parts[1]
         length = 0
+        trace: Optional[str] = None
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 length = min(int(value.strip()), _MAX_BODY)
+            elif name == TRACE_HEADER.lower():
+                trace = value.strip()
         body = await reader.readexactly(length) if length else b""
-        return self._route(method, path, body)
+        return method, path, body, trace
 
-    def _route(self, method: str, path: str, body: bytes):
+    def _route(
+        self, method: str, path: str, body: bytes, trace: Optional[str]
+    ):
         if method == "GET" and path == "/healthz":
             return 200, self.backend.healthz(), []
         if method == "GET" and path == "/ops":
             return 200, self.backend.ops(), []
         if method == "GET" and path == "/snapshot":
             return 200, self.backend.snapshot(), []
+        if method == "GET" and path == "/metrics":
+            return 200, self._metrics_text(), [
+                "Content-Type: text/plain; version=0.0.4",
+            ]
+        if method == "GET" and path == "/telemetry":
+            return 200, self._telemetry_text(), [
+                "Content-Type: application/jsonl",
+            ]
         if path.startswith("/kv/") and len(path) > len("/kv/"):
             key = path[len("/kv/"):]
             if method == "GET":
-                return 200, {"key": key, "value": self.backend.get(key)}, []
+                return 200, {
+                    "key": key,
+                    "value": self.backend.get(key, trace=trace),
+                }, []
             if method == "PUT":
-                return self._put(key, body)
+                return self._put(key, body, trace)
         return 404, {"error": f"no route for {method} {path}"}, []
 
-    def _put(self, key: str, body: bytes):
+    def _put(self, key: str, body: bytes, trace: Optional[str]):
         try:
             value = json.loads(body.decode("utf-8") or "null")
         except (ValueError, UnicodeDecodeError):
@@ -237,7 +307,7 @@ class ServiceFrontend:
         if not isinstance(value, dict) or "value" not in value:
             return 400, {"error": 'body must be {"value": ...}'}, []
         try:
-            stamp = self.backend.put(key, value["value"])
+            stamp = self.backend.put(key, value["value"], trace=trace)
             return 200, {"key": key, "stamp": stamp}, []
         except NotPrimaryError:
             return self._not_primary(key)
@@ -253,6 +323,84 @@ class ServiceFrontend:
                 headers.append(f"Location: http://{host}:{port}/kv/{key}")
             return 307, payload, headers
         return 503, {"error": "no_primary", "blame": self.backend.blame()}, []
+
+    # ------------------------------------------------------------------
+    # Telemetry (the scrape plane and the flight ring).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _route_label(path: Optional[str]) -> str:
+        """A bounded-cardinality route label (keys collapse to /kv)."""
+        if path is None:
+            return "?"
+        if path.startswith("/kv/"):
+            return "/kv"
+        return path
+
+    def _observe(
+        self,
+        method: Optional[str],
+        path: Optional[str],
+        status: int,
+        trace: Optional[str],
+        seconds: float,
+    ) -> None:
+        route = self._route_label(path)
+        node = getattr(self.backend, "pid", "?")
+        self.metrics.counter(
+            "service.http.requests", node=node, route=route, status=status
+        ).inc()
+        self.metrics.histogram(
+            "service.http.latency_ms", buckets=_LATENCY_BUCKETS_MS, node=node
+        ).observe(int(seconds * 1000))
+        event = {"method": method or "?", "route": route, "status": status}
+        if trace is not None:
+            event["trace"] = trace
+        if status in (503, 307):
+            event["blame"] = self.backend.blame()
+        self.recorder.record("http_request", **event)
+
+    def _metrics_text(self) -> str:
+        """The Prometheus exposition of this node (one scrape)."""
+        registry = MetricsRegistry()
+        registry.merge(self.metrics)
+        node = getattr(self.backend, "pid", "?")
+        health = self.backend.healthz()
+        registry.gauge("service.node.in_primary", node=node).set(
+            int(bool(health.get("in_primary")))
+        )
+        for group in ("store", "arq"):
+            for key, value in sorted((health.get(group) or {}).items()):
+                if isinstance(value, (int, float)):
+                    registry.gauge(f"service.{group}.{key}", node=node).set(
+                        value
+                    )
+        registry.gauge(
+            "service.flight.recorded", node=self.recorder.node
+        ).set(self.recorder.recorded)
+        registry.gauge(
+            "service.flight.dropped", node=self.recorder.node
+        ).set(self.recorder.dropped)
+        return render_prometheus(registry)
+
+    def _telemetry_text(self) -> str:
+        """Flight streams visible from this node, as canonical JSONL."""
+        lines = [self.recorder.header(), *self.recorder.events()]
+        flight = None
+        if hasattr(self.backend, "flight_snapshot"):
+            flight = self.backend.flight_snapshot()
+        if flight is not None:
+            lines.append(
+                {
+                    "kind": FLIGHT_HEADER_KIND,
+                    "node": flight["node"],
+                    "capacity": flight.get("capacity"),
+                    "recorded": flight.get("recorded"),
+                    "dropped": flight.get("dropped", 0),
+                }
+            )
+            lines.extend(flight["events"])
+        return canonical_jsonl(lines)
 
 
 class FrontendGroup:
@@ -290,5 +438,35 @@ class FrontendGroup:
             except asyncio.CancelledError:
                 pass
             self._ticker = None
+        for frontend in self.frontends.values():
+            await frontend.stop()
+
+
+class ProcFrontendGroup:
+    """One HTTP face per node of a real multi-process cluster.
+
+    The proc nodes tick themselves (real time, real sockets), so there
+    is no tick driver here — just every node fronted, sharing one peers
+    map so a 307 redirect from any replica names a followable URL and
+    the scrape plane has a ``/metrics`` target per replica.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.peers: Dict[ProcessId, Tuple[str, int]] = {}
+        self.frontends: Dict[ProcessId, ServiceFrontend] = {
+            pid: ServiceFrontend(ProcNodeBackend(cluster, pid), self.peers)
+            for pid in range(cluster.n_processes)
+        }
+
+    async def start(self, host: str = "127.0.0.1", base_port: int = 0):
+        """Start every front end; returns the shared peers map."""
+        for pid in sorted(self.frontends):
+            port = base_port + pid if base_port else 0
+            self.peers[pid] = await self.frontends[pid].start(host, port)
+        return dict(self.peers)
+
+    async def stop(self) -> None:
+        """Close every front end (the cluster itself stays up)."""
         for frontend in self.frontends.values():
             await frontend.stop()

@@ -25,6 +25,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.app.replicated_store import NotPrimaryError
 from repro.gcs.proc.schedule import RecordedSchedule
+from repro.obs.telemetry.collector import TelemetryCollector
+from repro.obs.telemetry.trace import mint_trace_id
 from repro.service.cluster import StoreCluster
 from repro.service.load import (
     LoadProfile,
@@ -49,12 +51,22 @@ def run_scenario(
     algorithm: str = "ykd",
     n_processes: int = 5,
     warmup_ticks: int = 300,
+    collector: Optional[TelemetryCollector] = None,
 ) -> Dict[str, Any]:
     """Run one load scenario and return its availability report.
 
     With no schedule the cluster stays fully connected for the whole
     run — the pinned fault-free baseline, which must come out at 100%
     user-perceived availability.
+
+    With a ``collector`` the cluster runs its per-replica flight
+    recorders (view changes, store ops, unserved requests — each with
+    the request's minted trace id), the routing loop notes
+    per-outcome/per-tick series, and the streams are pulled into the
+    collector at the end.  The report itself is unchanged — telemetry
+    observes the scenario, it never perturbs it — and the collector's
+    aggregated JSONL is byte-identical across replays of the same
+    profile.
     """
     if schedule is not None:
         n_processes = schedule.n_processes
@@ -64,7 +76,9 @@ def run_scenario(
         stages = [(tuple(range(n_processes)),)]
         schedule_name = None
 
-    cluster = StoreCluster(n_processes, algorithm)
+    cluster = StoreCluster(
+        n_processes, algorithm, record_flight=collector is not None
+    )
     starts = stage_start_ticks(len(stages), profile.ticks)
     cluster.apply_stage(stages[0])
     cluster.warm_up(max_ticks=warmup_ticks)
@@ -101,36 +115,60 @@ def run_scenario(
         claimants = cluster.primary_claimants()
         if claimants:
             rounds_with_primary += 1
+        tick_requests = tick_served = 0
         for op in by_tick.get(tick, ()):
             row["requests"] += 1
+            tick_requests += 1
             replica = replica_for(profile, op.client, n_processes, tick)
+            trace = (
+                mint_trace_id(profile.seed, op.client, tick)
+                if collector is not None
+                else None
+            )
             if op.kind == "get":
-                cluster.get(replica, op.key)
+                cluster.get(replica, op.key, trace=trace)
                 served_gets += 1
                 row["served"] += 1
+                tick_served += 1
+                if collector is not None:
+                    collector.note_request("get")
                 continue
             try:
-                cluster.put(replica, op.key, op.value)
+                cluster.put(replica, op.key, op.value, trace=trace)
                 puts_direct += 1
                 row["served"] += 1
+                tick_served += 1
+                if collector is not None:
+                    collector.note_request("put_direct")
                 continue
             except NotPrimaryError:
                 pass
             component = cluster.component_of(replica)
             reachable = [pid for pid in claimants if pid in component]
+            served_redirect = False
             if reachable:
                 try:
-                    cluster.put(reachable[0], op.key, op.value)
+                    cluster.put(reachable[0], op.key, op.value, trace=trace)
                     puts_redirected += 1
                     row["served"] += 1
-                    continue
+                    tick_served += 1
+                    served_redirect = True
+                    if collector is not None:
+                        collector.note_request("put_redirected")
                 except NotPrimaryError:  # pragma: no cover - defensive
                     pass
+            if served_redirect:
+                continue
             category = cluster.blame_for(replica) or "attempt_in_flight"
             unserved[category] = unserved.get(category, 0) + 1
             row["unserved"] += 1
+            cluster.record(replica, "unserved", blame=category, trace=trace)
+            if collector is not None:
+                collector.note_request("unserved", blame=category)
+        if collector is not None:
+            collector.note_tick(tick_requests, tick_served)
 
-    return build_report(
+    report = build_report(
         profile=profile,
         algorithm=algorithm,
         n_processes=n_processes,
@@ -143,3 +181,11 @@ def run_scenario(
         rounds_with_primary=rounds_with_primary,
         stages=stage_rows,
     )
+    if collector is not None:
+        availability = report["availability"]
+        collector.note_availability(
+            availability["user_perceived_percent"],
+            availability["round_level_percent"],
+        )
+        collector.collect_store_cluster(cluster)
+    return report

@@ -23,6 +23,8 @@ def silent_node_main(
     conn,
     endpoint_kind="bare",
     tick_interval=0.005,
+    telemetry_dir=None,
+    flight_capacity=2048,
 ):
     """A node that dies before ever reporting its port."""
     conn.close()
@@ -37,6 +39,8 @@ def mute_node_main(
     conn,
     endpoint_kind="bare",
     tick_interval=0.005,
+    telemetry_dir=None,
+    flight_capacity=2048,
 ):
     """A node that rendezvouses, then dies on the first status poll."""
     conn.send(("port", pid, 40000 + pid))
@@ -46,5 +50,47 @@ def mute_node_main(
         except EOFError:
             return
         if message[0] in ("status", "stop"):
+            conn.close()
+            return
+
+
+def crashing_node_main(
+    pid,
+    n_processes,
+    algorithm,
+    transport_kind,
+    link,
+    conn,
+    endpoint_kind="bare",
+    tick_interval=0.005,
+    telemetry_dir=None,
+    flight_capacity=2048,
+):
+    """A node that rendezvouses, records some flight, then blows up.
+
+    Exercises the real post-mortem path: the flight ring is dumped via
+    :func:`repro.obs.telemetry.recorder.write_crash_dump` before the
+    error is surfaced on the pipe — exactly what ``node_main`` does
+    when its loop raises.
+    """
+    from repro.obs.telemetry.recorder import FlightRecorder, write_crash_dump
+
+    recorder = FlightRecorder(pid, capacity=flight_capacity)
+    conn.send(("port", pid, 40000 + pid))
+    recorder.record("view_change", view_id=[0, 0], members=[pid])
+    recorder.record("store_put", key="doomed", accepted=True, trace="t-0")
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message[0] == "status":
+            error = "Traceback (stub)\nSimulationError: induced crash"
+            if telemetry_dir is not None:
+                write_crash_dump(recorder, telemetry_dir, error)
+            conn.send(("error", pid, error))
+            conn.close()
+            return
+        if message[0] == "stop":
             conn.close()
             return

@@ -39,7 +39,8 @@ def make_result(rate: float = 1000.0, scenario: str = "campaign") -> BenchResult
 def test_scenarios_registered():
     assert scenario_names() == (
         "core_ops", "campaign", "campaign_batched", "campaign_obs",
-        "campaign_causal", "service_gcs", "service", "explore",
+        "campaign_causal", "service_gcs", "service", "service_obs",
+        "explore",
     )
     with pytest.raises(BenchError):
         get_scenario("nope")

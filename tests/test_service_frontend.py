@@ -30,17 +30,18 @@ SPLIT5 = ((0, 1), (2, 3, 4))
 SINGLETONS5 = tuple((pid,) for pid in range(5))
 
 
-async def http(address, method, path, body=b""):
-    """A minimal HTTP/1.1 client: returns (status, headers, payload)."""
+async def http_raw(address, method, path, body=b"", extra_headers=()):
+    """A minimal HTTP/1.1 client: returns (status, headers, raw bytes)."""
     host, port = address
     reader, writer = await asyncio.open_connection(host, port)
-    writer.write(
-        (
-            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
-            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
-        ).encode("ascii")
-        + body
-    )
+    head_lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}",
+        f"Content-Length: {len(body)}",
+        *extra_headers,
+        "Connection: close",
+    ]
+    writer.write("\r\n".join(head_lines).encode("ascii") + b"\r\n\r\n" + body)
     await writer.drain()
     raw = await reader.read()
     writer.close()
@@ -51,6 +52,14 @@ async def http(address, method, path, body=b""):
     for line in lines[1:]:
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+async def http(address, method, path, body=b"", extra_headers=()):
+    """Like :func:`http_raw` but with the payload JSON-decoded."""
+    status, headers, payload = await http_raw(
+        address, method, path, body, extra_headers
+    )
     return status, headers, json.loads(payload.decode("utf-8"))
 
 
@@ -177,6 +186,102 @@ class TestRedirects:
             assert "location" not in headers
             assert answer["error"] == "no_primary"
             assert answer["blame"] == "no_quorum_possible"
+
+        serve(cluster, range(5), requests)
+
+
+class TestTelemetryPlane:
+    def test_metrics_exposes_request_counters_and_health_gauges(
+        self, cluster
+    ):
+        async def requests(peers):
+            await http(peers[1], "GET", "/healthz")
+            await http(peers[1], "PUT", "/kv/m", b'{"value": 1}')
+            status, headers, payload = await http_raw(
+                peers[1], "GET", "/metrics"
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = payload.decode("utf-8")
+            assert "# TYPE service_http_requests counter" in text
+            assert (
+                'service_http_requests{node="1",route="/healthz",'
+                'status="200"} 1' in text
+            )
+            assert 'service_http_requests{node="1",route="/kv",' in text
+            assert 'service_node_in_primary{node="1"} 1' in text
+            assert 'service_store_writes_accepted{node="1"}' in text
+            assert "service_http_latency_ms_bucket" in text
+            assert 'service_flight_recorded{node="frontend-1"}' in text
+
+        serve(cluster, range(5), requests)
+
+    def test_telemetry_streams_frontend_and_replica_rings(self):
+        cluster = StoreCluster(3, record_flight=True)
+        cluster.apply_stage((tuple(range(3)),))
+        cluster.warm_up()
+
+        async def requests(peers):
+            trace = "cafe0123deadbeef"
+            status, _, answer = await http(
+                peers[0], "PUT", "/kv/traced", b'{"value": 9}',
+                extra_headers=(f"X-Repro-Trace: {trace}",),
+            )
+            assert status == 200
+            status, headers, payload = await http_raw(
+                peers[0], "GET", "/telemetry"
+            )
+            assert status == 200
+            assert headers["content-type"] == "application/jsonl"
+            lines = [
+                json.loads(line)
+                for line in payload.decode("utf-8").splitlines()
+            ]
+            headers_by_node = {
+                line["node"]: line
+                for line in lines
+                if line["kind"] == "repro.obs/flight_header"
+            }
+            # The front end's own ring plus the replica's stream.
+            assert set(headers_by_node) == {"frontend-0", 0}
+            events = [
+                line for line in lines
+                if line["kind"] == "repro.obs/flight"
+            ]
+            put_events = [
+                event for event in events
+                if event["event"] == "store_put"
+            ]
+            assert put_events and put_events[-1]["trace"] == trace
+            http_events = [
+                event for event in events
+                if event["event"] == "http_request"
+                and event.get("trace") == trace
+            ]
+            assert http_events, "the HTTP hop must log the same trace id"
+
+        serve(cluster, range(3), requests)
+
+    def test_refused_write_records_trace_on_the_fenced_replica(self):
+        cluster = StoreCluster(5, record_flight=True)
+        cluster.apply_stage(FULL5)
+        cluster.warm_up()
+        cluster.apply_stage(SPLIT5)
+        cluster.warm_up()
+
+        async def requests(peers):
+            trace = "feedface00000001"
+            status, _, _ = await http(
+                peers[0], "PUT", "/kv/fenced", b'{"value": 1}',
+                extra_headers=(f"X-Repro-Trace: {trace}",),
+            )
+            assert status == 307
+            refused = [
+                event for event in cluster.recorders[0].events()
+                if event["event"] == "store_put"
+                and event["accepted"] is False
+            ]
+            assert refused and refused[-1]["trace"] == trace
 
         serve(cluster, range(5), requests)
 

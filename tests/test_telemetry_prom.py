@@ -1,0 +1,78 @@
+"""Prometheus text exposition: format rules, ordering, determinism.
+
+No client library and no scraper here — the contract is textual: legal
+names, escaped labels, cumulative histogram buckets, and byte-identical
+output for equal registries (the registry's canonical series order is
+what makes a scrape diff a metrics diff).
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import render_prometheus
+from repro.obs.telemetry.prom import sanitize_metric_name
+
+
+class TestSanitization:
+    def test_dots_become_underscores(self):
+        assert (
+            sanitize_metric_name("service.http.requests")
+            == "service_http_requests"
+        )
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("5xx.count") == "_5xx_count"
+
+    def test_legal_names_untouched(self):
+        assert sanitize_metric_name("up_time:total") == "up_time:total"
+
+
+class TestRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests", outcome="get").inc(3)
+        registry.counter("service.requests", outcome="put").inc(2)
+        registry.gauge("service.availability.user_percent").set(99.5)
+        text = render_prometheus(registry)
+        assert "# TYPE service_requests counter" in text
+        assert text.count("# TYPE service_requests counter") == 1
+        assert 'service_requests{outcome="get"} 3' in text
+        assert 'service_requests{outcome="put"} 2' in text
+        assert "service_availability_user_percent 99.5" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("events", detail='say "hi"\nbye\\now').inc()
+        text = render_prometheus(registry)
+        assert r'detail="say \"hi\"\nbye\\now"' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency.ms", buckets=(1, 4, 16))
+        for value in (0, 3, 3, 10, 100):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert 'latency_ms_bucket{le="1"} 1' in text
+        assert 'latency_ms_bucket{le="4"} 3' in text
+        assert 'latency_ms_bucket{le="16"} 4' in text
+        assert 'latency_ms_bucket{le="+Inf"} 5' in text
+        assert "latency_ms_sum 116" in text
+        assert "latency_ms_count 5" in text
+
+    def test_bool_gauges_render_numeric(self):
+        registry = MetricsRegistry()
+        registry.gauge("service.node.in_primary", node=0).set(True)
+        text = render_prometheus(registry)
+        assert 'service_node_in_primary{node="0"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestDeterminism:
+    def test_insertion_order_does_not_leak(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for registry, order in ((forward, (0, 1, 2)), (backward, (2, 1, 0))):
+            for node in order:
+                registry.counter("flight.events", node=node).inc(node + 1)
+                registry.gauge("node.up", node=node).set(1)
+        assert render_prometheus(forward) == render_prometheus(backward)

@@ -1,0 +1,124 @@
+"""The flight recorder: ring semantics, dumps, crash post-mortems.
+
+The recorder is the per-node black box — everything here is pure and
+clock-free, so the assertions are exact: sequence numbers never reuse,
+drops are counted rather than silently lost, and the dump text is the
+canonical encoder's output (replaying a recording yields identical
+bytes).
+"""
+
+import pytest
+
+from repro.obs.canonical import canonical_jsonl
+from repro.obs.telemetry import (
+    FLIGHT_HEADER_KIND,
+    FLIGHT_KIND,
+    FlightRecorder,
+    crash_dump_path,
+    load_flight_dump,
+    mint_trace_id,
+    parse_flight_jsonl,
+    write_crash_dump,
+)
+
+
+class TestRing:
+    def test_records_carry_envelope_and_running_seq(self):
+        recorder = FlightRecorder(3)
+        first = recorder.record("view_change", members=[0, 1])
+        second = recorder.record("store_put", key="k", accepted=True)
+        assert first == {
+            "kind": FLIGHT_KIND, "node": 3, "seq": 0,
+            "event": "view_change", "members": [0, 1],
+        }
+        assert second["seq"] == 1
+        assert recorder.recorded == 2 and recorder.dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        recorder = FlightRecorder("frontend-0", capacity=3)
+        for index in range(5):
+            recorder.record("tickmark", index=index)
+        assert len(recorder) == 3
+        assert recorder.recorded == 5 and recorder.dropped == 2
+        retained = recorder.events()
+        # Oldest two fell off; seqs reveal exactly how much history shed.
+        assert [event["seq"] for event in retained] == [2, 3, 4]
+        assert recorder.header()["dropped"] == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(0, capacity=0)
+
+    def test_events_are_copies(self):
+        recorder = FlightRecorder(0)
+        recorder.record("x")
+        recorder.events()[0]["event"] = "mutated"
+        assert recorder.events()[0]["event"] == "x"
+
+
+class TestDumps:
+    def test_to_jsonl_is_the_canonical_encoding(self):
+        recorder = FlightRecorder(1, capacity=8)
+        recorder.record("a", value=1)
+        recorder.record("b", value=2)
+        expected = canonical_jsonl(
+            [recorder.header(), *recorder.events()]
+        )
+        assert recorder.to_jsonl() == expected
+
+    def test_dump_parse_roundtrip(self, tmp_path):
+        recorder = FlightRecorder(2, capacity=4)
+        for index in range(6):  # overflow on purpose
+            recorder.record("op", index=index)
+        path = recorder.dump(tmp_path / "nested" / "flight.jsonl")
+        headers, events = load_flight_dump(path)
+        assert len(headers) == 1
+        assert headers[0]["kind"] == FLIGHT_HEADER_KIND
+        assert headers[0]["recorded"] == 6 and headers[0]["dropped"] == 2
+        assert [event["index"] for event in events] == [2, 3, 4, 5]
+
+    def test_parse_rejects_foreign_lines(self):
+        with pytest.raises(ValueError, match="not a flight line"):
+            parse_flight_jsonl('{"kind": "something/else"}\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            parse_flight_jsonl("{broken\n")
+
+    def test_snapshot_is_plain_data(self):
+        import pickle
+
+        recorder = FlightRecorder(7)
+        recorder.record("x", trace="abc")
+        snapshot = recorder.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+        assert clone["events"][0]["trace"] == "abc"
+
+
+class TestCrashDump:
+    def test_crash_dump_appends_error_and_writes(self, tmp_path):
+        recorder = FlightRecorder(4)
+        recorder.record("view_change", members=[4])
+        path = write_crash_dump(recorder, tmp_path, "Trace...\nBoom")
+        assert path == crash_dump_path(tmp_path, 4)
+        headers, events = load_flight_dump(path)
+        assert headers[0]["node"] == 4
+        assert events[-1]["event"] == "crash"
+        assert events[-1]["error"].endswith("Boom")
+
+    def test_crash_dump_never_raises(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("in the way")
+        recorder = FlightRecorder(0)
+        assert write_crash_dump(recorder, target, "boom") is None
+
+
+class TestTraceIds:
+    def test_minting_is_pure_and_stable(self):
+        assert mint_trace_id(1, 2, 3) == mint_trace_id(1, 2, 3)
+        assert mint_trace_id(1, 2, 3) != mint_trace_id(1, 2, 4)
+        assert mint_trace_id(1, 2, 3) != mint_trace_id(2, 2, 3)
+
+    def test_trace_id_shape(self):
+        trace = mint_trace_id(0, 0, 0)
+        assert len(trace) == 16
+        int(trace, 16)  # hex-parsable

@@ -137,6 +137,42 @@ class TestHoldBack:
         assert sender.retransmissions == 0
 
 
+class TestCounters:
+    def test_sender_counters_track_the_wire(self):
+        sender, receiver = ArqSender(0, 1, rto=0.05), ArqReceiver(0, 1)
+        for body in ("a", "b"):
+            sender.queue(body)
+        # First round lost; second round retransmits both frames.
+        pump(sender, receiver, 0.0, deliver=lambda f: False)
+        pump(sender, receiver, 0.1)
+        stats = sender.stats()
+        assert stats["transmissions"] == 4
+        assert stats["retransmissions"] == 2
+        assert stats["acks_received"] == 2
+        assert stats["unacked"] == 0
+        assert stats["hold_backs"] == 0
+
+    def test_receiver_counters_track_delivery(self):
+        receiver = ArqReceiver(0, 1)
+        frame = {"kind": "data", "src": 0, "dst": 1, "seq": 0, "body": "x"}
+        gap = {"kind": "data", "src": 0, "dst": 1, "seq": 2, "body": "z"}
+        receiver.on_data(frame)
+        receiver.on_data(frame)  # duplicate
+        receiver.on_data(gap)    # buffered, not deliverable
+        stats = receiver.stats()
+        assert stats == {
+            "delivered": 1, "duplicates": 1, "acks_sent": 3, "buffered": 1,
+        }
+
+    def test_hold_back_counts_only_in_flight_frames(self):
+        sender = ArqSender(0, 1, rto=10.0, window=1)
+        sender.queue("sent")
+        sender.queue("queued-beyond-window")
+        sender.frames_due(0.0)  # transmits only the first frame
+        sender.hold_back()
+        assert sender.stats()["hold_backs"] == 1
+
+
 class TestLinkMap:
     def test_links_are_directed_and_cached(self):
         links = ReliableLinkMap()
@@ -157,3 +193,33 @@ class TestLinkMap:
     def test_default_window_matches_module_constant(self):
         links = ReliableLinkMap()
         assert links.sender(0, 1).window == DEFAULT_WINDOW
+
+    def test_hold_back_towards_pauses_matching_links_only(self):
+        links = ReliableLinkMap(rto=10.0)
+        for dst in (1, 2, 3):
+            links.sender(0, dst).queue(f"to-{dst}")
+        for sender in links.senders():
+            sender.frames_due(0.0)
+        links.hold_back_towards(0, frozenset({1, 2}))
+        assert links.sender(0, 1).stats()["hold_backs"] == 1
+        assert links.sender(0, 2).stats()["hold_backs"] == 1
+        assert links.sender(0, 3).stats()["hold_backs"] == 0
+        # Held frames are due again immediately despite the huge rto.
+        assert len(links.sender(0, 1).frames_due(0.1)) == 1
+        assert links.sender(0, 3).frames_due(0.1) == []
+
+    def test_aggregate_stats_fold_both_directions(self):
+        links = ReliableLinkMap(rto=0.05)
+        sender = links.sender(0, 1)
+        receiver = links.receiver(0, 1)
+        sender.queue("a")
+        for frame in sender.frames_due(0.0):
+            _, ack = receiver.on_data(frame)
+            sender.on_ack(ack["ack"])
+        stats = links.stats()
+        assert stats["links"] == 1
+        assert stats["transmissions"] == 1
+        assert stats["acks_received"] == 1
+        assert stats["delivered"] == 1
+        assert stats["acks_sent"] == 1
+        assert stats["unacked"] == 0 and stats["buffered"] == 0
